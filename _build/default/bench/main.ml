@@ -1,0 +1,200 @@
+(* The benchmark harness: regenerates every table and figure of the
+   reproduction (see DESIGN.md's per-experiment index), then runs Bechamel
+   micro-benchmarks over the substrate hot paths.
+
+   Absolute numbers are simulator-relative; what must hold against the
+   paper is the qualitative shape — who wins, what grows with what, and
+   which design choice prevents which failure. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark subjects: each staged function runs one self-contained
+   simulated protocol episode. *)
+
+let bench_engine_fibers () =
+  let eng = Sim.Engine.create () in
+  for _ = 1 to 200 do
+    Sim.Engine.spawn eng (fun () -> Sim.Engine.sleep eng 1.0)
+  done;
+  Sim.Engine.run eng
+
+let bench_lock_cycle () =
+  let eng = Sim.Engine.create () in
+  let mgr = Lockmgr.Manager.create eng in
+  for i = 1 to 100 do
+    let owner = if i mod 2 = 0 then "a" else "b" in
+    assert (Lockmgr.Manager.try_acquire mgr ~owner ~mode:Lockmgr.Mode.Write "k");
+    Lockmgr.Manager.release mgr ~owner "k"
+  done
+
+let with_rpc_world f =
+  let eng = Sim.Engine.create () in
+  let net = Net.Network.create eng in
+  let rpc = Net.Rpc.create net in
+  List.iter (Net.Network.add_node net) [ "a"; "b"; "c"; "seq" ];
+  f eng net rpc;
+  Sim.Engine.run eng
+
+let echo : (int, int) Net.Rpc.endpoint = Net.Rpc.endpoint "bench.echo"
+
+let bench_rpc_roundtrips () =
+  with_rpc_world (fun _eng net rpc ->
+      Net.Rpc.serve rpc ~node:"b" echo (fun n -> n + 1);
+      Net.Network.spawn_on net "a" (fun () ->
+          for i = 1 to 50 do
+            ignore (Net.Rpc.call rpc ~from:"a" ~dst:"b" echo i)
+          done))
+
+let bench_atomic_multicast () =
+  with_rpc_world (fun _eng net rpc ->
+      let mc = Net.Multicast.create rpc in
+      Net.Multicast.enable_sequencer mc ~node:"seq";
+      let ch : int Net.Multicast.channel = Net.Multicast.channel "bench" in
+      List.iter (fun n -> Net.Multicast.listen mc ~node:n ch (fun ~seq:_ _ -> ()))
+        [ "a"; "b"; "c" ];
+      Net.Network.spawn_on net "a" (fun () ->
+          for i = 1 to 20 do
+            ignore
+              (Net.Multicast.cast_atomic mc ~from:"a" ~sequencer:"seq"
+                 ~members:[ "a"; "b"; "c" ] ch i)
+          done))
+
+let small_world () =
+  Naming.Service.create ~seed:5L
+    {
+      Naming.Service.gvd_node = "ns";
+      server_nodes = [ "alpha" ];
+      store_nodes = [ "beta1"; "beta2" ];
+      client_nodes = [ "c1" ];
+    }
+
+let bench_bound_action scheme () =
+  let open Naming in
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Service.spawn_client w "c1" (fun () ->
+      for _ = 1 to 5 do
+        ignore
+          (Service.with_bound w ~client:"c1" ~scheme
+             ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+               Service.invoke w group ~act "incr"))
+      done);
+  Service.run w
+
+let bench_2pc_commit () =
+  let eng = Sim.Engine.create () in
+  let net = Net.Network.create eng in
+  let rpc = Net.Rpc.create net in
+  let sh = Action.Store_host.create rpc in
+  let rh = Action.Resource_host.create rpc in
+  let rt = Action.Atomic.make_runtime sh rh in
+  let sup = Store.Uid.supply () in
+  List.iter
+    (fun n ->
+      Net.Network.add_node net n;
+      Action.Store_host.add sh n)
+    [ "client"; "s1"; "s2" ];
+  let uid = Store.Uid.fresh sup ~label:"x" in
+  Net.Network.spawn_on net "client" (fun () ->
+      for _ = 1 to 10 do
+        ignore
+          (Action.Atomic.atomically rt ~node:"client" (fun act ->
+               let state = Store.Object_state.initial "v" in
+               Action.Store_participant.add act ~store:"s1" ~writes:(fun () ->
+                   [ (uid, state) ]);
+               Action.Store_participant.add act ~store:"s2" ~writes:(fun () ->
+                   [ (uid, state) ])))
+      done);
+  Sim.Engine.run eng
+
+let bench_gvd_ops () =
+  let open Naming in
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Service.spawn_client w "c1" (fun () ->
+      for _ = 1 to 10 do
+        ignore
+          (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+               (match Gvd.get_server (Service.gvd w) ~act uid with
+               | Ok _ -> ()
+               | Error _ -> ());
+               match Gvd.get_view (Service.gvd w) ~act uid with
+               | Ok _ -> ()
+               | Error _ -> ()))
+      done);
+  Service.run w
+
+let bench_audit_trial () =
+  ignore
+    (Workload.Audit.counter_stress ~seed:1L ~clients:2 ~actions_per_client:4
+       ~server_churn:false ~store_churn:false ())
+
+let micro_tests =
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"engine.200-fibers" (Staged.stage bench_engine_fibers);
+      Test.make ~name:"lock.100-write-cycles" (Staged.stage bench_lock_cycle);
+      Test.make ~name:"rpc.50-roundtrips" (Staged.stage bench_rpc_roundtrips);
+      Test.make ~name:"mcast.20-atomic-casts" (Staged.stage bench_atomic_multicast);
+      Test.make ~name:"2pc.10-commits" (Staged.stage bench_2pc_commit);
+      Test.make ~name:"bind.5-actions-standard"
+        (Staged.stage (bench_bound_action Naming.Scheme.Standard));
+      Test.make ~name:"bind.5-actions-independent"
+        (Staged.stage (bench_bound_action Naming.Scheme.Independent));
+      Test.make ~name:"bind.5-actions-nested-toplevel"
+        (Staged.stage (bench_bound_action Naming.Scheme.Nested_toplevel));
+      Test.make ~name:"gvd.10-read-actions" (Staged.stage bench_gvd_ops);
+      Test.make ~name:"audit.calm-trial" (Staged.stage bench_audit_trial);
+    ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  print_endline "== micro: substrate hot paths (Bechamel, monotonic clock) ==";
+  Printf.printf "%-40s  %s\n" "benchmark" "time/run";
+  Printf.printf "%-40s  %s\n" (String.make 40 '-') "--------";
+  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+  | None -> print_endline "(no results)"
+  | Some per_test ->
+      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (name, ols) ->
+             let estimate =
+               match Analyze.OLS.estimates ols with
+               | Some [ e ] -> Printf.sprintf "%12.0f ns" e
+               | _ -> "-"
+             in
+             Printf.printf "%-40s  %s\n" name estimate));
+  print_newline ()
+
+let () =
+  print_endline
+    "Reproduction harness: Little, McCue & Shrivastava (ICDCS 1993)";
+  print_endline
+    "Each table regenerates one figure/table of the paper; see EXPERIMENTS.md.";
+  print_newline ();
+  List.iter
+    (fun e ->
+      Printf.printf "[%s] %s\n" e.Workload.Registry.id
+        e.Workload.Registry.paper_artefact;
+      Workload.Table.print (e.Workload.Registry.runner ()))
+    Workload.Registry.all;
+  run_micro ()

@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Action Binder List Naming Printf Replica Scheme Service Store String

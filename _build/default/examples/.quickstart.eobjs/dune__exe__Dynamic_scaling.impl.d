@@ -1,0 +1,1 @@
+examples/dynamic_scaling.ml: Action Admin Gvd List Naming Printf Replica Scheme Service Sim Store String

@@ -1,0 +1,1 @@
+examples/long_haul.ml: Action Gvd Hashtbl List Naming Net Printf Replica Scheme Service Sim Store String

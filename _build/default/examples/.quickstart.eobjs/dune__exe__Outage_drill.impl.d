@@ -1,0 +1,1 @@
+examples/outage_drill.ml: Action Gvd List Naming Net Printf Replica Scheme Service Sim Store String

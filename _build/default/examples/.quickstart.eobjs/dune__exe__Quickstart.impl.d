@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action List Naming Printf Replica Scheme Service Store

@@ -1,0 +1,1 @@
+examples/replicated_directory.ml: Action List Naming Net Printf Replica Scheme Service Sim Store String

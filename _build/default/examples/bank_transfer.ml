@@ -1,0 +1,77 @@
+(* Bank transfer: two persistent account objects manipulated in one atomic
+   action — the paper's motivating workload class. Shows:
+   - multi-object actions (two bindings, one commit);
+   - failure atomicity: a transfer that aborts midway (insufficient funds,
+     or a crash) leaves both balances untouched;
+   - the naming service keeping both objects' store sets accurate.
+
+   Run with: dune exec examples/bank_transfer.exe *)
+
+open Naming
+
+let balances world label uids =
+  Printf.printf "%s:" label;
+  List.iter
+    (fun (name, uid) ->
+      match
+        Store.Object_store.read
+          (Action.Store_host.objects (Service.store_host world) "beta1")
+          uid
+      with
+      | Some s -> Printf.printf "  %s=%s" name s.Store.Object_state.payload
+      | None -> Printf.printf "  %s=?" name)
+    uids;
+  print_newline ()
+
+let transfer world ~client ~from_uid ~to_uid amount =
+  Action.Atomic.atomically (Service.atomic world) ~node:client (fun act ->
+      let bind uid =
+        match
+          Binder.bind (Service.binder world) ~act ~scheme:Scheme.Standard ~uid
+            ~policy:Replica.Policy.Single_copy_passive
+        with
+        | Ok b -> b.Binder.bd_group
+        | Error e -> raise (Action.Atomic.Abort (Binder.bind_error_to_string e))
+      in
+      let src = bind from_uid and dst = bind to_uid in
+      let withdrawal =
+        Service.invoke world src ~act (Printf.sprintf "withdraw %d" amount)
+      in
+      if String.equal withdrawal "insufficient" then
+        raise (Action.Atomic.Abort "insufficient funds");
+      ignore (Service.invoke world dst ~act (Printf.sprintf "deposit %d" amount)))
+
+let () =
+  let world =
+    Service.create ~seed:2L
+      {
+        Service.gvd_node = "ns";
+        server_nodes = [ "alpha" ];
+        store_nodes = [ "beta1"; "beta2" ];
+        client_nodes = [ "teller" ];
+      }
+  in
+  let checking =
+    Service.create_object world ~name:"checking" ~impl:"account" ~initial:"120"
+      ~sv:[ "alpha" ] ~st:[ "beta1"; "beta2" ] ()
+  in
+  let savings =
+    Service.create_object world ~name:"savings" ~impl:"account" ~initial:"40"
+      ~sv:[ "alpha" ] ~st:[ "beta1"; "beta2" ] ()
+  in
+  let uids = [ ("checking", checking); ("savings", savings) ] in
+  Service.spawn_client world "teller" (fun () ->
+      balances world "before" uids;
+      (* A transfer that fits commits atomically across both objects. *)
+      (match transfer world ~client:"teller" ~from_uid:checking ~to_uid:savings 70 with
+      | Ok () -> print_endline "transfer 70: committed"
+      | Error e -> Printf.printf "transfer 70: aborted (%s)\n" e);
+      balances world "after first" uids;
+      (* An overdraft aborts; neither account changes — failure atomicity
+         across objects. *)
+      (match transfer world ~client:"teller" ~from_uid:checking ~to_uid:savings 500 with
+      | Ok () -> print_endline "transfer 500: committed (unexpected!)"
+      | Error e -> Printf.printf "transfer 500: aborted (%s)\n" e);
+      balances world "after second" uids);
+  Service.run world;
+  balances world "final (from stable store)" uids

@@ -1,0 +1,1 @@
+lib/action/action_id.ml: Format List Printf Stdlib String

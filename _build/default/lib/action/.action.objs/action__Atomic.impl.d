@@ -1,0 +1,1 @@
+lib/action/atomic.ml: Action_id Hashtbl List Net Printexc Printf Resource_host Sim Store Store_host String

@@ -1,0 +1,1 @@
+lib/action/atomic.mli: Action_id Net Resource_host Sim Store_host

@@ -1,0 +1,1 @@
+lib/action/orphan_guard.ml: Hashtbl Net Printf String

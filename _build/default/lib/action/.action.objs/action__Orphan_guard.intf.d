@@ -1,0 +1,1 @@
+lib/action/orphan_guard.mli: Net

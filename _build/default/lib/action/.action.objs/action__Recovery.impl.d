@@ -1,0 +1,1 @@
+lib/action/recovery.ml: Atomic List Net Printf Sim Store Store_host

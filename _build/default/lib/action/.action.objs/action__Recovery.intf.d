@@ -1,0 +1,1 @@
+lib/action/recovery.mli: Atomic Net

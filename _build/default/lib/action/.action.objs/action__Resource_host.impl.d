@@ -1,0 +1,1 @@
+lib/action/resource_host.ml: Hashtbl Net Printf

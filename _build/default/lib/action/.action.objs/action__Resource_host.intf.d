@@ -1,0 +1,1 @@
+lib/action/resource_host.mli: Net

@@ -1,0 +1,1 @@
+lib/action/store_host.ml: Hashtbl List Net Printf Sim Store String

@@ -1,0 +1,1 @@
+lib/action/store_host.mli: Net Store

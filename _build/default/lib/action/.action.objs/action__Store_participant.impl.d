@@ -1,0 +1,1 @@
+lib/action/store_participant.ml: Atomic Store_host

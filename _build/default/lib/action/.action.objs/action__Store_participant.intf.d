@@ -1,0 +1,1 @@
+lib/action/store_participant.mli: Atomic Net Store

@@ -1,0 +1,29 @@
+type t = { org : string; path : int list (* root serial first *) }
+
+let top ~origin ~serial = { org = origin; path = [ serial ] }
+
+let child t ~serial = { org = t.org; path = t.path @ [ serial ] }
+
+let parent t =
+  match List.rev t.path with
+  | [] | [ _ ] -> None
+  | _ :: rev_rest -> Some { t with path = List.rev rev_rest }
+
+let is_top t = match t.path with [ _ ] -> true | _ -> false
+
+let origin t = t.org
+
+let depth t = List.length t.path
+
+let equal a b = String.equal a.org b.org && a.path = b.path
+
+let compare a b =
+  match String.compare a.org b.org with
+  | 0 -> Stdlib.compare a.path b.path
+  | c -> c
+
+let to_string t =
+  Printf.sprintf "%s:%s" t.org
+    (String.concat "." (List.map string_of_int t.path))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,136 @@
+(** Nested atomic actions with distributed two-phase commit.
+
+    The model follows Arjuna (§2.2, §4.1): application programs are
+    structured as atomic actions; actions nest; locks acquired on behalf of
+    a nested action pass to its parent when it commits and are released
+    when it aborts; only a {e top-level} commit makes anything durable,
+    through a presumed-abort two-phase commit over the action's
+    {e participants} (store nodes receiving new object states) and
+    {e enlisted resources} (node-local recoverable state such as the group
+    view database, reached through {!Resource_host}).
+
+    {e Nested top-level actions} (§4.1.3(ii), Figure 8) are independent
+    top-level actions started from inside another action: they commit or
+    abort immediately and durably, regardless of what the enclosing action
+    later does.
+
+    A body can abort itself by raising {!Abort}; [atomically] turns that
+    into an [Error]. Any other escaping exception also aborts the action
+    but is re-raised (it is a bug, not a protocol outcome). *)
+
+type runtime
+(** Shared action machinery for one simulated world. *)
+
+type t
+(** A live action. *)
+
+type status = Running | Committed | Aborted
+
+exception Abort of string
+(** Raised by action bodies to abort the current action. *)
+
+val make_runtime : Store_host.t -> Resource_host.t -> runtime
+(** Build the runtime. Coordinator decision services are installed lazily
+    on nodes that start top-level actions (the node must be
+    {!Store_host.add}ed first, since decisions live on stable storage). *)
+
+val store_host : runtime -> Store_host.t
+val resource_host : runtime -> Resource_host.t
+val rpc : runtime -> Net.Rpc.t
+val network : runtime -> Net.Network.t
+val engine : runtime -> Sim.Engine.t
+
+val begin_top : runtime -> node:Net.Network.node_id -> t
+(** Start a top-level action coordinated from [node]. Must run in a fiber
+    on [node]. *)
+
+val begin_nested : t -> t
+(** Start a nested action inside [t]. *)
+
+val begin_nested_top : t -> t
+(** Start an independent top-level action from within [t] (same
+    coordinating node, fresh top-level identity). *)
+
+val id : t -> Action_id.t
+val node : t -> Net.Network.node_id
+val status : t -> status
+val runtime_of : t -> runtime
+
+val owner : t -> string
+(** Lock-owner key: [Action_id.to_string (id t)]. *)
+
+val enlist :
+  t -> ?required:bool -> node:Net.Network.node_id -> resource:string -> unit -> unit
+(** Record that handlers on [node]/[resource] hold locks or staged updates
+    for this action; duplicates are merged. The action-end protocol will
+    reach the resource automatically. [required] (default [true]) controls
+    phase-1 failure handling: a required resource that is unreachable
+    aborts the action, while a non-required one — a member of a replica
+    group whose crash the policy masks — is tolerated. *)
+
+val add_participant :
+  t ->
+  name:string ->
+  prepare:(unit -> bool) ->
+  commit:(unit -> unit) ->
+  abort:(unit -> unit) ->
+  unit
+(** Register a closure participant in the top-level 2PC. For a nested
+    action the participant is handed to the parent on nested commit.
+    [prepare]/[commit]/[abort] run in the committing fiber and may
+    suspend. *)
+
+val before_commit : t -> (unit -> (unit, string) result) -> unit
+(** Register a hook run at the {e start} of top-level commit, before phase
+    1 — the paper's commit-time processing (copying states to object
+    stores, excluding failed ones) runs here. An [Error] aborts the
+    action. Hooks run in registration order; a nested commit transfers
+    them to the parent. *)
+
+val on_abort : t -> (unit -> unit) -> unit
+(** Register an undo hook, run (in reverse registration order) if the
+    action aborts. Transferred to the parent on nested commit. *)
+
+val after_commit : t -> (unit -> unit) -> unit
+(** Register a hook run after a successful top-level commit (e.g. scheme
+    B's trailing [Decrement]). Transferred to the parent on nested
+    commit. *)
+
+val after_abort : t -> (unit -> unit) -> unit
+(** Register a hook run after an abort has fully completed — locks
+    released, resources notified. Used for repairs that need the aborted
+    action out of the way (e.g. passivating a stale replica). *)
+
+val commit : t -> (unit, string) result
+(** Commit the action. Top-level: before-commit hooks, phase 1 over all
+    participants and resources, durable decision record, phase 2, then
+    after-commit hooks. Nested: transfer everything to the parent.
+    [Error reason] means the action aborted instead. *)
+
+val abort : t -> reason:string -> unit
+(** Abort the action: undo hooks (reverse order), abort all participants
+    and enlisted resources, release locks. Idempotent. *)
+
+val atomically :
+  runtime -> node:Net.Network.node_id -> (t -> 'a) -> ('a, string) result
+(** [atomically rt ~node body] runs [body] in a fresh top-level action and
+    commits it; [Abort] (raised or during commit) yields [Error]. *)
+
+val atomically_nested : t -> (t -> 'a) -> ('a, string) result
+(** Same for a nested action of the given parent. *)
+
+val atomically_nested_top : t -> (t -> 'a) -> ('a, string) result
+(** Same for a nested top-level action (Figure 8). *)
+
+(** Outcome of a coordinator decision query (used by recovery). *)
+type decision_reply = D_commit | D_abort | D_active | D_unknown
+
+val query_decision :
+  runtime ->
+  from:Net.Network.node_id ->
+  coordinator:Net.Network.node_id ->
+  action:string ->
+  (decision_reply, Net.Rpc.error) result
+(** Ask a coordinating node for the fate of [action]. [D_active] means
+    phase 1 is still in progress — retry. [D_unknown] means presumed
+    abort. *)

@@ -1,0 +1,42 @@
+(** Crash cleanup for node-local resources: abort the actions of dead
+    clients.
+
+    §4.1.3 observes that "a crash of a client does not automatically undo
+    changes made to the database. So, failure detection and cleanup
+    protocols will be required." Locks and staged updates held at a
+    resource on behalf of a remote action become permanent garbage — and
+    wedge every later client — if the action's coordinating node crashes
+    before the action-end protocol reaches the resource.
+
+    A guard watches, per (scope, action), the crash of the action's
+    {e origin} node (recovered from the hierarchical action id, whose
+    prefix is the coordinator); when the failure detector reports it, the
+    guard runs the caller-supplied abort on the resource's node, in a
+    fiber. Scopes separate independent resources sharing one guard (e.g.
+    one scope per activated object instance on a server node). *)
+
+type t
+
+val create :
+  Net.Network.t ->
+  node:Net.Network.node_id ->
+  abort:(scope:string -> action:string -> unit) ->
+  t
+(** [create net ~node ~abort] is a guard whose abort callbacks run as
+    fibers on [node] (and are therefore dropped if [node] itself is down
+    — its volatile resources died with it). *)
+
+val origin_of_action : string -> string
+(** The coordinator node encoded in an action-id string ("c1:3.1" →
+    "c1"). *)
+
+val touch : t -> scope:string -> action:string -> unit
+(** Start watching the action's origin for this scope (idempotent). Call
+    on every resource operation. Actions originating on [node] itself are
+    not watched (their fate is local). *)
+
+val settle : t -> scope:string -> action:string -> unit
+(** The action ended normally at this scope: stop watching. *)
+
+val transfer : t -> scope:string -> action:string -> parent:string -> unit
+(** Nested commit: move the watch from the child to the parent action. *)

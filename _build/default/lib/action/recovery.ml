@@ -1,0 +1,85 @@
+let resolve_in_doubt rt ~node ?(retry_delay = 2.0) () =
+  let sh = Atomic.store_host rt in
+  let eng = Atomic.engine rt in
+  let log = Store_host.log sh node in
+  let net = Atomic.network rt in
+  let tracef fmt =
+    Sim.Trace.recordf (Net.Network.trace net) ~now:(Sim.Engine.now eng)
+      ~tag:"recovery" fmt
+  in
+  let apply action =
+    match Store.Intent_log.prepared log ~action with
+    | None -> ()
+    | Some { Store.Intent_log.coordinator; _ } -> (
+        let rec ask () =
+          match Atomic.query_decision rt ~from:node ~coordinator ~action with
+          | Ok Atomic.D_commit ->
+              tracef "%s: in-doubt %s -> commit" node action;
+              (* Apply through the local commit path (idempotent). *)
+              (match
+                 Store_host.commit sh ~from:node ~store:node ~action
+               with
+              | Ok () -> ()
+              | Error _ ->
+                  (* Local call can only fail if we crashed again;
+                     the next recovery will retry. *)
+                  ())
+          | Ok (Atomic.D_abort | Atomic.D_unknown) ->
+              tracef "%s: in-doubt %s -> presumed abort" node action;
+              Store.Intent_log.resolve log ~action
+          | Ok Atomic.D_active ->
+              Sim.Engine.sleep eng retry_delay;
+              ask ()
+          | Error _ ->
+              Sim.Engine.sleep eng retry_delay;
+              ask ()
+        in
+        ask ())
+  in
+  let rec drain () =
+    match Store.Intent_log.in_doubt log with
+    | [] -> ()
+    | actions ->
+        List.iter apply actions;
+        drain ()
+  in
+  drain ()
+
+let attach rt ~node =
+  Net.Network.on_recover (Atomic.network rt) node (fun () ->
+      resolve_in_doubt rt ~node ())
+
+let guard_prepares rt =
+  let sh = Atomic.store_host rt in
+  let net = Atomic.network rt in
+  let eng = Atomic.engine rt in
+  Store_host.set_prepare_hook sh (fun ~node ~action ~coordinator ->
+      ignore
+        (Net.Network.watch_crash net coordinator (fun () ->
+             Net.Network.spawn_on net node
+               ~name:(Printf.sprintf "%s.indoubt:%s" node action) (fun () ->
+                 let log = Store_host.log sh node in
+                 let rec settle tries =
+                   match Store.Intent_log.prepared log ~action with
+                   | None -> () (* resolved through the normal path *)
+                   | Some _ -> (
+                       match
+                         Atomic.query_decision rt ~from:node ~coordinator ~action
+                       with
+                       | Ok Atomic.D_commit ->
+                           ignore
+                             (Store_host.commit sh ~from:node ~store:node ~action)
+                       | Ok (Atomic.D_abort | Atomic.D_unknown) ->
+                           Store.Intent_log.resolve log ~action
+                       | Ok Atomic.D_active | Error _ ->
+                           if tries = 0 then
+                             (* The coordinator never came back: presume
+                                abort rather than reserve the object
+                                forever. *)
+                             Store.Intent_log.resolve log ~action
+                           else begin
+                             Sim.Engine.sleep eng 5.0;
+                             settle (tries - 1)
+                           end)
+                 in
+                 settle 100))))

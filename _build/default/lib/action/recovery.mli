@@ -1,0 +1,34 @@
+(** Crash recovery for store nodes: resolving in-doubt 2PC participants.
+
+    A store node that crashes between [prepare] and [commit] restarts with
+    prepare records in its stable intent log. For each one, recovery asks
+    the recorded coordinator for the action's fate:
+
+    - [D_commit] — apply the intended writes;
+    - [D_abort] or [D_unknown] — presumed abort: discard them;
+    - [D_active] — phase 1 still in progress: retry after a delay;
+    - coordinator unreachable — retry after a delay.
+
+    [attach] wires this procedure into the node's recovery hook; upper
+    layers (the naming library's reintegration protocol) register their own
+    hooks {e after} this one so they see fully resolved stores. *)
+
+val resolve_in_doubt :
+  Atomic.runtime -> node:Net.Network.node_id -> ?retry_delay:float -> unit -> unit
+(** Resolve every in-doubt action on [node]'s intent log. Runs in the
+    calling fiber (which must be on [node]) and only returns when no
+    in-doubt record remains. [retry_delay] (default 2.0) spaces retries
+    while a coordinator is unreachable or the action is still active. *)
+
+val attach : Atomic.runtime -> node:Net.Network.node_id -> unit
+(** Register {!resolve_in_doubt} as [node]'s first recovery action. *)
+
+val guard_prepares : Atomic.runtime -> unit
+(** Arrange (once per world) that every store watches the coordinator of
+    each prepare it accepts: if the coordinator crashes while the record
+    is still in doubt, a resolver fiber on the store node waits for the
+    coordinator's recovery and settles the record from its decision
+    service. If the coordinator never returns within the retry budget,
+    the record is presumed aborted — the coordinator-side decision is
+    then unknowable, and leaving the reservation in place would block
+    every future writer of the object. *)

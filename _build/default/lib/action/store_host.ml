@@ -1,0 +1,151 @@
+type host = { h_objects : Store.Object_store.t; h_log : Store.Intent_log.t }
+
+type read_req = Store.Uid.t
+type prepare_req = {
+  pr_action : string;
+  pr_coordinator : string;
+  pr_writes : (Store.Uid.t * Store.Object_state.t) list;
+}
+
+type vote = Vote_yes | Vote_stale
+
+type t = {
+  rpc_rt : Net.Rpc.t;
+  hosts : (Net.Network.node_id, host) Hashtbl.t;
+  mutable prepare_hook :
+    (node:Net.Network.node_id -> action:string -> coordinator:string -> unit)
+    option;
+  ep_read : (read_req, Store.Object_state.t option) Net.Rpc.endpoint;
+  ep_prepare : (prepare_req, vote) Net.Rpc.endpoint;
+  ep_commit : (string, unit) Net.Rpc.endpoint;
+  ep_abort : (string, unit) Net.Rpc.endpoint;
+  ep_decision : (string, Store.Intent_log.decision option) Net.Rpc.endpoint;
+}
+
+let create rpc_rt =
+  {
+    rpc_rt;
+    hosts = Hashtbl.create 16;
+    prepare_hook = None;
+    ep_read = Net.Rpc.endpoint "store.read";
+    ep_prepare = Net.Rpc.endpoint "store.prepare";
+    ep_commit = Net.Rpc.endpoint "store.commit";
+    ep_abort = Net.Rpc.endpoint "store.abort";
+    ep_decision = Net.Rpc.endpoint "store.decision";
+  }
+
+let rpc t = t.rpc_rt
+
+let host t node =
+  match Hashtbl.find_opt t.hosts node with
+  | Some h -> h
+  | None -> invalid_arg (Printf.sprintf "Store_host: no store on %s" node)
+
+let apply_commit h action =
+  (match Store.Intent_log.prepared h.h_log ~action with
+  | None -> () (* already applied: idempotent *)
+  | Some { Store.Intent_log.writes; _ } ->
+      List.iter
+        (fun (uid, state) ->
+          (* Skip stale states so recovery replays are safe. *)
+          let stale =
+            match Store.Object_store.read h.h_objects uid with
+            | Some existing -> Store.Object_state.newer_than existing state
+            | None -> false
+          in
+          if not stale then Store.Object_store.write h.h_objects uid state)
+        writes);
+  Store.Intent_log.resolve h.h_log ~action
+
+let add t node =
+  if Hashtbl.mem t.hosts node then
+    invalid_arg (Printf.sprintf "Store_host.add: %s already hosted" node);
+  let h = { h_objects = Store.Object_store.create (); h_log = Store.Intent_log.create () } in
+  Hashtbl.add t.hosts node h;
+  Net.Rpc.serve t.rpc_rt ~node t.ep_read (fun uid ->
+      Store.Object_store.read h.h_objects uid);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_prepare (fun { pr_action; pr_coordinator; pr_writes } ->
+      (* Backward validation: each write must be the direct successor of
+         the committed state (or recreate the same version during a
+         recovery replay). A gap or a sibling version means the writer
+         activated from a stale state. *)
+      let valid (uid, state) =
+        match Store.Object_store.read h.h_objects uid with
+        | None -> true
+        | Some existing ->
+            let incoming = state.Store.Object_state.version.Store.Version.counter in
+            let current = existing.Store.Object_state.version.Store.Version.counter in
+            incoming = current + 1 || incoming = current && Store.Object_state.equal state existing
+      in
+      (* A pending prepare of another action is a write reservation:
+         admitting a second writer for the same object would let two
+         version-(n+1) siblings both commit (the apply order, not the
+         validation, would then pick the survivor). *)
+      let reserved (uid, _) =
+        List.exists
+          (fun a -> not (String.equal a pr_action))
+          (Store.Intent_log.pending_writers h.h_log uid)
+      in
+      let netw = Net.Rpc.network t.rpc_rt in
+      List.iter
+        (fun ((uid, state) as w) ->
+          if not (valid w) then
+            Sim.Trace.recordf (Net.Network.trace netw)
+              ~now:(Sim.Engine.now (Net.Network.engine netw)) ~tag:"store"
+              "%s: %s stale prepare of %s (incoming %s vs stored %s)" node
+              pr_action (Store.Uid.to_string uid)
+              (Store.Version.to_string state.Store.Object_state.version)
+              (match Store.Object_store.read h.h_objects uid with
+              | Some e -> Store.Version.to_string e.Store.Object_state.version
+              | None -> "none")
+          else if reserved w then
+            Sim.Trace.recordf (Net.Network.trace netw)
+              ~now:(Sim.Engine.now (Net.Network.engine netw)) ~tag:"store"
+              "%s: %s blocked by reservation of [%s] on %s" node pr_action
+              (String.concat ","
+                 (List.filter
+                    (fun a -> not (String.equal a pr_action))
+                    (Store.Intent_log.pending_writers h.h_log uid)))
+              (Store.Uid.to_string uid))
+        pr_writes;
+      if List.for_all valid pr_writes && not (List.exists reserved pr_writes)
+      then begin
+        Store.Intent_log.prepare h.h_log ~action:pr_action
+          ~coordinator:pr_coordinator pr_writes;
+        (match t.prepare_hook with
+        | Some hook ->
+            hook ~node ~action:pr_action ~coordinator:pr_coordinator
+        | None -> ());
+        Vote_yes
+      end
+      else Vote_stale);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_commit (fun action -> apply_commit h action);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_abort (fun action ->
+      Store.Intent_log.resolve h.h_log ~action);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_decision (fun action ->
+      Store.Intent_log.decision_of h.h_log ~action)
+
+let hosted t node = Hashtbl.mem t.hosts node
+
+let objects t node = (host t node).h_objects
+let log t node = (host t node).h_log
+
+let seed t node uid state = Store.Object_store.write (host t node).h_objects uid state
+
+let read t ~from ~store uid = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_read uid
+
+let prepare t ~from ~store ~action ~coordinator writes =
+  Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_prepare
+    { pr_action = action; pr_coordinator = coordinator; pr_writes = writes }
+
+let commit t ~from ~store ~action = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_commit action
+
+let abort t ~from ~store ~action = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_abort action
+
+let decision t ~from ~coordinator ~action =
+  Net.Rpc.call t.rpc_rt ~from ~dst:coordinator t.ep_decision action
+
+let set_prepare_hook t hook = t.prepare_hook <- Some hook
+
+let record_decision t ~node ~action d =
+  Store.Intent_log.record_decision (host t node).h_log ~action d

@@ -1,0 +1,106 @@
+(** Hosting of object stores on nodes, with transactional write endpoints.
+
+    Each participating node gets a stable {!Store.Object_store.t} and a
+    stable {!Store.Intent_log.t}; this module registers the RPC endpoints
+    through which remote servers read states (activation, §3.1) and write
+    them under two-phase commit (commit processing, §2.3(3)).
+
+    Contents survive crashes. What a crash does interrupt is protocol
+    participation: a node that crashes between [prepare] and [commit] holds
+    an in-doubt record that {!Recovery} resolves against the coordinator's
+    decision record. *)
+
+type t
+(** The store-hosting runtime for one simulated world. *)
+
+val create : Net.Rpc.t -> t
+(** [create rpc] is a runtime with no hosted stores yet. *)
+
+val rpc : t -> Net.Rpc.t
+
+val add : t -> Net.Network.node_id -> unit
+(** Equip [node] with a store and an intent log and register the store
+    service endpoints on it. *)
+
+val hosted : t -> Net.Network.node_id -> bool
+
+val objects : t -> Net.Network.node_id -> Store.Object_store.t
+(** Direct (out-of-band) access to a node's object store; used for
+    bootstrap and test assertions, never by protocol code. *)
+
+val log : t -> Net.Network.node_id -> Store.Intent_log.t
+(** Direct access to a node's intent log, same caveats. *)
+
+val seed : t -> Net.Network.node_id -> Store.Uid.t -> Store.Object_state.t -> unit
+(** Out-of-band initial placement of an object state on a node (creating
+    the object before the simulation starts). *)
+
+(* Remote operations; all must be called from a fiber on [from]. *)
+
+val read :
+  t ->
+  from:Net.Network.node_id ->
+  store:Net.Network.node_id ->
+  Store.Uid.t ->
+  (Store.Object_state.t option, Net.Rpc.error) result
+(** Read the committed state of an object from a store node. *)
+
+(** A participant's phase-1 vote. [Vote_stale] is backward validation:
+    the incoming state's version is not the direct successor of what the
+    store holds, meaning the writer worked from a stale activation (e.g.
+    two clients activated disjoint replica sets during churn — the
+    split-brain the Arjuna lock store prevents physically). The action
+    must abort; excluding the store would be wrong, it is healthy. *)
+type vote = Vote_yes | Vote_stale
+
+val prepare :
+  t ->
+  from:Net.Network.node_id ->
+  store:Net.Network.node_id ->
+  action:string ->
+  coordinator:Net.Network.node_id ->
+  (Store.Uid.t * Store.Object_state.t) list ->
+  (vote, Net.Rpc.error) result
+(** Phase-1 write: validate versions and record intentions durably on
+    [store]; [Ok Vote_yes] is a yes-vote. *)
+
+val commit :
+  t ->
+  from:Net.Network.node_id ->
+  store:Net.Network.node_id ->
+  action:string ->
+  (unit, Net.Rpc.error) result
+(** Phase-2: apply the intentions of [action]. Idempotent; applying a
+    state older than what the store already holds is skipped, making
+    recovery replays safe. *)
+
+val abort :
+  t ->
+  from:Net.Network.node_id ->
+  store:Net.Network.node_id ->
+  action:string ->
+  (unit, Net.Rpc.error) result
+(** Phase-2 abort: discard the intentions of [action]. *)
+
+val decision :
+  t ->
+  from:Net.Network.node_id ->
+  coordinator:Net.Network.node_id ->
+  action:string ->
+  (Store.Intent_log.decision option, Net.Rpc.error) result
+(** Query a coordinator's decision record (used by recovery; presumed
+    abort applies when the coordinator has forgotten the action). *)
+
+val set_prepare_hook :
+  t ->
+  (node:Net.Network.node_id -> action:string -> coordinator:string -> unit) ->
+  unit
+(** Install a callback invoked (on the store node, within the prepare
+    handler) for every accepted prepare. {!Recovery.guard_prepares} uses
+    it to arrange in-doubt resolution should the coordinator crash. *)
+
+val record_decision :
+  t -> node:Net.Network.node_id -> action:string -> Store.Intent_log.decision -> unit
+(** Durably record a decision on the local node; the caller must be the
+    coordinator running on [node]. Direct (non-RPC) because a coordinator
+    writes its own stable storage. *)

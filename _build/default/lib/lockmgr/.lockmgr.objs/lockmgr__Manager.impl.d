@@ -1,0 +1,1 @@
+lib/lockmgr/manager.ml: Format Hashtbl List Mode Queue Sim String

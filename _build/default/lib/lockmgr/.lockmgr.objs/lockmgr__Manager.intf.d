@@ -1,0 +1,1 @@
+lib/lockmgr/manager.mli: Format Mode Sim

@@ -1,0 +1,79 @@
+(** Per-node lock manager with strict two-phase locking discipline.
+
+    Resources are named by strings (a database entry per object UID, or an
+    object instance on a server). Owners are action identifiers: locks are
+    held by {e actions}, not fibers, and are released (or transferred to a
+    parent action) when the action ends — the action layer drives this via
+    {!release_all} and {!transfer_all}.
+
+    Owners are hierarchical ({!Action.Action_id} strings): a request is
+    also granted when every blocking lock is held by an {e ancestor}
+    action ("c:1" for "c:1.2") — Arjuna's lock inheritance for nested
+    actions. The nested action's grant is recorded under its own name and
+    merges into the parent on [transfer_all].
+
+    Grant policy is queue-fair: a request is granted only when it is
+    compatible with every current holder {e and} no earlier waiter is still
+    blocked, which prevents writer starvation. Lock {e promotion}
+    ([promote]) is the paper's try-operation: it succeeds immediately or
+    fails without waiting, and a failed promotion aborts the client action
+    (§4.2.1). *)
+
+type t
+(** A lock manager. *)
+
+type owner = string
+(** Action identifier. *)
+
+val create : ?metrics:Sim.Metrics.t -> Sim.Engine.t -> t
+(** [create eng] is an empty manager. If [metrics] is given, the manager
+    counts grants, waits, promotion failures and timeouts. *)
+
+val acquire :
+  t -> owner:owner -> mode:Mode.t -> ?timeout:float -> string -> (unit, [ `Timeout ]) result
+(** [acquire t ~owner ~mode key] blocks the calling fiber until the lock is
+    granted (re-entrant: a covering lock held by [owner] is granted
+    immediately; a non-covering re-request is treated as a promotion
+    attempt and, if it cannot be granted {e immediately}, fails as
+    [`Timeout] to avoid self-deadlock). With [timeout], gives up after that
+    much virtual time. Must run in a fiber. *)
+
+val try_acquire : t -> owner:owner -> mode:Mode.t -> string -> bool
+(** Non-blocking acquire; [false] if it would have to wait. *)
+
+val promote : t -> owner:owner -> to_mode:Mode.t -> string -> bool
+(** [promote t ~owner ~to_mode key] upgrades [owner]'s lock on [key]
+    without waiting: [true] iff [owner] holds a lock and [to_mode] is
+    compatible with every other holder. On failure the caller is expected
+    to abort its action. *)
+
+val release : t -> owner:owner -> string -> unit
+(** Release [owner]'s lock on [key] (no-op if none), waking waiters. *)
+
+val release_all : t -> owner:owner -> unit
+(** Release every lock held by [owner] and cancel its waiting requests;
+    called when the owning action commits (top-level) or aborts. *)
+
+val release_everything : t -> unit
+(** Drop every lock and cancel every waiter — a crash of the hosting node
+    wipes its volatile lock table. Waiting fibers are never resumed (they
+    died with the node or will time out). *)
+
+val transfer_all : t -> from_owner:owner -> to_owner:owner -> unit
+(** Move every lock held by [from_owner] to [to_owner], merging modes by
+    strength — the Arjuna nested-commit rule (locks pass to the parent). *)
+
+val holds : t -> owner:owner -> string -> Mode.t option
+(** The mode [owner] holds on [key], if any. *)
+
+val holders : t -> string -> (owner * Mode.t) list
+(** Current holders of [key], sorted by owner. *)
+
+val waiting : t -> string -> int
+(** Number of queued (unsatisfied) requests on [key]. *)
+
+val locked_keys : t -> owner:owner -> string list
+(** All keys on which [owner] holds a lock, sorted. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dump the lock table (holders and queue lengths). *)

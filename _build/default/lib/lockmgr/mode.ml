@@ -1,0 +1,23 @@
+type t = Read | Write | Exclude_write
+
+let compatible held requested =
+  match (held, requested) with
+  | Read, Read -> true
+  | Read, Exclude_write | Exclude_write, Read -> true
+  | Exclude_write, Exclude_write -> false
+  | Write, _ | _, Write -> false
+
+let strength = function Read -> 0 | Exclude_write -> 1 | Write -> 2
+
+let strongest a b = if strength a >= strength b then a else b
+
+let covers held requested = strength held >= strength requested
+
+let equal a b = strength a = strength b
+
+let to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Exclude_write -> "exclude-write"
+
+let pp ppf m = Format.pp_print_string ppf (to_string m)

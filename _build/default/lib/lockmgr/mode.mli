@@ -1,0 +1,32 @@
+(** Lock modes and their compatibility matrix.
+
+    Besides classic [Read]/[Write], the paper introduces a type-specific
+    {e exclude-write} mode (§4.2.1): it is compatible with [Read] — so a
+    committing client can exclude crashed store nodes from [StA] while
+    other clients still hold read locks on the entry — but conflicts with
+    [Write] and with other [Exclude_write] holders. *)
+
+type t = Read | Write | Exclude_write
+
+val compatible : t -> t -> bool
+(** [compatible held requested]: can [requested] be granted alongside
+    [held]? The matrix is symmetric:
+    - [Read]∥[Read] and [Read]∥[Exclude_write] are compatible;
+    - everything involving [Write] conflicts;
+    - [Exclude_write]∥[Exclude_write] conflicts. *)
+
+val strength : t -> int
+(** Total order used when one owner holds several modes: [Read] <
+    [Exclude_write] < [Write]. *)
+
+val strongest : t -> t -> t
+(** The stronger of two modes per {!strength}. *)
+
+val covers : t -> t -> bool
+(** [covers held requested]: a holder of [held] needs no new lock to
+    perform a [requested]-mode access. [Write] covers everything; a mode
+    covers itself; [Exclude_write] covers [Read]. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

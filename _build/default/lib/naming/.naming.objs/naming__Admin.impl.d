@@ -1,0 +1,1 @@
+lib/naming/admin.ml: Action Binder Format Gvd List Net Replica Store String

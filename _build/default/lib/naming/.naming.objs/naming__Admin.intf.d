@@ -1,0 +1,1 @@
+lib/naming/admin.mli: Binder Format Net Replica Store

@@ -1,0 +1,1 @@
+lib/naming/binder.ml: Action Format Gvd List Net Replica Scheme Sim Store Use_list

@@ -1,0 +1,1 @@
+lib/naming/binder.mli: Action Format Gvd Net Replica Scheme Store

@@ -1,0 +1,1 @@
+lib/naming/cleanup.ml: Action Gvd List Net Sim Store String Use_list

@@ -1,0 +1,1 @@
+lib/naming/cleanup.mli: Action Gvd

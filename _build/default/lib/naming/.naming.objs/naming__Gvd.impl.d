@@ -1,0 +1,1 @@
+lib/naming/gvd.ml: Action Hashtbl Int List Lockmgr Net Option Printf Sim Store String Use_list

@@ -1,0 +1,1 @@
+lib/naming/gvd.mli: Action Net Store Use_list

@@ -1,0 +1,1 @@
+lib/naming/hybrid.ml: Action Binder Gvd Hashtbl List Net Option Replica Scheme Store

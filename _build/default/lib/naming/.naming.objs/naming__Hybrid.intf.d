@@ -1,0 +1,1 @@
+lib/naming/hybrid.mli: Action Binder Net Replica Store

@@ -1,0 +1,1 @@
+lib/naming/reintegration.ml: Action Binder Gvd List Net Replica Sim Store String

@@ -1,0 +1,1 @@
+lib/naming/reintegration.mli: Binder Net

@@ -1,0 +1,1 @@
+lib/naming/scheme.mli: Format

@@ -1,0 +1,1 @@
+lib/naming/service.ml: Action Binder Cleanup Format Gvd List Net Reintegration Replica Sim Store String

@@ -1,0 +1,1 @@
+lib/naming/service.mli: Action Binder Gvd Net Replica Scheme Sim Store

@@ -1,0 +1,1 @@
+lib/naming/use_list.ml: Format List Printf String

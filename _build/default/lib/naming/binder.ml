@@ -1,0 +1,343 @@
+type t = { b_gvd : Gvd.t; b_grt : Replica.Group.runtime }
+
+let create b_gvd b_grt = { b_gvd; b_grt }
+
+let gvd t = t.b_gvd
+let group_runtime t = t.b_grt
+
+type binding = {
+  bd_uid : Store.Uid.t;
+  bd_scheme : Scheme.t;
+  bd_group : Replica.Group.t;
+  bd_servers : Net.Network.node_id list;
+  bd_stores : Net.Network.node_id list;
+}
+
+type bind_error = Name_refused of string | No_server of string
+
+let bind_error_to_string = function
+  | Name_refused why -> "naming service refused: " ^ why
+  | No_server why -> "no server: " ^ why
+
+let pp_bind_error ppf e = Format.pp_print_string ppf (bind_error_to_string e)
+
+type prebinding = {
+  pb_uid : Store.Uid.t;
+  pb_client : Net.Network.node_id;
+  pb_group : Replica.Group.t;
+  pb_servers : Net.Network.node_id list;
+  pb_incremented : Net.Network.node_id list;
+      (* the servers whose use lists the bind action incremented — the
+         Decrement must mirror exactly this set, not the (possibly
+         smaller) set that actually activated *)
+  pb_stores : Net.Network.node_id list;
+  mutable pb_released : bool;
+}
+
+let art t = Replica.Server.atomic_runtime (Replica.Group.server_runtime t.b_grt)
+let netw t = Action.Atomic.network (art t)
+let metrics t = Net.Network.metrics (netw t)
+
+let impl_of t ~from uid =
+  match Gvd.entry_info t.b_gvd ~from uid with
+  | Ok (Some info) -> Ok info.Gvd.ei_impl
+  | Ok None -> Error (Name_refused "unknown object")
+  | Error e -> Error (Name_refused (Net.Rpc.error_to_string e))
+
+let take k xs =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go k xs
+
+(* ------------------------------------------------------------------ *)
+(* Exclusion, per scheme (§4.2) *)
+
+let exclusion t ~scheme ~uid act failed =
+  let run act' =
+    match Gvd.exclude t.b_gvd ~act:act' [ (uid, failed) ] with
+    | Ok (Gvd.Granted ()) -> Ok ()
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  match scheme with
+  | Scheme.Standard -> run act
+  | Scheme.Independent | Scheme.Nested_toplevel -> (
+      (* The database update is its own durable (nested top-level)
+         action: it commits even if the client action later aborts, which
+         is safe — the excluded nodes are genuinely dead. *)
+      match
+        Action.Atomic.atomically_nested_top act (fun a ->
+            match run a with
+            | Ok () -> ()
+            | Error why -> raise (Action.Atomic.Abort why))
+      with
+      | Ok () -> Ok ()
+      | Error why -> Error why)
+
+let attach_commit t ~scheme ~act ~uid group =
+  (* Commit processing re-reads StA under the action's read lock: the
+     bind-time view can be outdated by a recovered store's Include under
+     the independent/nested-top-level schemes (§4.2.1(ii)'s elided
+     enhancement), and the copy-back must target the current members. *)
+  let current_stores act' =
+    match Gvd.get_view t.b_gvd ~act:act' uid with
+    | Ok (Gvd.Granted st) -> Ok st
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  let note_version act' version =
+    match Gvd.note_version t.b_gvd ~act:act' ~uid version with
+    | Ok (Gvd.Granted ()) -> Ok ()
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  Replica.Commit.attach t.b_grt act group ~current_stores ~note_version
+    ~exclude:(fun act' failed -> exclusion t ~scheme ~uid act' failed)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Activation with futile-bind accounting *)
+
+let activate_counted t ~client ~uid ~impl ~policy ~servers ~stores =
+  match
+    Replica.Group.activate t.b_grt ~client ~uid ~impl ~policy ~servers ~stores
+  with
+  | Error why -> Error (No_server why)
+  | Ok group ->
+      let futile =
+        List.length servers - List.length group.Replica.Group.g_members
+      in
+      if futile > 0 then Sim.Metrics.incr (metrics t) ~by:futile "bind.futile";
+      Sim.Metrics.incr (metrics t) "bind.ok";
+      Ok group
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: standard nested actions *)
+
+let bind_standard t ~act ~uid ~policy =
+  let client = Action.Atomic.node act in
+  match impl_of t ~from:client uid with
+  | Error e -> Error e
+  | Ok impl -> (
+      (* Database reads as a nested action of the client action: its read
+         locks pass to [act] on nested commit and are held to top-level
+         completion, exactly as in Figure 6. *)
+      let reads =
+        Action.Atomic.atomically_nested act (fun nested ->
+            let sv =
+              match Gvd.get_server t.b_gvd ~act:nested uid with
+              | Ok (Gvd.Granted view) -> view.Gvd.sv_servers
+              | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
+                  raise (Action.Atomic.Abort why)
+              | Error e ->
+                  raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
+            in
+            let st =
+              match Gvd.get_view t.b_gvd ~act:nested uid with
+              | Ok (Gvd.Granted st) -> st
+              | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
+                  raise (Action.Atomic.Abort why)
+              | Error e ->
+                  raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
+            in
+            (sv, st))
+      in
+      match reads with
+      | Error why -> Error (Name_refused why)
+      | Ok (sv, st) -> (
+          (* Static Sv: pick the first k entries, dead or not ("the hard
+             way", §4.1.2). *)
+          let chosen = take (Replica.Policy.replicas policy) sv in
+          if chosen = [] then Error (No_server "SvA is empty")
+          else
+            match
+              activate_counted t ~client ~uid ~impl ~policy ~servers:chosen
+                ~stores:st
+            with
+            | Error e -> Error e
+            | Ok group ->
+                attach_commit t ~scheme:Scheme.Standard ~act ~uid group;
+                Ok
+                  {
+                    bd_uid = uid;
+                    bd_scheme = Scheme.Standard;
+                    bd_group = group;
+                    bd_servers = group.Replica.Group.g_members;
+                    bd_stores = st;
+                  }))
+
+(* ------------------------------------------------------------------ *)
+(* Figures 7 and 8: use lists, removal of dead servers *)
+
+(* The database half of a Figure-7/8 bind, to be run inside a top-level
+   action of its own. Returns the chosen servers and store view. *)
+let fresh_bind_db t ~client ~uid ~policy act =
+  (* Write-mode read: this short action will Remove/Increment on the same
+     entry, and a read-then-promote pattern would make two concurrent
+     binders refuse each other (§4.2.1's promotion problem, on the server
+     database side). *)
+  let view =
+    match Gvd.get_server_update t.b_gvd ~act uid with
+    | Ok (Gvd.Granted view) -> view
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+    | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
+  in
+  let sv = view.Gvd.sv_servers in
+  let in_use =
+    List.filter_map
+      (fun (node, ul) -> if Use_list.is_empty ul then None else Some node)
+      view.Gvd.sv_uses
+  in
+  (* Failure detection at bind time: remove dead servers from SvA so later
+     clients see a fresh view (§4.1.3(i)). *)
+  let net = netw t in
+  let dead = List.filter (fun n -> not (Net.Network.is_up net n)) sv in
+  List.iter
+    (fun n ->
+      match Gvd.remove t.b_gvd ~act ~uid n with
+      | Ok (Gvd.Granted ()) ->
+          Sim.Metrics.incr (metrics t) "bind.removed_dead"
+      | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
+          raise (Action.Atomic.Abort why)
+      | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
+    dead;
+  let live = List.filter (fun n -> Net.Network.is_up net n) sv in
+  let chosen =
+    if in_use = [] then take (Replica.Policy.replicas policy) live
+    else
+      (* The object is already activated: bind to the servers with
+         non-zero counters (that are still alive). *)
+      List.filter (fun n -> Net.Network.is_up net n) in_use
+  in
+  if chosen = [] then raise (Action.Atomic.Abort "no live server");
+  (match Gvd.increment t.b_gvd ~act ~uid ~client chosen with
+  | Ok (Gvd.Granted ()) -> ()
+  | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+  | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)));
+  let st =
+    match Gvd.get_view t.b_gvd ~act uid with
+    | Ok (Gvd.Granted st) -> st
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+    | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
+  in
+  (chosen, st)
+
+let decrement_db t ~client ~uid ~servers act =
+  match Gvd.decrement t.b_gvd ~act ~uid ~client servers with
+  | Ok (Gvd.Granted ()) -> ()
+  | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+  | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
+
+(* The trailing Decrement must not leak counters on transient lock
+   refusals: a leaked counter of a live client poisons quiescence forever
+   (the cleanup daemon only repairs dead clients). Retry a few times
+   before giving up. *)
+let run_decrement t ~client ~uid ~servers =
+  let eng = Action.Atomic.engine (art t) in
+  let rec attempt tries =
+    match
+      Action.Atomic.atomically (art t) ~node:client (fun act ->
+          decrement_db t ~client ~uid ~servers act)
+    with
+    | Ok () -> ()
+    | Error _ when tries > 1 ->
+        Sim.Engine.sleep eng 2.0;
+        attempt (tries - 1)
+    | Error _ -> Sim.Metrics.incr (metrics t) "bind.decrement_failed"
+  in
+  attempt 8
+
+
+let finish_bind t ~client ~uid ~policy ~chosen ~st =
+  match impl_of t ~from:client uid with
+  | Error e -> Error e
+  | Ok impl ->
+      activate_counted t ~client ~uid ~impl ~policy ~servers:chosen ~stores:st
+
+let bind_independent t ~client ~uid ~policy =
+  match
+    Action.Atomic.atomically (art t) ~node:client (fun act ->
+        fresh_bind_db t ~client ~uid ~policy act)
+  with
+  | Error why -> Error (Name_refused why)
+  | Ok (chosen, st) -> (
+      match finish_bind t ~client ~uid ~policy ~chosen ~st with
+      | Error e ->
+          (* The bind action already incremented use lists; pair it with
+             the Decrement even though activation failed. *)
+          run_decrement t ~client ~uid ~servers:chosen;
+          Error e
+      | Ok group ->
+          Ok
+            {
+              pb_uid = uid;
+              pb_client = client;
+              pb_group = group;
+              pb_servers = group.Replica.Group.g_members;
+              pb_incremented = chosen;
+              pb_stores = st;
+              pb_released = false;
+            })
+
+let use_prebinding t ~act pb =
+  attach_commit t ~scheme:Scheme.Independent ~act ~uid:pb.pb_uid pb.pb_group;
+  Ok
+    {
+      bd_uid = pb.pb_uid;
+      bd_scheme = Scheme.Independent;
+      bd_group = pb.pb_group;
+      bd_servers = pb.pb_servers;
+      bd_stores = pb.pb_stores;
+    }
+
+let release_independent t pb =
+  if not pb.pb_released then begin
+    pb.pb_released <- true;
+    run_decrement t ~client:pb.pb_client ~uid:pb.pb_uid
+      ~servers:pb.pb_incremented
+  end
+
+let bind_nested_toplevel t ~act ~uid ~policy =
+  let client = Action.Atomic.node act in
+  match
+    Action.Atomic.atomically_nested_top act (fun dbact ->
+        fresh_bind_db t ~client ~uid ~policy dbact)
+  with
+  | Error why -> Error (Name_refused why)
+  | Ok (chosen, st) -> (
+      match finish_bind t ~client ~uid ~policy ~chosen ~st with
+      | Error e ->
+          run_decrement t ~client ~uid ~servers:chosen;
+          Error e
+      | Ok group ->
+          attach_commit t ~scheme:Scheme.Nested_toplevel ~act ~uid group;
+          let decrement () = run_decrement t ~client ~uid ~servers:chosen in
+          (* The trailing Decrement runs when the client action ends,
+             whichever way. *)
+          Action.Atomic.after_commit act decrement;
+          Action.Atomic.on_abort act decrement;
+          Ok
+            {
+              bd_uid = uid;
+              bd_scheme = Scheme.Nested_toplevel;
+              bd_group = group;
+              bd_servers = group.Replica.Group.g_members;
+              bd_stores = st;
+            })
+
+let bind t ~act ~scheme ~uid ~policy =
+  match scheme with
+  | Scheme.Standard -> bind_standard t ~act ~uid ~policy
+  | Scheme.Nested_toplevel -> bind_nested_toplevel t ~act ~uid ~policy
+  | Scheme.Independent -> (
+      let client = Action.Atomic.node act in
+      match bind_independent t ~client ~uid ~policy with
+      | Error e -> Error e
+      | Ok pb ->
+          let release () = release_independent t pb in
+          Action.Atomic.after_commit act release;
+          Action.Atomic.on_abort act release;
+          use_prebinding t ~act pb)

@@ -1,0 +1,106 @@
+(** Object binding: turning a UID into a bound, activated replica group
+    under one of the paper's three database access schemes.
+
+    Binding (§3.2, §4.1) resolves [SvA]/[StA] through the group view
+    database, selects the activation subset [SvA'] according to the
+    replication policy, activates the replicas, and attaches commit-time
+    processing (state copy-back with [Exclude]) to the client's action.
+
+    - {!bind_standard} (Figure 6) runs the database reads as nested
+      actions of the client action. Selection works on the {e static}
+      [SvA]: crashed servers are only discovered by failed activation
+      attempts, counted in the [bind.futile] metric.
+    - {!bind_independent} (Figure 7) runs {e before} the client action(s):
+      it reads [SvA] with the use lists, removes detectably-dead servers,
+      selects live ones and increments use lists, all in one independent
+      top-level action. {!use_prebinding} attaches the resulting group to
+      each client action; {!release_independent} runs the trailing
+      [Decrement] action after the client is done.
+    - {!bind_nested_toplevel} (Figure 8) performs the same database work
+      from {e inside} the client action using a nested top-level action,
+      and schedules the [Decrement] to run when the client action ends
+      (whether it commits or aborts — the use-list update is durable
+      either way, as nested top-level actions are).
+
+    The commit-time [Exclude] follows the scheme as well: under
+    [Standard] it runs inside the client action by promoting the held read
+    lock (§4.2.1); under the other two it runs as a nested top-level
+    action acquiring the exclude-write lock afresh. *)
+
+type t
+(** Binder runtime. *)
+
+val create : Gvd.t -> Replica.Group.runtime -> t
+
+val gvd : t -> Gvd.t
+val group_runtime : t -> Replica.Group.runtime
+
+type binding = {
+  bd_uid : Store.Uid.t;
+  bd_scheme : Scheme.t;
+  bd_group : Replica.Group.t;
+  bd_servers : Net.Network.node_id list;  (** the selected [SvA'] *)
+  bd_stores : Net.Network.node_id list;  (** the [StA] view at bind time *)
+}
+
+type bind_error =
+  | Name_refused of string  (** database lock refused or object unknown *)
+  | No_server of string  (** no listed server could be activated *)
+
+val pp_bind_error : Format.formatter -> bind_error -> unit
+val bind_error_to_string : bind_error -> string
+
+val bind_standard :
+  t ->
+  act:Action.Atomic.t ->
+  uid:Store.Uid.t ->
+  policy:Replica.Policy.t ->
+  (binding, bind_error) result
+(** Figure-6 binding inside [act]. *)
+
+type prebinding
+(** A Figure-7 binding established outside any client action. *)
+
+val bind_independent :
+  t ->
+  client:Net.Network.node_id ->
+  uid:Store.Uid.t ->
+  policy:Replica.Policy.t ->
+  (prebinding, bind_error) result
+(** Figure-7 pre-action bind; must run in a fiber on [client]. *)
+
+val use_prebinding :
+  t -> act:Action.Atomic.t -> prebinding -> (binding, bind_error) result
+(** Attach a prebinding's group to a client action (commit-time processing
+    included). May be used for several successive actions. *)
+
+val release_independent : t -> prebinding -> unit
+(** The trailing top-level [Decrement] action (Figure 7, last ellipse).
+    Must run in a fiber on the binding client. Safe to call once. *)
+
+val bind_nested_toplevel :
+  t ->
+  act:Action.Atomic.t ->
+  uid:Store.Uid.t ->
+  policy:Replica.Policy.t ->
+  (binding, bind_error) result
+(** Figure-8 binding from inside [act]; the decrement is scheduled for the
+    end of [act] automatically. *)
+
+val bind :
+  t ->
+  act:Action.Atomic.t ->
+  scheme:Scheme.t ->
+  uid:Store.Uid.t ->
+  policy:Replica.Policy.t ->
+  (binding, bind_error) result
+(** Scheme-dispatching convenience for single-action usage. For
+    [Independent] it performs the pre-bind, attach and (at action end)
+    release as one unit; long-lived Figure-7 usage should call the
+    explicit functions. *)
+
+val exclusion :
+  t -> scheme:Scheme.t -> uid:Store.Uid.t ->
+  Action.Atomic.t -> Net.Network.node_id list -> (unit, string) result
+(** The [Exclude] implementation handed to commit processing
+    ({!Replica.Commit.attach}); exposed for tests. *)

@@ -1,0 +1,21 @@
+(** Use-list cleanup protocol (§4.1.3).
+
+    Under the independent and nested-top-level schemes a client crash does
+    not undo its [Increment]s: orphaned counters keep the object
+    non-quiescent forever, blocking [Insert] (server reintegration) and
+    misdirecting later binds. The paper sketches the repair: the Object
+    Server database periodically checks whether its clients are
+    functioning and updates the use lists when crashes are detected.
+
+    The daemon runs as a fiber on the service node; each sweep inspects
+    every entry's use lists and, for every client the failure detector
+    reports down, runs a top-level action executing [zero_client]. *)
+
+val start :
+  Gvd.t -> ?period:float -> Action.Atomic.runtime -> unit
+(** [start gvd art] launches the sweeping daemon (default [period]
+    10.0). Orphans removed are counted in the [cleanup.orphans] metric. *)
+
+val sweep_now : Gvd.t -> Action.Atomic.runtime -> int
+(** One synchronous sweep (from a fiber on the service node); returns the
+    number of orphaned client records removed. *)

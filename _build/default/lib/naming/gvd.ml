@@ -1,0 +1,790 @@
+type 'a reply = Granted of 'a | Busy of string | Refused of string
+
+type server_view = {
+  sv_servers : Net.Network.node_id list;
+  sv_uses : (Net.Network.node_id * Use_list.t) list;
+}
+
+type entry_info = {
+  ei_impl : string;
+  ei_sv_home : Net.Network.node_id list;
+  ei_st_home : Net.Network.node_id list;
+}
+
+(* The recoverable image of an entry, split along the paper's locking
+   granularity: the server list and the state list are "concurrency
+   controlled independently" (§4.1), so their before-images must be saved
+   and restored independently too — a whole-entry undo taken under the sv
+   lock would capture (and later resurrect) another action's in-flight
+   st mutation. Both halves are immutable, so undo is save/restore. *)
+type sv_image = {
+  im_sv : Net.Network.node_id list;
+  im_sv_home : Net.Network.node_id list;
+  im_uses : (Net.Network.node_id * Use_list.t) list;
+}
+
+type st_image = {
+  im_st : Net.Network.node_id list;
+  im_st_home : Net.Network.node_id list;
+  im_version : Store.Version.t;
+      (* latest committed version of the object: the fence that keeps a
+         recovering store from re-joining StA with a rewound state when
+         every holder of the newest state happens to be down *)
+}
+
+type image = { im_server : sv_image; im_state : st_image }
+
+type side = Sv_side | St_side
+
+type half_image = Server_half of sv_image | State_half of st_image
+
+type entry = { e_uid : Store.Uid.t; e_impl : string; mutable e_image : image }
+
+(* -- wire types -- *)
+
+type reg_req = {
+  rg_uid : Store.Uid.t;
+  rg_name : string;
+  rg_impl : string;
+  rg_sv : Net.Network.node_id list;
+  rg_st : Net.Network.node_id list;
+}
+
+type op_req = { o_uid : Store.Uid.t; o_action : string; o_node : Net.Network.node_id }
+
+type use_req = {
+  u_uid : Store.Uid.t;
+  u_action : string;
+  u_client : Net.Network.node_id;
+  u_nodes : Net.Network.node_id list;
+}
+
+type excl_req = {
+  x_action : string;
+  x_pairs : (Store.Uid.t * Net.Network.node_id list) list;
+}
+
+type read_req = { r_uid : Store.Uid.t; r_action : string }
+
+type note_req = { n_uid : Store.Uid.t; n_action : string; n_version : Store.Version.t }
+
+type t = {
+  art : Action.Atomic.runtime;
+  gvd_node : Net.Network.node_id;
+  lock_timeout : float;
+  use_exclude_write : bool;
+  durable : bool;
+  (* Actions that have touched the database since the last crash of the
+     service node. With [durable], a crash restores every entry to its
+     committed image and wipes locks — so pre-crash actions must vote no
+     at prepare (their reads and staged updates are gone). *)
+  known_actions : (string, unit) Hashtbl.t;
+  entries : (int, entry) Hashtbl.t; (* keyed by uid serial *)
+  names : (string, Store.Uid.t) Hashtbl.t;
+  locks : Lockmgr.Manager.t;
+  (* Before-images per action and per independently-locked half:
+     (action, uid serial, side) -> half image. *)
+  undo : (string * int * side, half_image) Hashtbl.t;
+  mutable guard : Action.Orphan_guard.t option;
+      (* watches action origins; aborts orphaned actions of dead clients *)
+  ep_register : (reg_req, unit) Net.Rpc.endpoint;
+  ep_lookup : (string, Store.Uid.t option) Net.Rpc.endpoint;
+  ep_info : (Store.Uid.t, entry_info option) Net.Rpc.endpoint;
+  ep_stored_on : (Net.Network.node_id, Store.Uid.t list) Net.Rpc.endpoint;
+  ep_served_by : (Net.Network.node_id, Store.Uid.t list) Net.Rpc.endpoint;
+  ep_get_server : (read_req, server_view reply) Net.Rpc.endpoint;
+  ep_get_server_update : (read_req, server_view reply) Net.Rpc.endpoint;
+  ep_insert : (op_req, unit reply) Net.Rpc.endpoint;
+  ep_remove : (op_req, unit reply) Net.Rpc.endpoint;
+  ep_increment : (use_req, unit reply) Net.Rpc.endpoint;
+  ep_decrement : (use_req, unit reply) Net.Rpc.endpoint;
+  ep_zero : (use_req, unit reply) Net.Rpc.endpoint;
+  ep_get_view : (read_req, Net.Network.node_id list reply) Net.Rpc.endpoint;
+  ep_exclude : (excl_req, unit reply) Net.Rpc.endpoint;
+  ep_include : (op_req, Store.Version.t reply) Net.Rpc.endpoint;
+  ep_retire_sv : (op_req, unit reply) Net.Rpc.endpoint;
+  ep_retire_st : (op_req, unit reply) Net.Rpc.endpoint;
+  ep_note_version : (note_req, unit reply) Net.Rpc.endpoint;
+  ep_mirror : ((int * image) list, unit) Net.Rpc.endpoint;
+  ep_snapshot : (unit, (int * image) list) Net.Rpc.endpoint;
+  mutable backup : t option;
+      (* §3.1 extension: a second database instance receiving the
+         committed images of every touched entry, synchronously, at each
+         action end — the primary-backup replication the paper defers *)
+}
+
+let resource = "gvd"
+
+let node t = t.gvd_node
+
+let eng t = Action.Atomic.engine t.art
+let netw t = Action.Atomic.network t.art
+
+let tracef t fmt =
+  Sim.Trace.recordf (Net.Network.trace (netw t)) ~now:(Sim.Engine.now (eng t))
+    ~tag:"gvd" fmt
+
+let metrics t = Net.Network.metrics (netw t)
+
+let sv_key uid = "sv:" ^ Store.Uid.to_string uid
+let st_key uid = "st:" ^ Store.Uid.to_string uid
+
+let entry_opt t uid = Hashtbl.find_opt t.entries (Store.Uid.serial uid)
+
+let entry_exn t uid =
+  match entry_opt t uid with
+  | Some e -> e
+  | None -> failwith ("gvd: unknown object " ^ Store.Uid.to_string uid)
+
+(* Record the before-image of ONE side of the entry for the action, once:
+   the side the action's lock actually covers. *)
+let save_sv t ~action e =
+  let key = (action, Store.Uid.serial e.e_uid, Sv_side) in
+  if not (Hashtbl.mem t.undo key) then
+    Hashtbl.add t.undo key (Server_half e.e_image.im_server)
+
+let save_st t ~action e =
+  let key = (action, Store.Uid.serial e.e_uid, St_side) in
+  if not (Hashtbl.mem t.undo key) then
+    Hashtbl.add t.undo key (State_half e.e_image.im_state)
+
+let touch_guard t action =
+  Hashtbl.replace t.known_actions action ();
+  match t.guard with
+  | Some g -> Action.Orphan_guard.touch g ~scope:"gvd" ~action
+  | None -> ()
+
+let settle_guard t action =
+  match t.guard with
+  | Some g -> Action.Orphan_guard.settle g ~scope:"gvd" ~action
+  | None -> ()
+
+let transfer_guard t action parent =
+  match t.guard with
+  | Some g -> Action.Orphan_guard.transfer g ~scope:"gvd" ~action ~parent
+  | None -> ()
+
+(* Lock acquisition helpers: block up to the timeout, refuse after. *)
+let with_lock t ~action ~mode key (f : unit -> 'a reply) : 'a reply =
+  touch_guard t action;
+  match
+    Lockmgr.Manager.acquire t.locks ~owner:action ~mode ~timeout:t.lock_timeout key
+  with
+  | Ok () -> f ()
+  | Error `Timeout ->
+      Sim.Metrics.incr (metrics t) "gvd.lock_refusals";
+      Refused (Printf.sprintf "lock %s (%s) refused" key (Lockmgr.Mode.to_string mode))
+
+let uses_of im = im.im_server.im_uses
+
+let use_list im node =
+  match List.assoc_opt node (uses_of im) with
+  | Some ul -> ul
+  | None -> Use_list.empty
+
+let set_use_list im node ul =
+  {
+    im with
+    im_server =
+      {
+        im.im_server with
+        im_uses = (node, ul) :: List.remove_assoc node im.im_server.im_uses;
+      };
+  }
+
+let all_quiescent im =
+  List.for_all (fun (_, ul) -> Use_list.is_empty ul) im.im_server.im_uses
+
+let add_unique x xs = if List.mem x xs then xs else xs @ [ x ]
+
+(* -- handler bodies (run on the service node) -- *)
+
+let h_register t { rg_uid; rg_name; rg_impl; rg_sv; rg_st } =
+  let image =
+    {
+      im_server =
+        {
+          im_sv = rg_sv;
+          im_sv_home = rg_sv;
+          im_uses = List.map (fun n -> (n, Use_list.empty)) rg_sv;
+        };
+      im_state =
+        { im_st = rg_st; im_st_home = rg_st; im_version = Store.Version.initial };
+    }
+  in
+  Hashtbl.replace t.entries (Store.Uid.serial rg_uid)
+    { e_uid = rg_uid; e_impl = rg_impl; e_image = image };
+  Hashtbl.replace t.names rg_name rg_uid;
+  tracef t "register %a sv=[%s] st=[%s]" Store.Uid.pp rg_uid
+    (String.concat "," rg_sv) (String.concat "," rg_st)
+
+let h_get_server ?(mode = Lockmgr.Mode.Read) t { r_uid; r_action } =
+  match entry_opt t r_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:r_action ~mode (sv_key r_uid)
+        (fun () ->
+          Sim.Metrics.incr (metrics t) "gvd.get_server";
+          Granted
+            {
+              sv_servers = e.e_image.im_server.im_sv;
+              sv_uses =
+                List.map
+                  (fun n -> (n, use_list e.e_image n))
+                  e.e_image.im_server.im_sv;
+            })
+
+let h_insert t { o_uid; o_action; o_node } =
+  match entry_opt t o_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (sv_key o_uid)
+        (fun () ->
+          if not (all_quiescent e.e_image) then begin
+            Sim.Metrics.incr (metrics t) "gvd.insert_busy";
+            Busy "object not quiescent"
+          end
+          else begin
+            save_sv t ~action:o_action e;
+            e.e_image <-
+              {
+                e.e_image with
+                im_server =
+                  {
+                    e.e_image.im_server with
+                    im_sv = add_unique o_node e.e_image.im_server.im_sv;
+                    im_sv_home = add_unique o_node e.e_image.im_server.im_sv_home;
+                  };
+              };
+            tracef t "%s insert %s into Sv(%a)" o_action o_node Store.Uid.pp o_uid;
+            Sim.Metrics.incr (metrics t) "gvd.inserts";
+            Granted ()
+          end)
+
+let h_remove t { o_uid; o_action; o_node } =
+  match entry_opt t o_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (sv_key o_uid)
+        (fun () ->
+          save_sv t ~action:o_action e;
+          e.e_image <-
+            {
+              e.e_image with
+              im_server =
+                {
+                  e.e_image.im_server with
+                  im_sv =
+                    List.filter (fun n -> n <> o_node) e.e_image.im_server.im_sv;
+                };
+            };
+          tracef t "%s remove %s from Sv(%a)" o_action o_node Store.Uid.pp o_uid;
+          Sim.Metrics.incr (metrics t) "gvd.removes";
+          Granted ())
+
+let h_use t ~f ~name { u_uid; u_action; u_client; u_nodes } =
+  match entry_opt t u_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:u_action ~mode:Lockmgr.Mode.Write (sv_key u_uid)
+        (fun () ->
+          save_sv t ~action:u_action e;
+          e.e_image <-
+            List.fold_left
+              (fun im node -> set_use_list im node (f (use_list im node)))
+              e.e_image u_nodes;
+          Sim.Metrics.incr (metrics t) ("gvd." ^ name);
+          ignore u_client;
+          Granted ())
+
+let h_get_view t { r_uid; r_action } =
+  match entry_opt t r_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:r_action ~mode:Lockmgr.Mode.Read (st_key r_uid)
+        (fun () ->
+          Sim.Metrics.incr (metrics t) "gvd.get_view";
+          Granted e.e_image.im_state.im_st)
+
+(* Exclude: promote (or acquire) the §4.2.1 lock on every listed entry
+   first; only mutate once every lock is held, so refusal leaves the
+   database untouched. *)
+let h_exclude t { x_action; x_pairs } =
+  touch_guard t x_action;
+  let mode =
+    if t.use_exclude_write then Lockmgr.Mode.Exclude_write else Lockmgr.Mode.Write
+  in
+  let acquire uid =
+    let key = st_key uid in
+    match Lockmgr.Manager.holds t.locks ~owner:x_action key with
+    | Some _ -> Lockmgr.Manager.promote t.locks ~owner:x_action ~to_mode:mode key
+    | None ->
+        Lockmgr.Manager.try_acquire t.locks ~owner:x_action ~mode key
+  in
+  let all_locked = List.for_all (fun (uid, _) -> acquire uid) x_pairs in
+  if not all_locked then begin
+    Sim.Metrics.incr (metrics t) "gvd.exclude_refused";
+    Refused "exclude lock promotion refused"
+  end
+  else begin
+    List.iter
+      (fun (uid, nodes) ->
+        match entry_opt t uid with
+        | None -> ()
+        | Some e ->
+            save_st t ~action:x_action e;
+            e.e_image <-
+              {
+                e.e_image with
+                im_state =
+                  {
+                    e.e_image.im_state with
+                    im_st =
+                      List.filter
+                        (fun n -> not (List.mem n nodes))
+                        e.e_image.im_state.im_st;
+                  };
+              };
+            tracef t "%s exclude [%s] from St(%a)" x_action
+              (String.concat "," nodes) Store.Uid.pp uid;
+            Sim.Metrics.incr (metrics t) ~by:(List.length nodes) "gvd.exclusions")
+      x_pairs;
+    Granted ()
+  end
+
+let h_retire_sv t { o_uid; o_action; o_node } =
+  match entry_opt t o_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (sv_key o_uid)
+        (fun () ->
+          if not (all_quiescent e.e_image) then Busy "object not quiescent"
+          else begin
+            save_sv t ~action:o_action e;
+            e.e_image <-
+              {
+                e.e_image with
+                im_server =
+                  {
+                    im_sv =
+                      List.filter (fun n -> n <> o_node) e.e_image.im_server.im_sv;
+                    im_sv_home =
+                      List.filter (fun n -> n <> o_node)
+                        e.e_image.im_server.im_sv_home;
+                    im_uses = List.remove_assoc o_node e.e_image.im_server.im_uses;
+                  };
+              };
+            tracef t "%s retire server %s from %a" o_action o_node Store.Uid.pp
+              o_uid;
+            Sim.Metrics.incr (metrics t) "gvd.server_retirements";
+            Granted ()
+          end)
+
+let h_retire_st t { o_uid; o_action; o_node } =
+  match entry_opt t o_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (st_key o_uid)
+        (fun () ->
+          save_st t ~action:o_action e;
+          e.e_image <-
+            {
+              e.e_image with
+              im_state =
+                {
+                  e.e_image.im_state with
+                  im_st =
+                    List.filter (fun n -> n <> o_node) e.e_image.im_state.im_st;
+                  im_st_home =
+                    List.filter (fun n -> n <> o_node)
+                      e.e_image.im_state.im_st_home;
+                };
+            };
+          tracef t "%s retire store %s from %a" o_action o_node Store.Uid.pp o_uid;
+          Sim.Metrics.incr (metrics t) "gvd.store_retirements";
+          Granted ())
+
+let h_include t { o_uid; o_action; o_node } =
+  match entry_opt t o_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (st_key o_uid)
+        (fun () ->
+          save_st t ~action:o_action e;
+          e.e_image <-
+            {
+              e.e_image with
+              im_state =
+                {
+                  e.e_image.im_state with
+                  im_st = add_unique o_node e.e_image.im_state.im_st;
+                  im_st_home = add_unique o_node e.e_image.im_state.im_st_home;
+                };
+            };
+          tracef t "%s include %s into St(%a) -> [%s]" o_action o_node
+            Store.Uid.pp o_uid
+            (String.concat "," e.e_image.im_state.im_st);
+          Sim.Metrics.incr (metrics t) "gvd.includes";
+          Granted e.e_image.im_state.im_version)
+
+(* Record the committed version at commit time, under the same lock
+   discipline as Exclude (§4.2.1): readers are unaffected. *)
+let h_note_version t { n_uid; n_action; n_version } =
+  touch_guard t n_action;
+  match entry_opt t n_uid with
+  | None -> Refused "unknown object"
+  | Some e ->
+      let mode =
+        if t.use_exclude_write then Lockmgr.Mode.Exclude_write
+        else Lockmgr.Mode.Write
+      in
+      let key = st_key n_uid in
+      let locked =
+        match Lockmgr.Manager.holds t.locks ~owner:n_action key with
+        | Some _ -> Lockmgr.Manager.promote t.locks ~owner:n_action ~to_mode:mode key
+        | None -> Lockmgr.Manager.try_acquire t.locks ~owner:n_action ~mode key
+      in
+      if not locked then Refused "version-note lock refused"
+      else begin
+        save_st t ~action:n_action e;
+        if Store.Version.newer_than n_version e.e_image.im_state.im_version then
+          e.e_image <-
+            {
+              e.e_image with
+              im_state = { e.e_image.im_state with im_version = n_version };
+            };
+        Granted ()
+      end
+
+(* Synchronously push the committed images of the given entry serials to
+   the backup instance, if any. Failures are tolerated (the backup is
+   down; it resynchronises by pulling a snapshot on recovery). *)
+let mirror_push t serials =
+  match t.backup with
+  | None -> ()
+  | Some b ->
+      let payload =
+        List.filter_map
+          (fun serial ->
+            Option.map
+              (fun e -> (serial, e.e_image))
+              (Hashtbl.find_opt t.entries serial))
+          (List.sort_uniq Int.compare serials)
+      in
+      if payload <> [] then
+        ignore
+          (Net.Rpc.call (Action.Atomic.rpc t.art) ~from:t.gvd_node
+             ~dst:b.gvd_node b.ep_mirror payload)
+
+(* -- resource manager: ties the database into action completion -- *)
+
+let actions_images t action =
+  Hashtbl.fold
+    (fun (a, serial, side) half acc ->
+      if String.equal a action then (serial, side, half) :: acc else acc)
+    t.undo []
+
+let restore_half e half =
+  match half with
+  | Server_half sv -> e.e_image <- { e.e_image with im_server = sv }
+  | State_half st -> e.e_image <- { e.e_image with im_state = st }
+
+let manager t =
+  {
+    Action.Resource_host.m_prepare =
+      (fun ~action ->
+        (* Under the always-available assumption every action is known;
+           with a durable (crashable) service, an action from before the
+           last crash lost its locks and staged updates and must abort. *)
+        (not t.durable) || Hashtbl.mem t.known_actions action);
+    m_commit =
+      (fun ~action ->
+        let touched = List.map (fun (s, _, _) -> s) (actions_images t action) in
+        List.iter
+          (fun (serial, side, _) -> Hashtbl.remove t.undo (action, serial, side))
+          (actions_images t action);
+        Lockmgr.Manager.release_all t.locks ~owner:action;
+        Hashtbl.remove t.known_actions action;
+        settle_guard t action;
+        mirror_push t touched);
+    m_abort =
+      (fun ~action ->
+        List.iter
+          (fun (serial, side, half) ->
+            (match Hashtbl.find_opt t.entries serial with
+            | Some e ->
+                restore_half e half;
+                tracef t "%s undo-restore entry %d -> St=[%s]" action serial
+                  (String.concat "," e.e_image.im_state.im_st)
+            | None -> ());
+            Hashtbl.remove t.undo (action, serial, side))
+          (actions_images t action);
+        Lockmgr.Manager.release_all t.locks ~owner:action;
+        Hashtbl.remove t.known_actions action;
+        settle_guard t action);
+    m_transfer =
+      (fun ~action ~parent ->
+        List.iter
+          (fun (serial, side, half) ->
+            (* The parent keeps its own (older) before-image if it has
+               one; otherwise it inherits the child's. *)
+            if not (Hashtbl.mem t.undo (parent, serial, side)) then
+              Hashtbl.add t.undo (parent, serial, side) half;
+            Hashtbl.remove t.undo (action, serial, side))
+          (actions_images t action);
+        Lockmgr.Manager.transfer_all t.locks ~from_owner:action ~to_owner:parent;
+        if Hashtbl.mem t.known_actions action then begin
+          Hashtbl.remove t.known_actions action;
+          Hashtbl.replace t.known_actions parent ()
+        end;
+        transfer_guard t action parent);
+  }
+
+let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
+    ?(durable = false) art ~node =
+  let t =
+    {
+      art;
+      gvd_node = node;
+      lock_timeout;
+      use_exclude_write;
+      durable;
+      known_actions = Hashtbl.create 64;
+      entries = Hashtbl.create 64;
+      names = Hashtbl.create 64;
+      locks = Lockmgr.Manager.create ~metrics:(Net.Network.metrics (Action.Atomic.network art))
+          (Action.Atomic.engine art);
+      undo = Hashtbl.create 64;
+      guard = None;
+      ep_register = Net.Rpc.endpoint "gvd.register";
+      ep_lookup = Net.Rpc.endpoint "gvd.lookup";
+      ep_info = Net.Rpc.endpoint "gvd.info";
+      ep_stored_on = Net.Rpc.endpoint "gvd.stored_on";
+      ep_served_by = Net.Rpc.endpoint "gvd.served_by";
+      ep_get_server = Net.Rpc.endpoint "gvd.get_server";
+      ep_get_server_update = Net.Rpc.endpoint "gvd.get_server_update";
+      ep_insert = Net.Rpc.endpoint "gvd.insert";
+      ep_remove = Net.Rpc.endpoint "gvd.remove";
+      ep_increment = Net.Rpc.endpoint "gvd.increment";
+      ep_decrement = Net.Rpc.endpoint "gvd.decrement";
+      ep_zero = Net.Rpc.endpoint "gvd.zero";
+      ep_get_view = Net.Rpc.endpoint "gvd.get_view";
+      ep_exclude = Net.Rpc.endpoint "gvd.exclude";
+      ep_include = Net.Rpc.endpoint "gvd.include";
+      ep_retire_sv = Net.Rpc.endpoint "gvd.retire_sv";
+      ep_retire_st = Net.Rpc.endpoint "gvd.retire_st";
+      ep_note_version = Net.Rpc.endpoint "gvd.note_version";
+      ep_mirror = Net.Rpc.endpoint "gvd.mirror";
+      ep_snapshot = Net.Rpc.endpoint "gvd.snapshot";
+      backup = None;
+    }
+  in
+  let rpc = Action.Atomic.rpc art in
+  Net.Rpc.serve rpc ~node t.ep_register (fun req -> h_register t req);
+  Net.Rpc.serve rpc ~node t.ep_lookup (fun name -> Hashtbl.find_opt t.names name);
+  Net.Rpc.serve rpc ~node t.ep_info (fun uid ->
+      Option.map
+        (fun e ->
+          {
+            ei_impl = e.e_impl;
+            ei_sv_home = e.e_image.im_server.im_sv_home;
+            ei_st_home = e.e_image.im_state.im_st_home;
+          })
+        (entry_opt t uid));
+  Net.Rpc.serve rpc ~node t.ep_stored_on (fun n ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          if List.mem n e.e_image.im_state.im_st_home then e.e_uid :: acc else acc)
+        t.entries []
+      |> List.sort Store.Uid.compare);
+  Net.Rpc.serve rpc ~node t.ep_served_by (fun n ->
+      Hashtbl.fold
+        (fun _ e acc ->
+          if List.mem n e.e_image.im_server.im_sv_home then e.e_uid :: acc else acc)
+        t.entries []
+      |> List.sort Store.Uid.compare);
+  Net.Rpc.serve rpc ~node t.ep_get_server (fun req -> h_get_server t req);
+  Net.Rpc.serve rpc ~node t.ep_get_server_update (fun req ->
+      h_get_server ~mode:Lockmgr.Mode.Write t req);
+  Net.Rpc.serve rpc ~node t.ep_insert (fun req -> h_insert t req);
+  Net.Rpc.serve rpc ~node t.ep_remove (fun req -> h_remove t req);
+  Net.Rpc.serve rpc ~node t.ep_increment
+    (fun req -> h_use t ~name:"increments" ~f:(Use_list.increment ~client:req.u_client) req);
+  Net.Rpc.serve rpc ~node t.ep_decrement
+    (fun req -> h_use t ~name:"decrements" ~f:(Use_list.decrement ~client:req.u_client) req);
+  Net.Rpc.serve rpc ~node t.ep_zero (fun req ->
+      (* Drop the client from every use list of the entry, whatever the
+         server nodes are. *)
+      match entry_opt t req.u_uid with
+      | None -> Refused "unknown object"
+      | Some e ->
+          h_use t ~name:"zeroes"
+            ~f:(Use_list.drop_client ~client:req.u_client)
+            { req with u_nodes = List.map fst e.e_image.im_server.im_uses });
+  Net.Rpc.serve rpc ~node t.ep_get_view (fun req -> h_get_view t req);
+  Net.Rpc.serve rpc ~node t.ep_exclude (fun req -> h_exclude t req);
+  Net.Rpc.serve rpc ~node t.ep_include (fun req -> h_include t req);
+  Net.Rpc.serve rpc ~node t.ep_retire_sv (fun req -> h_retire_sv t req);
+  Net.Rpc.serve rpc ~node t.ep_retire_st (fun req -> h_retire_st t req);
+  Net.Rpc.serve rpc ~node t.ep_note_version (fun req -> h_note_version t req);
+  Net.Rpc.serve rpc ~node t.ep_mirror (fun images ->
+      List.iter
+        (fun (serial, im) ->
+          match Hashtbl.find_opt t.entries serial with
+          | Some e -> e.e_image <- im
+          | None -> ())
+        images;
+      Sim.Metrics.incr (metrics t) "gvd.mirror_applies");
+  Net.Rpc.serve rpc ~node t.ep_snapshot (fun () ->
+      Hashtbl.fold (fun serial e acc -> (serial, e.e_image) :: acc) t.entries []);
+  let mgr = manager t in
+  Action.Resource_host.register (Action.Atomic.resource_host art) ~node
+    ~resource mgr;
+  t.guard <-
+    Some
+      (Action.Orphan_guard.create (Action.Atomic.network art) ~node
+         ~abort:(fun ~scope:_ ~action ->
+           Sim.Metrics.incr (metrics t) "gvd.orphan_aborts";
+           tracef t "aborting orphaned action %s" action;
+           mgr.Action.Resource_host.m_abort ~action));
+  if durable then
+    (* The persistent-object semantics of the database itself: committed
+       entry images are stable; locks, before-images and the set of
+       in-flight actions are volatile and die with the node. *)
+    Net.Network.on_crash (Action.Atomic.network art) node (fun () ->
+        Hashtbl.iter
+          (fun (_, serial, _) half ->
+            match Hashtbl.find_opt t.entries serial with
+            | Some e -> restore_half e half
+            | None -> ())
+          t.undo;
+        Hashtbl.reset t.undo;
+        Hashtbl.reset t.known_actions;
+        Lockmgr.Manager.release_everything t.locks;
+        Sim.Metrics.incr (metrics t) "gvd.crash_resets");
+  t
+
+(* -- client stubs: call, then enlist the action with the database -- *)
+
+let call_enlisted t ~act ep req =
+  let from = Action.Atomic.node act in
+  let result = Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node ep req in
+  (match result with
+  | Ok (Granted _) ->
+      Action.Atomic.enlist act ~node:t.gvd_node ~resource ()
+  | Ok (Busy _ | Refused _) ->
+      (* The handler may still hold locks for the action (e.g. insert got
+         its write lock but found the object busy); enlist so they are
+         released at action end. *)
+      Action.Atomic.enlist act ~node:t.gvd_node ~resource ()
+  | Error _ -> ());
+  result
+
+let register_direct t ~uid ~name ~impl ~sv ~st =
+  h_register t { rg_uid = uid; rg_name = name; rg_impl = impl; rg_sv = sv; rg_st = st }
+
+let register_object t ~from ~uid ~name ~impl ~sv ~st =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_register
+    { rg_uid = uid; rg_name = name; rg_impl = impl; rg_sv = sv; rg_st = st }
+
+let lookup t ~from name =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_lookup name
+
+let entry_info t ~from uid =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_info uid
+
+let stored_on t ~from n =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_stored_on n
+
+let served_by t ~from n =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_served_by n
+
+let get_server t ~act uid =
+  call_enlisted t ~act t.ep_get_server
+    { r_uid = uid; r_action = Action.Atomic.owner act }
+
+let get_server_update t ~act uid =
+  call_enlisted t ~act t.ep_get_server_update
+    { r_uid = uid; r_action = Action.Atomic.owner act }
+
+let insert t ~act ~uid node =
+  call_enlisted t ~act t.ep_insert
+    { o_uid = uid; o_action = Action.Atomic.owner act; o_node = node }
+
+let remove t ~act ~uid node =
+  call_enlisted t ~act t.ep_remove
+    { o_uid = uid; o_action = Action.Atomic.owner act; o_node = node }
+
+let increment t ~act ~uid ~client nodes =
+  call_enlisted t ~act t.ep_increment
+    { u_uid = uid; u_action = Action.Atomic.owner act; u_client = client; u_nodes = nodes }
+
+let decrement t ~act ~uid ~client nodes =
+  call_enlisted t ~act t.ep_decrement
+    { u_uid = uid; u_action = Action.Atomic.owner act; u_client = client; u_nodes = nodes }
+
+let zero_client t ~act ~uid ~client =
+  call_enlisted t ~act t.ep_zero
+    { u_uid = uid; u_action = Action.Atomic.owner act; u_client = client; u_nodes = [] }
+
+let get_view t ~act uid =
+  call_enlisted t ~act t.ep_get_view
+    { r_uid = uid; r_action = Action.Atomic.owner act }
+
+let exclude t ~act pairs =
+  call_enlisted t ~act t.ep_exclude
+    { x_action = Action.Atomic.owner act; x_pairs = pairs }
+
+let include_ t ~act ~uid node =
+  call_enlisted t ~act t.ep_include
+    { o_uid = uid; o_action = Action.Atomic.owner act; o_node = node }
+
+let mirror_to t backup = t.backup <- Some backup
+
+let resync_from t ~source ~from =
+  (* Pull the source's committed images (RPC from [from], normally our own
+     node, within a recovery fiber) and install them locally. *)
+  match
+    Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:source.gvd_node
+      source.ep_snapshot ()
+  with
+  | Ok images ->
+      List.iter
+        (fun (serial, im) ->
+          match Hashtbl.find_opt t.entries serial with
+          | Some e -> e.e_image <- im
+          | None -> ())
+        images;
+      Sim.Metrics.incr (metrics t) "gvd.resyncs";
+      Ok ()
+  | Error e -> Error e
+
+let note_version t ~act ~uid version =
+  call_enlisted t ~act t.ep_note_version
+    { n_uid = uid; n_action = Action.Atomic.owner act; n_version = version }
+
+let committed_version t uid = (entry_exn t uid).e_image.im_state.im_version
+
+let retire_server_home t ~act ~uid node =
+  call_enlisted t ~act t.ep_retire_sv
+    { o_uid = uid; o_action = Action.Atomic.owner act; o_node = node }
+
+let retire_store_home t ~act ~uid node =
+  call_enlisted t ~act t.ep_retire_st
+    { o_uid = uid; o_action = Action.Atomic.owner act; o_node = node }
+
+(* -- direct introspection -- *)
+
+let current_sv t uid = (entry_exn t uid).e_image.im_server.im_sv
+let current_st t uid = (entry_exn t uid).e_image.im_state.im_st
+
+let current_uses t uid =
+  (* All use lists, including those of nodes currently removed from Sv:
+     the cleanup daemon must see counters wherever they hide. *)
+  let e = entry_exn t uid in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) e.e_image.im_server.im_uses
+
+let quiescent t uid = all_quiescent (entry_exn t uid).e_image
+
+let all_uids t =
+  Hashtbl.fold (fun _ e acc -> e.e_uid :: acc) t.entries [] |> List.sort Store.Uid.compare

@@ -1,0 +1,249 @@
+(** The group view database — the paper's naming-and-binding service.
+
+    One persistent object (as in Arjuna, §5) hosted on a designated service
+    node, combining the two databases of §4:
+
+    - the {e Object Server database}: per object [A], the set [SvA] of
+      nodes able to run a server for [A], with per-node {e use lists}
+      [<client, count>] ({!Use_list});
+    - the {e Object State database}: per object, the set [StA] of nodes
+      whose object stores hold a state of [A].
+
+    Every entry is concurrency-controlled independently, with separate
+    lock keys for its server list and its state list. Operations execute
+    as RPC handlers on the service node {e on behalf of the caller's
+    atomic action}: they take locks owned by that action and record
+    before-images, and the database participates in the action's
+    completion through a {!Action.Resource_host} manager — commit drops
+    the before-images and releases the locks, abort restores and
+    releases, nested commit transfers both to the parent action.
+
+    The paper's type-specific concurrency control is implemented exactly:
+    [Exclude] first tries to promote the caller's read lock to the
+    {e exclude-write} mode, which is compatible with other readers
+    (§4.2.1); construction flag [use_exclude_write] turns this off for the
+    ablation benchmark (plain write promotion).
+
+    The service node is assumed always available (§3.1); this module
+    therefore keeps its state in memory of that node and never crashes
+    it in experiments. *)
+
+type t
+(** The database runtime (client handle and server state). *)
+
+val install :
+  ?lock_timeout:float ->
+  ?use_exclude_write:bool ->
+  ?durable:bool ->
+  Action.Atomic.runtime ->
+  node:Net.Network.node_id ->
+  t
+(** [install art ~node] hosts the database on [node] and registers its
+    endpoints and resource manager. [lock_timeout] (default 30.0) bounds
+    lock waits inside handlers; a timed-out wait refuses the operation.
+    [use_exclude_write] (default true) selects the §4.2.1 lock type for
+    [Exclude].
+
+    [durable] (default false) drops the paper's always-available
+    assumption for the service node: entries behave as a persistent
+    object (committed images survive a crash of the node), while its lock
+    table and the before-images of in-flight actions are volatile — after
+    a crash, every action started before it votes {e no} at prepare, so
+    nothing half-done ever commits against the restored database. *)
+
+val node : t -> Net.Network.node_id
+(** The service node. *)
+
+val resource : string
+(** The {!Action.Resource_host} resource name, ["gvd"]. *)
+
+(** Outcome of a database operation: [Refused] means a lock could not be
+    granted (the caller should abort its action); [Busy] is
+    [Insert]-specific — the object is not quiescent. *)
+type 'a reply = Granted of 'a | Busy of string | Refused of string
+
+type server_view = {
+  sv_servers : Net.Network.node_id list;  (** current [SvA] *)
+  sv_uses : (Net.Network.node_id * Use_list.t) list;
+      (** use list per server node (same order as [sv_servers]) *)
+}
+
+(** {2 Administrative operations} (no locking; used at world setup and by
+    tests) *)
+
+val register_object :
+  t ->
+  from:Net.Network.node_id ->
+  uid:Store.Uid.t ->
+  name:string ->
+  impl:string ->
+  sv:Net.Network.node_id list ->
+  st:Net.Network.node_id list ->
+  (unit, Net.Rpc.error) result
+(** Create the entry for a new object and bind [name] to [uid] (RPC;
+    must run in a fiber). *)
+
+val register_direct :
+  t ->
+  uid:Store.Uid.t ->
+  name:string ->
+  impl:string ->
+  sv:Net.Network.node_id list ->
+  st:Net.Network.node_id list ->
+  unit
+(** Out-of-band registration at world-setup time, before the simulation
+    starts: applies immediately, no fiber or network round trip. *)
+
+val lookup :
+  t -> from:Net.Network.node_id -> string -> (Store.Uid.t option, Net.Rpc.error) result
+(** Name → UID resolution (§2.2). *)
+
+type entry_info = {
+  ei_impl : string;
+  ei_sv_home : Net.Network.node_id list;
+      (** every node ever admitted to [SvA] (the static capability set) *)
+  ei_st_home : Net.Network.node_id list;
+      (** every node ever admitted to [StA] *)
+}
+
+val entry_info :
+  t -> from:Net.Network.node_id -> Store.Uid.t -> (entry_info option, Net.Rpc.error) result
+
+val stored_on :
+  t -> from:Net.Network.node_id -> Net.Network.node_id -> (Store.Uid.t list, Net.Rpc.error) result
+(** Objects whose [st_home] contains the node; recovery uses this to know
+    what to reintegrate. *)
+
+val served_by :
+  t -> from:Net.Network.node_id -> Net.Network.node_id -> (Store.Uid.t list, Net.Rpc.error) result
+(** Objects whose [sv_home] contains the node. *)
+
+(** {2 Object Server database operations} (§4.1) *)
+
+val get_server :
+  t ->
+  act:Action.Atomic.t ->
+  Store.Uid.t ->
+  (server_view reply, Net.Rpc.error) result
+(** Read [SvA] and the use lists under a read lock owned by [act]. *)
+
+val get_server_update :
+  t ->
+  act:Action.Atomic.t ->
+  Store.Uid.t ->
+  (server_view reply, Net.Rpc.error) result
+(** Like {!get_server} but acquiring the {e write} lock up front: the
+    schemes of §4.1.3 read the view and then update it ([Remove],
+    [Increment]) within the same short top-level action, and starting
+    with a read lock would make two concurrent binders refuse each
+    other's promotion. *)
+
+val insert :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Net.Network.node_id ->
+  (unit reply, Net.Rpc.error) result
+(** Add a server node to [SvA]. Requires the write lock and quiescence
+    (all use lists empty): returns [Busy] otherwise — a recovered server
+    node retries until the object is quiescent (§4.1.2). *)
+
+val remove :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Net.Network.node_id ->
+  (unit reply, Net.Rpc.error) result
+(** Remove a server node from [SvA] (write lock). *)
+
+val increment :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> client:Net.Network.node_id ->
+  Net.Network.node_id list -> (unit reply, Net.Rpc.error) result
+(** Bump [client]'s counter in the use list of each listed server node
+    (write lock) — §4.1.3. *)
+
+val decrement :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> client:Net.Network.node_id ->
+  Net.Network.node_id list -> (unit reply, Net.Rpc.error) result
+(** Undo one [increment]. *)
+
+val zero_client :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> client:Net.Network.node_id ->
+  (unit reply, Net.Rpc.error) result
+(** Drop every counter of [client] on the object — the cleanup protocol's
+    repair for crashed clients (§4.1.3). *)
+
+(** {2 Object State database operations} (§4.2) *)
+
+val get_view :
+  t -> act:Action.Atomic.t -> Store.Uid.t ->
+  (Net.Network.node_id list reply, Net.Rpc.error) result
+(** Read [StA] under a read lock owned by [act]. *)
+
+val exclude :
+  t -> act:Action.Atomic.t -> (Store.Uid.t * Net.Network.node_id list) list ->
+  (unit reply, Net.Rpc.error) result
+(** Batch-remove store nodes from the [St] sets (§4.2): for each object,
+    promote the caller's read lock to exclude-write (or acquire it
+    afresh); refusal means the caller must abort. *)
+
+val include_ :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Net.Network.node_id ->
+  (Store.Version.t reply, Net.Rpc.error) result
+(** Re-admit a store node to [StA] (write lock). The granted value is the
+    {e committed-version fence}: the caller must hold (or fetch) a state
+    at least that new before its inclusion action may commit, else a
+    store whose state was rewound by unlucky crash timing would serve
+    stale activations. *)
+
+val note_version :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Store.Version.t ->
+  (unit reply, Net.Rpc.error) result
+(** Record, within the committing action, the version its commit installs
+    (exclude-write lock, like [Exclude]); the fence {!include_} checks.
+    Refusal must abort the action. *)
+
+val committed_version : t -> Store.Uid.t -> Store.Version.t
+(** Introspection: the current committed-version fence. *)
+
+(** {2 Replicating the service itself} (§3.1's deferred extension)
+
+    The paper notes the naming service "can be replicated in order to be
+    able to provide highly available service" and then assumes it always
+    available. These hooks implement a primary-backup pair: the primary
+    pushes the committed images of every entry an action touched to the
+    backup, synchronously, when the action ends; a recovering instance
+    pulls a full snapshot from its peer before resuming. Mastership is
+    decided by the clients' failure detector (bind against the backup only
+    while the primary is down); install both instances with
+    [~durable:true] so their volatile halves fence correctly across
+    crashes. *)
+
+val mirror_to : t -> t -> unit
+(** [mirror_to primary backup]: push committed images to [backup] at every
+    action end. Push failures are tolerated (the backup resynchronises on
+    recovery). Set in both directions for a symmetric pair. *)
+
+val resync_from :
+  t -> source:t -> from:Net.Network.node_id -> (unit, Net.Rpc.error) result
+(** Pull a full snapshot of committed images from [source] (an RPC issued
+    from [from], normally the caller's own recovering node) and install it
+    locally. *)
+
+(** {2 Retirement} (administrative changes to the replication degree) *)
+
+val retire_server_home :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Net.Network.node_id ->
+  (unit reply, Net.Rpc.error) result
+(** Permanently remove a node from [SvA] {e and} from [sv_home], so
+    recovery will not re-insert it. Requires the write lock and, like
+    [Insert], quiescence ([Busy] otherwise) — retiring a server out from
+    under bound clients would break their bindings. *)
+
+val retire_store_home :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Net.Network.node_id ->
+  (unit reply, Net.Rpc.error) result
+(** Permanently remove a node from [StA] and [st_home] (write lock), so
+    recovery will not re-include it. *)
+
+(** {2 Introspection} (tests, experiments; direct access) *)
+
+val current_sv : t -> Store.Uid.t -> Net.Network.node_id list
+val current_st : t -> Store.Uid.t -> Net.Network.node_id list
+val current_uses : t -> Store.Uid.t -> (Net.Network.node_id * Use_list.t) list
+val quiescent : t -> Store.Uid.t -> bool
+val all_uids : t -> Store.Uid.t list

@@ -1,0 +1,121 @@
+type op = { hy_uid : Store.Uid.t; hy_node : Net.Network.node_id }
+
+type t = {
+  binder : Binder.t;
+  ns_node : Net.Network.node_id;
+  sets : (int, Net.Network.node_id list) Hashtbl.t;
+  ep_add : (op, unit) Net.Rpc.endpoint;
+  ep_remove : (op, unit) Net.Rpc.endpoint;
+  ep_servers : (Store.Uid.t, Net.Network.node_id list) Net.Rpc.endpoint;
+}
+
+let art t =
+  Replica.Server.atomic_runtime
+    (Replica.Group.server_runtime (Binder.group_runtime t.binder))
+
+let rpc t = Action.Atomic.rpc (art t)
+
+let install binder ~node =
+  let t =
+    {
+      binder;
+      ns_node = node;
+      sets = Hashtbl.create 32;
+      ep_add = Net.Rpc.endpoint "hybrid.add";
+      ep_remove = Net.Rpc.endpoint "hybrid.remove";
+      ep_servers = Net.Rpc.endpoint "hybrid.servers";
+    }
+  in
+  Net.Rpc.serve (rpc t) ~node t.ep_add (fun { hy_uid; hy_node } ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt t.sets (Store.Uid.serial hy_uid))
+      in
+      if not (List.mem hy_node cur) then
+        Hashtbl.replace t.sets (Store.Uid.serial hy_uid) (cur @ [ hy_node ]));
+  Net.Rpc.serve (rpc t) ~node t.ep_remove (fun { hy_uid; hy_node } ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt t.sets (Store.Uid.serial hy_uid))
+      in
+      Hashtbl.replace t.sets (Store.Uid.serial hy_uid)
+        (List.filter (fun n -> n <> hy_node) cur));
+  Net.Rpc.serve (rpc t) ~node t.ep_servers (fun uid ->
+      Option.value ~default:[] (Hashtbl.find_opt t.sets (Store.Uid.serial uid)));
+  t
+
+let register t ~from:_ ~uid ~sv = Hashtbl.replace t.sets (Store.Uid.serial uid) sv
+
+let add_server t ~from ~uid node =
+  Net.Rpc.call (rpc t) ~from ~dst:t.ns_node t.ep_add { hy_uid = uid; hy_node = node }
+
+let remove_server t ~from ~uid node =
+  Net.Rpc.call (rpc t) ~from ~dst:t.ns_node t.ep_remove { hy_uid = uid; hy_node = node }
+
+let servers t ~from uid = Net.Rpc.call (rpc t) ~from ~dst:t.ns_node t.ep_servers uid
+
+let take k xs =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go k xs
+
+let bind t ~act ~uid ~policy =
+  let client = Action.Atomic.node act in
+  let gvd = Binder.gvd t.binder in
+  let grt = Binder.group_runtime t.binder in
+  match servers t ~from:client uid with
+  | Error e -> Error (Binder.Name_refused (Net.Rpc.error_to_string e))
+  | Ok sv -> (
+      let impl =
+        match Gvd.entry_info gvd ~from:client uid with
+        | Ok (Some info) -> Ok info.Gvd.ei_impl
+        | Ok None -> Error (Binder.Name_refused "unknown object")
+        | Error e -> Error (Binder.Name_refused (Net.Rpc.error_to_string e))
+      in
+      match impl with
+      | Error e -> Error e
+      | Ok impl -> (
+          (* St through the atomic database, nested in the client action:
+             the read lock is held to commit, so exclusion keeps its
+             standard-scheme guarantees. *)
+          let st_read =
+            Action.Atomic.atomically_nested act (fun nested ->
+                match Gvd.get_view gvd ~act:nested uid with
+                | Ok (Gvd.Granted st) -> st
+                | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
+                    raise (Action.Atomic.Abort why)
+                | Error e ->
+                    raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
+          in
+          match st_read with
+          | Error why -> Error (Binder.Name_refused why)
+          | Ok st -> (
+              let chosen = take (Replica.Policy.replicas policy) sv in
+              if chosen = [] then Error (Binder.No_server "empty server set")
+              else
+                match
+                  Replica.Group.activate grt ~client ~uid ~impl ~policy
+                    ~servers:chosen ~stores:st
+                with
+                | Error why -> Error (Binder.No_server why)
+                | Ok group ->
+                    let current_stores act' =
+                      match Gvd.get_view gvd ~act:act' uid with
+                      | Ok (Gvd.Granted nodes) -> Ok nodes
+                      | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+                      | Error e -> Error (Net.Rpc.error_to_string e)
+                    in
+                    Replica.Commit.attach grt act group ~current_stores
+                      ~exclude:(fun act' failed ->
+                        Binder.exclusion t.binder ~scheme:Scheme.Standard ~uid
+                          act' failed)
+                      ();
+                    Ok
+                      {
+                        Binder.bd_uid = uid;
+                        bd_scheme = Scheme.Standard;
+                        bd_group = group;
+                        bd_servers = group.Replica.Group.g_members;
+                        bd_stores = st;
+                      })))

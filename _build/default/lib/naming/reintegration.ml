@@ -1,0 +1,142 @@
+let art t = Replica.Server.atomic_runtime (Replica.Group.server_runtime (Binder.group_runtime t))
+
+let netw t = Action.Atomic.network (art t)
+
+let tracef t fmt =
+  Sim.Trace.recordf
+    (Net.Network.trace (netw t))
+    ~now:(Sim.Engine.now (Action.Atomic.engine (art t)))
+    ~tag:"reintegrate" fmt
+
+(* Fetch the newest committed state of [uid] among the given store nodes. *)
+let newest_state t ~from ~stores uid =
+  let sh = Action.Atomic.store_host (art t) in
+  List.fold_left
+    (fun best store ->
+      if String.equal store from then best
+      else
+        match Action.Store_host.read sh ~from ~store uid with
+        | Ok (Some s) -> (
+            match best with
+            | Some b when not (Store.Object_state.newer_than s b) -> best
+            | _ -> Some s)
+        | Ok None | Error _ -> best)
+    None stores
+
+let reintegrate_store_one t ~node uid =
+  let g = Binder.gvd t in
+  let sh = Action.Atomic.store_host (art t) in
+  Action.Atomic.atomically (art t) ~node (fun act ->
+      (* Include first: its write lock serialises us against every client
+         holding a read lock on the entry, so the fetch below sees the
+         final committed state. The granted fence is the committed
+         version this node must reach before the inclusion may commit. *)
+      let fence =
+        match Gvd.include_ g ~act ~uid node with
+        | Ok (Gvd.Granted v) -> v
+        | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
+            raise (Action.Atomic.Abort why)
+        | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
+      in
+      let sources =
+        match Gvd.entry_info g ~from:node uid with
+        | Ok (Some info) -> info.Gvd.ei_st_home
+        | Ok None | Error _ -> []
+      in
+      let ours = Store.Object_store.read (Action.Store_host.objects sh node) uid in
+      let best =
+        match (newest_state t ~from:node ~stores:sources uid, ours) with
+        | Some fetched, Some mine ->
+            if Store.Object_state.newer_than fetched mine then Some fetched
+            else Some mine
+        | Some fetched, None -> Some fetched
+        | None, mine -> mine
+      in
+      match best with
+      | Some candidate
+        when Store.Version.compare candidate.Store.Object_state.version fence >= 0
+        ->
+          let stale =
+            match ours with
+            | Some mine -> Store.Object_state.newer_than candidate mine
+            | None -> true
+          in
+          if stale then begin
+            Action.Store_host.seed sh node uid candidate;
+            tracef t "%s refreshed %a to %a" node Store.Uid.pp uid
+              Store.Version.pp candidate.Store.Object_state.version
+          end
+      | Some _ | None ->
+          (* Every reachable copy is older than the committed fence: the
+             newest state lives only on nodes that are currently down.
+             Joining StA now would serve rewound activations — stay out
+             and retry later. *)
+          Sim.Metrics.incr (Net.Network.metrics (netw t)) "reintegrate.fenced";
+          raise (Action.Atomic.Abort "latest committed state unreachable"))
+
+let reintegrate_store_now t ~node ?(retry_delay = 2.0) () =
+  let eng = Action.Atomic.engine (art t) in
+  let uids =
+    match Gvd.stored_on (Binder.gvd t) ~from:node node with
+    | Ok uids -> uids
+    | Error _ -> []
+  in
+  List.iter
+    (fun uid ->
+      let rec attempt tries =
+        if tries > 0 then
+          match reintegrate_store_one t ~node uid with
+          | Ok () ->
+              Sim.Metrics.incr (Net.Network.metrics (netw t)) "reintegrate.includes"
+          | Error _ ->
+              Sim.Engine.sleep eng retry_delay;
+              attempt (tries - 1)
+      in
+      attempt 20)
+    uids
+
+let attach_store_node t ~node ?retry_delay () =
+  Net.Network.on_recover (netw t) node (fun () ->
+      reintegrate_store_now t ~node ?retry_delay ())
+
+let reinsert_server_now t ~node ?(retry_delay = 2.0) () =
+  let eng = Action.Atomic.engine (art t) in
+  let g = Binder.gvd t in
+  let uids =
+    match Gvd.served_by g ~from:node node with
+    | Ok uids -> uids
+    | Error _ -> []
+  in
+  List.iter
+    (fun uid ->
+      let started = Sim.Engine.now eng in
+      let rec attempt tries =
+        if tries = 0 then
+          Sim.Metrics.incr (Net.Network.metrics (netw t)) "reintegrate.insert_gave_up"
+        else
+          let r =
+            Action.Atomic.atomically (art t) ~node (fun act ->
+                match Gvd.insert g ~act ~uid node with
+                | Ok (Gvd.Granted ()) -> `Done
+                | Ok (Gvd.Busy _) -> `Busy
+                | Ok (Gvd.Refused why) -> raise (Action.Atomic.Abort why)
+                | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
+          in
+          match r with
+          | Ok `Done ->
+              let elapsed = Sim.Engine.now eng -. started in
+              Sim.Metrics.observe
+                (Net.Network.metrics (netw t))
+                "reintegrate.insert_delay" elapsed;
+              tracef t "%s reinserted into Sv(%a) after %.2f" node Store.Uid.pp
+                uid elapsed
+          | Ok `Busy | Error _ ->
+              Sim.Engine.sleep eng retry_delay;
+              attempt (tries - 1)
+      in
+      attempt 200)
+    uids
+
+let attach_server_node t ~node ?retry_delay () =
+  Net.Network.on_recover (netw t) node (fun () ->
+      reinsert_server_now t ~node ?retry_delay ())

@@ -1,0 +1,16 @@
+type t = Standard | Independent | Nested_toplevel
+
+let to_string = function
+  | Standard -> "standard"
+  | Independent -> "independent"
+  | Nested_toplevel -> "nested-toplevel"
+
+let of_string = function
+  | "standard" -> Some Standard
+  | "independent" -> Some Independent
+  | "nested-toplevel" -> Some Nested_toplevel
+  | _ -> None
+
+let all = [ Standard; Independent; Nested_toplevel ]
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,132 @@
+type topology = {
+  gvd_node : Net.Network.node_id;
+  server_nodes : Net.Network.node_id list;
+  store_nodes : Net.Network.node_id list;
+  client_nodes : Net.Network.node_id list;
+}
+
+type t = {
+  w_eng : Sim.Engine.t;
+  w_net : Net.Network.t;
+  w_sh : Action.Store_host.t;
+  w_art : Action.Atomic.runtime;
+  w_srv : Replica.Server.runtime;
+  w_grt : Replica.Group.runtime;
+  w_gvd : Gvd.t;
+  w_binder : Binder.t;
+  w_sup : Store.Uid.supply;
+  w_topology : topology;
+}
+
+let engine t = t.w_eng
+let network t = t.w_net
+let atomic t = t.w_art
+let store_host t = t.w_sh
+let server_runtime t = t.w_srv
+let group_runtime t = t.w_grt
+let gvd t = t.w_gvd
+let binder t = t.w_binder
+let metrics t = Net.Network.metrics t.w_net
+let trace t = Net.Network.trace t.w_net
+let uid_supply t = t.w_sup
+
+let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
+    ?(durable_naming = false) ?(cleanup_period = 0.0) ?(extra_impls = [])
+    topology =
+  let eng = Sim.Engine.create ?seed () in
+  let net = Net.Network.create ?latency eng in
+  let rpc = Net.Rpc.create net in
+  let sh = Action.Store_host.create rpc in
+  let rh = Action.Resource_host.create rpc in
+  let art = Action.Atomic.make_runtime sh rh in
+  let impls = Replica.Object_impl.registry () in
+  List.iter (Replica.Object_impl.register impls)
+    (Replica.Object_impl.stock_all @ extra_impls);
+  let srv = Replica.Server.create art impls in
+  let all_nodes =
+    List.sort_uniq String.compare
+      ((topology.gvd_node :: topology.server_nodes)
+      @ topology.store_nodes @ topology.client_nodes)
+  in
+  (* Hook order per node matters: 2PC resolution must precede naming-level
+     reintegration. *)
+  List.iter
+    (fun n ->
+      Net.Network.add_node net n;
+      Action.Store_host.add sh n;
+      Action.Recovery.attach art ~node:n)
+    all_nodes;
+  Action.Recovery.guard_prepares art;
+  List.iter (fun n -> Replica.Server.install_host srv n) topology.server_nodes;
+  let grt = Replica.Group.create srv ~sequencer:topology.gvd_node in
+  let gvd =
+    Gvd.install ~lock_timeout ~use_exclude_write ~durable:durable_naming art
+      ~node:topology.gvd_node
+  in
+  let bdr = Binder.create gvd grt in
+  List.iter
+    (fun n -> Reintegration.attach_store_node bdr ~node:n ())
+    topology.store_nodes;
+  List.iter
+    (fun n -> Reintegration.attach_server_node bdr ~node:n ())
+    topology.server_nodes;
+  if cleanup_period > 0.0 then Cleanup.start gvd ~period:cleanup_period art;
+  {
+    w_eng = eng;
+    w_net = net;
+    w_sh = sh;
+    w_art = art;
+    w_srv = srv;
+    w_grt = grt;
+    w_gvd = gvd;
+    w_binder = bdr;
+    w_sup = Store.Uid.supply ();
+    w_topology = topology;
+  }
+
+let create_object t ~name ~impl ?initial ~sv ~st () =
+  let uid = Store.Uid.fresh t.w_sup ~label:name in
+  let payload =
+    match initial with
+    | Some p -> p
+    | None -> (
+        (* Resolve through the stock + extra registry held by the server
+           runtime: activation would do the same. *)
+        match
+          List.find_opt
+            (fun i -> String.equal i.Replica.Object_impl.impl_name impl)
+            Replica.Object_impl.stock_all
+        with
+        | Some i -> i.Replica.Object_impl.initial
+        | None -> "")
+  in
+  List.iter
+    (fun store ->
+      Action.Store_host.seed t.w_sh store uid (Store.Object_state.initial payload))
+    st;
+  (* Registration is administrative world setup: apply it directly so
+     objects exist before any client fiber can race the entry. *)
+  Gvd.register_direct t.w_gvd ~uid ~name ~impl ~sv ~st;
+  uid
+
+let lookup t ~from name =
+  match Gvd.lookup t.w_gvd ~from name with Ok r -> r | Error _ -> None
+
+let with_bound t ~client ~scheme ~policy ~uid body =
+  Action.Atomic.atomically t.w_art ~node:client (fun act ->
+      match Binder.bind t.w_binder ~act ~scheme ~uid ~policy with
+      | Error e -> raise (Action.Atomic.Abort (Binder.bind_error_to_string e))
+      | Ok binding -> body act binding.Binder.bd_group)
+
+let invoke t group ~act ?write op =
+  match Replica.Group.invoke t.w_grt group ~act ?write op with
+  | Ok reply -> reply
+  | Error e ->
+      raise (Action.Atomic.Abort (Format.asprintf "%a" Replica.Group.pp_invoke_error e))
+
+let run ?until t =
+  match until with
+  | Some u -> Sim.Engine.run ~until:u t.w_eng
+  | None -> Sim.Engine.run t.w_eng
+
+let spawn_client t node f = Net.Network.spawn_on t.w_net node f

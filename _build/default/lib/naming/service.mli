@@ -1,0 +1,104 @@
+(** One-stop assembly of a simulated world with the full stack: engine,
+    network, stores, action runtime, server hosting, replica groups, and
+    the naming-and-binding service.
+
+    This is the library's quickstart surface. A {e world} is built from a
+    topology (which nodes exist and what they can do); persistent objects
+    are then created with {!create_object}, and clients run atomic actions
+    against them with {!with_bound}, which performs the full bind →
+    invoke → commit cycle of the paper under a chosen access scheme.
+
+    All substrate handles are exposed for advanced use. *)
+
+type topology = {
+  gvd_node : Net.Network.node_id;
+      (** hosts the naming service and the multicast sequencer; assumed
+          always available (§3.1) *)
+  server_nodes : Net.Network.node_id list;  (** can run object servers *)
+  store_nodes : Net.Network.node_id list;  (** have object stores *)
+  client_nodes : Net.Network.node_id list;  (** run applications *)
+}
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?latency:(Sim.Rng.t -> float) ->
+  ?lock_timeout:float ->
+  ?use_exclude_write:bool ->
+  ?durable_naming:bool ->
+  ?cleanup_period:float ->
+  ?extra_impls:Replica.Object_impl.t list ->
+  topology ->
+  t
+(** Build a world. Stock object implementations (counter, account,
+    register) are always available; [extra_impls] adds more.
+    [cleanup_period] enables the use-list cleanup daemon with that sweep
+    period; the default (0.0) leaves it off — the daemon is an infinite
+    fiber, so worlds running it must drive the engine with [run ~until]. [use_exclude_write] selects
+    the §4.2.1 lock type for [Exclude] (default true). [durable_naming]
+    (default false) lets the service node crash and recover as a
+    persistent object instead of being assumed always available (see
+    {!Gvd.install}). Recovery hooks
+    (2PC resolution, then store reintegration, then server reinsertion)
+    are attached to every node per its capabilities. *)
+
+(* Substrate access *)
+
+val engine : t -> Sim.Engine.t
+val network : t -> Net.Network.t
+val atomic : t -> Action.Atomic.runtime
+val store_host : t -> Action.Store_host.t
+val server_runtime : t -> Replica.Server.runtime
+val group_runtime : t -> Replica.Group.runtime
+val gvd : t -> Gvd.t
+val binder : t -> Binder.t
+val metrics : t -> Sim.Metrics.t
+val trace : t -> Sim.Trace.t
+val uid_supply : t -> Store.Uid.supply
+
+val create_object :
+  t ->
+  name:string ->
+  impl:string ->
+  ?initial:string ->
+  sv:Net.Network.node_id list ->
+  st:Net.Network.node_id list ->
+  unit ->
+  Store.Uid.t
+(** Create a persistent object before the simulation starts: seeds its
+    initial state on every [st] store and registers the naming entry.
+    [initial] defaults to the implementation's initial payload. *)
+
+val lookup : t -> from:Net.Network.node_id -> string -> Store.Uid.t option
+(** Name → UID through the naming service; must run in a fiber. *)
+
+val with_bound :
+  t ->
+  client:Net.Network.node_id ->
+  scheme:Scheme.t ->
+  policy:Replica.Policy.t ->
+  uid:Store.Uid.t ->
+  (Action.Atomic.t -> Replica.Group.t -> 'a) ->
+  ('a, string) result
+(** [with_bound t ~client ~scheme ~policy ~uid body] runs, in a fiber on
+    [client]: a top-level atomic action that binds to the object under
+    [scheme], executes [body act group], and commits (with the paper's
+    commit-time state copy-back and exclusion attached). Returns the
+    body's value or the abort reason. *)
+
+val invoke :
+  t ->
+  Replica.Group.t ->
+  act:Action.Atomic.t ->
+  ?write:bool ->
+  string ->
+  string
+(** Convenience wrapper over {!Replica.Group.invoke} that aborts the
+    action (raising {!Action.Atomic.Abort}) on failure. *)
+
+val run : ?until:float -> t -> unit
+(** Drive the simulation (delegates to {!Sim.Engine.run}). *)
+
+val spawn_client : t -> Net.Network.node_id -> (unit -> unit) -> unit
+(** Spawn a fiber on a client node. *)

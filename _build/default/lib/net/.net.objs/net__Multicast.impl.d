@@ -1,0 +1,1 @@
+lib/net/multicast.ml: Hashtbl List Network Printf Rpc Sim Univ

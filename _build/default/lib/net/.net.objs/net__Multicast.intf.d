@@ -1,0 +1,1 @@
+lib/net/multicast.mli: Network Rpc

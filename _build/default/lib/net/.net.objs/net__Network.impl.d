@@ -1,0 +1,1 @@
+lib/net/network.ml: Float Hashtbl List Printf Sim String

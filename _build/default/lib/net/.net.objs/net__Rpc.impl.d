@@ -1,0 +1,1 @@
+lib/net/rpc.ml: Format Hashtbl Network Printf Sim String Univ

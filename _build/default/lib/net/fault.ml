@@ -1,0 +1,27 @@
+let crash_at net ~at id =
+  let eng = Network.engine net in
+  let delay = at -. Sim.Engine.now eng in
+  Sim.Engine.schedule eng ~delay (fun () -> Network.crash net id)
+
+let recover_at net ~at id =
+  let eng = Network.engine net in
+  let delay = at -. Sim.Engine.now eng in
+  Sim.Engine.schedule eng ~delay (fun () -> Network.recover net id)
+
+let crash_for net ~at ~duration id =
+  crash_at net ~at id;
+  recover_at net ~at:(at +. duration) id
+
+let churn net ~rng ~mttf ~mttr ?(until = infinity) id =
+  let eng = Network.engine net in
+  Sim.Engine.spawn eng ~name:(id ^ ".churn") (fun () ->
+      let rec live () =
+        Sim.Engine.sleep eng (Sim.Rng.exponential rng mttf);
+        if Sim.Engine.now eng < until then begin
+          Network.crash net id;
+          Sim.Engine.sleep eng (Sim.Rng.exponential rng mttr);
+          Network.recover net id;
+          live ()
+        end
+      in
+      live ())

@@ -1,0 +1,29 @@
+(** Failure injection: deterministic and stochastic crash schedules.
+
+    Experiments drive node failures through this module so that every
+    crash appears in the trace and the schedule is reproducible from the
+    engine seed. *)
+
+val crash_at : Network.t -> at:float -> Network.node_id -> unit
+(** Crash the node at absolute virtual time [at] (no-op if already down
+    then). *)
+
+val recover_at : Network.t -> at:float -> Network.node_id -> unit
+(** Recover the node at absolute virtual time [at]. *)
+
+val crash_for : Network.t -> at:float -> duration:float -> Network.node_id -> unit
+(** Crash at [at], recover at [at +. duration]. *)
+
+val churn :
+  Network.t ->
+  rng:Sim.Rng.t ->
+  mttf:float ->
+  mttr:float ->
+  ?until:float ->
+  Network.node_id ->
+  unit
+(** [churn net ~rng ~mttf ~mttr id] subjects the node to an alternating
+    up/down renewal process: exponential time-to-failure with mean [mttf],
+    exponential repair time with mean [mttr], stopping at [until] (default:
+    never). The process is driven by its own fiber in the root group so it
+    survives the crashes it causes. *)

@@ -1,0 +1,183 @@
+type node_id = string
+
+exception Unknown_node of node_id
+
+type node = {
+  id : node_id;
+  mutable up : bool;
+  mutable inc : int;
+  mutable grp : Sim.Engine.group;
+  mutable crash_hooks : (unit -> unit) list; (* newest first *)
+  mutable recover_hooks : (unit -> unit) list; (* newest first *)
+  mutable watches : (int * (unit -> unit)) list; (* watch id, action *)
+  mutable next_watch : int;
+  fifo_last : (node_id, float ref) Hashtbl.t;
+      (* per-source last FIFO delivery time *)
+}
+
+type t = {
+  eng : Sim.Engine.t;
+  nodes : (node_id, node) Hashtbl.t;
+  latency : Sim.Rng.t -> float;
+  detect_delay : float;
+  net_rng : Sim.Rng.t;
+  net_trace : Sim.Trace.t;
+  net_metrics : Sim.Metrics.t;
+  mutable partitions : (node_id * node_id) list;
+}
+
+let default_latency rng = Sim.Rng.uniform rng 0.5 1.5
+
+let create ?(latency = default_latency) ?(detect_delay = 1.0) eng =
+  {
+    eng;
+    nodes = Hashtbl.create 16;
+    latency;
+    detect_delay;
+    net_rng = Sim.Rng.split (Sim.Engine.rng eng);
+    net_trace = Sim.Trace.create ();
+    net_metrics = Sim.Metrics.create ();
+    partitions = [];
+  }
+
+let engine t = t.eng
+let trace t = t.net_trace
+let metrics t = t.net_metrics
+
+let node t id =
+  match Hashtbl.find_opt t.nodes id with
+  | Some n -> n
+  | None -> raise (Unknown_node id)
+
+let add_node t id =
+  if Hashtbl.mem t.nodes id then
+    invalid_arg (Printf.sprintf "Network.add_node: duplicate node %s" id);
+  Hashtbl.add t.nodes id
+    {
+      id;
+      up = true;
+      inc = 0;
+      grp = Sim.Engine.new_group t.eng;
+      crash_hooks = [];
+      recover_hooks = [];
+      watches = [];
+      next_watch = 0;
+      fifo_last = Hashtbl.create 4;
+    }
+
+let node_ids t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort String.compare
+
+let is_up t id = (node t id).up
+let incarnation t id = (node t id).inc
+let group t id = (node t id).grp
+
+let spawn_on t id ?name f =
+  let n = node t id in
+  if n.up then Sim.Engine.spawn t.eng ~group:n.grp ?name f
+
+let record t tag fmt = Sim.Trace.recordf t.net_trace ~now:(Sim.Engine.now t.eng) ~tag fmt
+
+let crash t id =
+  let n = node t id in
+  if n.up then begin
+    n.up <- false;
+    record t "net" "crash %s (inc %d)" id n.inc;
+    Sim.Metrics.incr t.net_metrics "net.crashes";
+    Sim.Engine.kill_group t.eng n.grp;
+    List.iter (fun f -> f ()) (List.rev n.crash_hooks);
+    (* Fire crash watches after the detection delay, modelling the failure
+       detector's notification latency. *)
+    let fired = n.watches in
+    n.watches <- [];
+    List.iter
+      (fun (_, action) ->
+        Sim.Engine.schedule t.eng ~delay:t.detect_delay (fun () -> action ()))
+      fired
+  end
+
+let recover t id =
+  let n = node t id in
+  if not n.up then begin
+    n.up <- true;
+    n.inc <- n.inc + 1;
+    n.grp <- Sim.Engine.new_group t.eng;
+    record t "net" "recover %s (inc %d)" id n.inc;
+    Sim.Metrics.incr t.net_metrics "net.recoveries";
+    let hooks = List.rev n.recover_hooks in
+    Sim.Engine.spawn t.eng ~group:n.grp ~name:(id ^ ".recover") (fun () ->
+        List.iter (fun f -> f ()) hooks)
+  end
+
+let on_crash t id f =
+  let n = node t id in
+  n.crash_hooks <- f :: n.crash_hooks
+
+let on_recover t id f =
+  let n = node t id in
+  n.recover_hooks <- f :: n.recover_hooks
+
+let pair a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let set_partitioned t a b flag =
+  let p = pair a b in
+  let without = List.filter (fun q -> q <> p) t.partitions in
+  t.partitions <- (if flag then p :: without else without)
+
+let partitioned t a b = List.mem (pair a b) t.partitions
+
+let reachable t src dst = (node t dst).up && not (partitioned t src dst)
+
+let sample_latency t = t.latency t.net_rng
+
+(* Delivery: the message is "in the wire" for one latency sample; at
+   delivery time it runs on the destination only if the destination is up
+   and the pair is unpartitioned at that moment. The destination may have
+   crashed and recovered while the message was in flight — it is then
+   delivered to the new incarnation, as a real network would. *)
+let deliver t ~src ~dst ~delay f =
+  ignore src;
+  Sim.Engine.schedule t.eng ~delay (fun () ->
+      let n = node t dst in
+      if n.up && not (partitioned t src dst) then
+        Sim.Engine.spawn t.eng ~group:n.grp ~name:(src ^ "->" ^ dst) f
+      else begin
+        record t "net" "drop %s->%s (dst down or partitioned)" src dst;
+        Sim.Metrics.incr t.net_metrics "net.dropped"
+      end)
+
+let send t ~src ~dst f =
+  Sim.Metrics.incr t.net_metrics "net.msgs";
+  deliver t ~src ~dst ~delay:(sample_latency t) f
+
+let send_fifo t ~src ~dst f =
+  Sim.Metrics.incr t.net_metrics "net.msgs";
+  let n = node t dst in
+  let last =
+    match Hashtbl.find_opt n.fifo_last src with
+    | Some r -> r
+    | None ->
+        let r = ref neg_infinity in
+        Hashtbl.add n.fifo_last src r;
+        r
+  in
+  let now = Sim.Engine.now t.eng in
+  let arrival = Float.max (now +. sample_latency t) (!last +. 1e-6) in
+  last := arrival;
+  deliver t ~src ~dst ~delay:(arrival -. now) f
+
+type watch = int
+
+let watch_crash t id f =
+  let n = node t id in
+  let w = n.next_watch in
+  n.next_watch <- w + 1;
+  if n.up then n.watches <- (w, f) :: n.watches
+  else
+    (* Already down: notify after the detection delay. *)
+    Sim.Engine.schedule t.eng ~delay:t.detect_delay (fun () -> f ());
+  w
+
+let unwatch t id w =
+  let n = node t id in
+  n.watches <- List.filter (fun (w', _) -> w' <> w) n.watches

@@ -1,0 +1,124 @@
+(** Simulated network of fail-silent nodes.
+
+    The network owns the set of nodes, the message latency model, crash and
+    recovery of nodes, and optional pairwise partitions. It matches the
+    paper's failure assumptions (§2.1): nodes are fail-silent — they either
+    work as specified or stop — and processes on functioning nodes can
+    communicate.
+
+    A node carries:
+    - an {e incarnation} counter, bumped on every recovery;
+    - an {!Sim.Engine.group} per incarnation: fibers spawned on behalf of
+      the node die silently when it crashes;
+    - registered {e services} (installed by the RPC layer), which survive
+      crashes — the code of a service is on stable storage, per §3.1 —
+      while any volatile state they captured is reset through [on_crash]
+      callbacks;
+    - [on_crash] / [on_recover] hooks used by upper layers (volatile cache
+      invalidation, recovery protocols such as the paper's
+      update-then-[Include] sequence). *)
+
+type t
+(** A simulated network. *)
+
+type node_id = string
+(** Nodes are named by short strings ("alpha", "store1", ...), which keeps
+    traces readable. *)
+
+exception Unknown_node of node_id
+(** Raised when an operation names a node that was never added. *)
+
+val create :
+  ?latency:(Sim.Rng.t -> float) ->
+  ?detect_delay:float ->
+  Sim.Engine.t ->
+  t
+(** [create eng] is an empty network driven by [eng].
+    [latency] samples per-message transit time (default: uniform in
+    [\[0.5, 1.5\]]). [detect_delay] is the failure-detector notification
+    delay applied when a crash aborts in-flight RPCs (default [1.0]). *)
+
+val engine : t -> Sim.Engine.t
+(** The engine driving this network. *)
+
+val trace : t -> Sim.Trace.t
+(** The network's trace sink (shared with upper layers by convention). *)
+
+val metrics : t -> Sim.Metrics.t
+(** The network's metrics registry (shared with upper layers). *)
+
+val add_node : t -> node_id -> unit
+(** [add_node t id] registers a fresh, up node. Raises [Invalid_argument]
+    if [id] already exists. *)
+
+val node_ids : t -> node_id list
+(** All registered node ids, sorted. *)
+
+val is_up : t -> node_id -> bool
+(** Whether the node is currently functioning. *)
+
+val incarnation : t -> node_id -> int
+(** The node's incarnation number (0 initially, +1 per recovery). *)
+
+val group : t -> node_id -> Sim.Engine.group
+(** The fiber group of the node's current incarnation. Fibers representing
+    computation {e on} the node must be spawned into this group. *)
+
+val spawn_on : t -> node_id -> ?name:string -> (unit -> unit) -> unit
+(** [spawn_on t id f] runs fiber [f] on node [id] (in its current group).
+    Silently does nothing if the node is down. *)
+
+val crash : t -> node_id -> unit
+(** [crash t id] stops the node: its fibers die at their suspension points,
+    its volatile state is reset via [on_crash] hooks, in-flight RPCs
+    against it fail after the detection delay, and messages in transit to
+    it are dropped. Idempotent. *)
+
+val recover : t -> node_id -> unit
+(** [recover t id] restarts a crashed node with a fresh incarnation and
+    runs its [on_recover] hooks (oldest registration first). Idempotent on
+    an up node. *)
+
+val on_crash : t -> node_id -> (unit -> unit) -> unit
+(** Register a callback run (synchronously) when the node crashes. *)
+
+val on_recover : t -> node_id -> (unit -> unit) -> unit
+(** Register a callback run when the node recovers. The callback runs in a
+    fresh fiber of the new incarnation. *)
+
+val set_partitioned : t -> node_id -> node_id -> bool -> unit
+(** [set_partitioned t a b flag] blocks (or unblocks) message delivery in
+    both directions between [a] and [b]. *)
+
+val partitioned : t -> node_id -> node_id -> bool
+(** Whether the pair is currently partitioned. *)
+
+val reachable : t -> node_id -> node_id -> bool
+(** [reachable t src dst]: [dst] is up and not partitioned from [src]. *)
+
+val sample_latency : t -> float
+(** Draw one latency sample from the network's model. *)
+
+val send : t -> src:node_id -> dst:node_id -> (unit -> unit) -> unit
+(** [send t ~src ~dst f] delivers [f] to [dst] after one latency sample:
+    at delivery time, if [dst] is up and the pair is not partitioned, [f]
+    runs as a fresh fiber in [dst]'s group; otherwise the message is
+    silently dropped (fail-silent network discards mail for dead nodes). *)
+
+val send_fifo : t -> src:node_id -> dst:node_id -> (unit -> unit) -> unit
+(** Like {!send} but deliveries from [src] to [dst] preserve send order
+    (per-pair FIFO), as required by the sequencer-based ordered multicast. *)
+
+(* Failure-detector support for the RPC layer. *)
+
+type watch
+(** Handle for a registered crash watch. *)
+
+val watch_crash : t -> node_id -> (unit -> unit) -> watch
+(** [watch_crash t id f] arranges for [f] to run [detect_delay] after [id]
+    crashes, unless {!unwatch}ed first. Used by RPC calls to fail fast when
+    the callee dies mid-call, modelling the perfect failure detector the
+    paper assumes. *)
+
+val unwatch : t -> node_id -> watch -> unit
+(** Cancel a crash watch. *)

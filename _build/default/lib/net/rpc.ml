@@ -1,0 +1,119 @@
+type error = Unreachable | Crashed | Timed_out | No_service
+
+let error_to_string = function
+  | Unreachable -> "unreachable"
+  | Crashed -> "crashed"
+  | Timed_out -> "timed out"
+  | No_service -> "no service"
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+type ('req, 'resp) endpoint = {
+  ep_name : string;
+  inject_req : 'req -> Univ.t;
+  project_req : Univ.t -> 'req option;
+  inject_resp : 'resp -> Univ.t;
+  project_resp : Univ.t -> 'resp option;
+}
+
+let endpoint name =
+  let inject_req, project_req = Univ.embed () in
+  let inject_resp, project_resp = Univ.embed () in
+  { ep_name = name; inject_req; project_req; inject_resp; project_resp }
+
+let endpoint_name ep = ep.ep_name
+
+(* A raw handler receives the request payload and a [reply] callback. The
+   reply callback transports the response back to the caller. *)
+type raw_handler = Univ.t -> reply:(Univ.t -> unit) -> unit
+
+type t = {
+  net : Network.t;
+  services : (Network.node_id * string, raw_handler) Hashtbl.t;
+  default_timeout : float;
+}
+
+let create ?(default_timeout = 60.0) net =
+  { net; services = Hashtbl.create 64; default_timeout }
+
+let network t = t.net
+
+let serve t ~node ep h =
+  let raw payload ~reply =
+    match ep.project_req payload with
+    | None ->
+        failwith
+          (Printf.sprintf "Rpc.serve: payload type mismatch on %s@%s"
+             ep.ep_name node)
+    | Some req -> reply (ep.inject_resp (h req))
+  in
+  Hashtbl.replace t.services (node, ep.ep_name) raw
+
+let withdraw t ~node ep = Hashtbl.remove t.services (node, ep.ep_name)
+
+let serving t ~node ep = Hashtbl.mem t.services (node, ep.ep_name)
+
+let record t fmt =
+  Sim.Trace.recordf (Network.trace t.net)
+    ~now:(Sim.Engine.now (Network.engine t.net))
+    ~tag:"rpc" fmt
+
+let call t ~from ~dst ?timeout ep req =
+  let eng = Network.engine t.net in
+  Sim.Metrics.incr (Network.metrics t.net) "rpc.calls";
+  if not (Network.reachable t.net from dst) then begin
+    (* The callee is already known-dead (or unreachable): the failure
+       detector answers after one detection latency. *)
+    Sim.Engine.sleep eng (Network.sample_latency t.net);
+    record t "%s: %s.%s -> unreachable" from dst ep.ep_name;
+    Sim.Metrics.incr (Network.metrics t.net) "rpc.unreachable";
+    Error Unreachable
+  end
+  else begin
+    let watch_ref = ref None in
+    let register resume =
+      let finish r =
+        (match !watch_ref with
+        | Some w -> Network.unwatch t.net dst w
+        | None -> ());
+        resume (Ok r)
+      in
+      watch_ref := Some (Network.watch_crash t.net dst (fun () -> finish (Error Crashed)));
+      Network.send t.net ~src:from ~dst (fun () ->
+          match Hashtbl.find_opt t.services (dst, ep.ep_name) with
+          | None ->
+              Network.send t.net ~src:dst ~dst:from (fun () ->
+                  finish (Error No_service))
+          | Some raw ->
+              raw (ep.inject_req req) ~reply:(fun resp_payload ->
+                  Network.send t.net ~src:dst ~dst:from (fun () ->
+                      match ep.project_resp resp_payload with
+                      | Some resp -> finish (Ok resp)
+                      | None ->
+                          failwith
+                            (Printf.sprintf
+                               "Rpc.call: response type mismatch on %s"
+                               ep.ep_name))))
+    in
+    let dt = match timeout with Some dt -> dt | None -> t.default_timeout in
+    let outcome =
+      match Sim.Engine.timeout eng dt register with
+      | Ok r -> r
+      | Error _ -> Error Timed_out
+    in
+    (match outcome with
+    | Ok _ -> ()
+    | Error e ->
+        record t "%s: %s.%s -> %s" from dst ep.ep_name (error_to_string e);
+        Sim.Metrics.incr (Network.metrics t.net)
+          ("rpc." ^ String.map (function ' ' -> '_' | c -> c) (error_to_string e)));
+    outcome
+  end
+
+let notify t ~from ~dst ep req =
+  Sim.Metrics.incr (Network.metrics t.net) "rpc.notifies";
+  if Network.reachable t.net from dst then
+    Network.send t.net ~src:from ~dst (fun () ->
+        match Hashtbl.find_opt t.services (dst, ep.ep_name) with
+        | None -> ()
+        | Some raw -> raw (ep.inject_req req) ~reply:(fun _ -> ()))

@@ -1,0 +1,87 @@
+(** Remote procedure calls over the simulated network.
+
+    An {e endpoint} is a typed name for a remote operation; the process
+    that implements it registers a handler with [serve], and clients invoke
+    it with [call]. Handlers run as fibers on the callee node and may
+    themselves suspend (perform nested calls, take locks, sleep).
+
+    Failure semantics follow the paper's assumptions: nodes are fail-silent
+    and failures are detectable. A call returns:
+    - [Ok v] — the handler ran to completion and the reply arrived;
+    - [Error Unreachable] — the callee was already down (or partitioned
+      away) when the call was made; the caller learns after one
+      failure-detection latency;
+    - [Error Crashed] — the callee crashed after accepting the call and
+      before replying; the perfect failure detector notifies the caller;
+    - [Error Timed_out] — no reply within the caller-supplied timeout
+      (used by protocols that bound waiting);
+    - [Error No_service] — the callee is up but no handler is registered
+      (e.g. it crashed and its recovery has not re-activated the service).
+
+    Service {e registrations} survive crashes — per §3.1 the executable
+    code of an object's operations lives on stable storage — but a handler
+    can consult volatile state that crash hooks have reset, and
+    registrations can be explicitly [withdraw]n to model services that must
+    be re-announced after recovery. *)
+
+type t
+(** RPC runtime bound to one network. *)
+
+type error = Unreachable | Crashed | Timed_out | No_service
+
+val pp_error : Format.formatter -> error -> unit
+(** Render an error for traces and messages. *)
+
+val error_to_string : error -> string
+
+type ('req, 'resp) endpoint
+(** A typed operation name. Create exactly one endpoint value per logical
+    operation and share it between server and client code. *)
+
+val endpoint : string -> ('req, 'resp) endpoint
+(** [endpoint name] is a fresh endpoint. Two endpoints created by separate
+    calls never interoperate, even with equal names. *)
+
+val endpoint_name : ('req, 'resp) endpoint -> string
+
+val create : ?default_timeout:float -> Network.t -> t
+(** [create net] is an RPC runtime for [net]. [default_timeout] (60.0)
+    bounds every call that does not pass its own [?timeout]: the crash
+    watch covers fail-silent deaths, but a network {e partition} severs
+    the reply path without killing anyone, and an unbounded call would
+    hang forever. The default is far above any legitimate handler time
+    (lock waits are bounded at 30 by convention). *)
+
+val network : t -> Network.t
+(** The underlying network. *)
+
+val serve :
+  t -> node:Network.node_id -> ('req, 'resp) endpoint -> ('req -> 'resp) -> unit
+(** [serve t ~node ep h] installs [h] as the handler for [ep] on [node],
+    replacing any previous handler. [h] runs in a fiber on [node] for each
+    incoming call. *)
+
+val withdraw : t -> node:Network.node_id -> ('req, 'resp) endpoint -> unit
+(** Remove the handler for [ep] on [node]; subsequent calls get
+    [Error No_service]. *)
+
+val serving : t -> node:Network.node_id -> ('req, 'resp) endpoint -> bool
+(** Whether a handler is currently installed. *)
+
+val call :
+  t ->
+  from:Network.node_id ->
+  dst:Network.node_id ->
+  ?timeout:float ->
+  ('req, 'resp) endpoint ->
+  'req ->
+  ('resp, error) result
+(** [call t ~from ~dst ep req] invokes [ep] on [dst] from a fiber running
+    on [from]. Suspends the calling fiber until the reply, a failure
+    notification, or the [timeout] (default: none). Must be called from
+    within a fiber. *)
+
+val notify :
+  t -> from:Network.node_id -> dst:Network.node_id -> ('req, unit) endpoint -> 'req -> unit
+(** One-way, best-effort message: runs the handler on [dst] if it is
+    reachable, drops silently otherwise. Never blocks. *)

@@ -1,0 +1,9 @@
+type t = ..
+
+let embed (type a) () =
+  let module M = struct
+    type t += Case of a
+  end in
+  let inject (x : a) = M.Case x in
+  let project = function M.Case x -> Some x | _ -> None in
+  (inject, project)

@@ -1,0 +1,13 @@
+(** Universal type used to carry heterogeneous payloads through the
+    network layer without [Obj.magic].
+
+    Each call to [embed] creates a fresh, private constructor; only the
+    matching projection recovers the value. RPC endpoints and multicast
+    channels each own one embedding, giving them type-safe wire payloads. *)
+
+type t
+(** A universally typed payload. *)
+
+val embed : unit -> ('a -> t) * (t -> 'a option)
+(** [embed ()] is a fresh injection/projection pair. The projection
+    returns [None] on payloads created by any other embedding. *)

@@ -1,0 +1,1 @@
+lib/replica/commit.ml: Action Group List Net Server Sim Store

@@ -1,0 +1,1 @@
+lib/replica/commit.mli: Action Group Net Store

@@ -1,0 +1,1 @@
+lib/replica/group.ml: Action Format Hashtbl List Net Policy Server Sim Store

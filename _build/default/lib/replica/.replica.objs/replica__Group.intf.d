@@ -1,0 +1,1 @@
+lib/replica/group.mli: Action Format Net Policy Server Store

@@ -1,0 +1,1 @@
+lib/replica/object_impl.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/replica/passivator.ml: Action Hashtbl List Net Server Sim Store

@@ -1,0 +1,1 @@
+lib/replica/passivator.mli: Net Server

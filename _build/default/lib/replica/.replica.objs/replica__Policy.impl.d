@@ -1,0 +1,1 @@
+lib/replica/policy.ml: Format Printf

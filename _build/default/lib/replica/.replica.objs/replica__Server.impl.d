@@ -1,0 +1,1 @@
+lib/replica/server.ml: Action Hashtbl List Lockmgr Net Object_impl Option Printf Sim Store String

@@ -1,0 +1,1 @@
+lib/replica/server.mli: Action Hashtbl Net Object_impl Store

@@ -1,0 +1,110 @@
+let attach rt act group ?current_stores ?note_version ~exclude () =
+  let art = Server.atomic_runtime (Group.server_runtime rt) in
+  let sh = Action.Atomic.store_host art in
+  let metrics = Net.Network.metrics (Action.Atomic.network art) in
+  let read_stores =
+    match current_stores with
+    | Some f -> f
+    | None -> fun _ -> Ok group.Group.g_stores
+  in
+  Action.Atomic.before_commit act (fun () ->
+      match Group.commit_view rt group ~act with
+      | Error why -> Error ("commit view: " ^ why)
+      | Ok view when not view.Server.cv_dirty ->
+          (* Read optimisation: no state change, no copy, no exclusion. *)
+          Sim.Metrics.incr metrics "commit.read_optimised";
+          Ok ()
+      | Ok view -> (
+          match read_stores act with
+          | Error why -> Error ("commit-time GetView: " ^ why)
+          | Ok current_st -> (
+          let client = Action.Atomic.node act in
+          let action = Action.Atomic.owner act in
+          let state =
+            Store.Object_state.make ~payload:view.Server.cv_payload
+              ~version:view.Server.cv_version
+          in
+          let ok, stale, unreachable =
+            List.fold_left
+              (fun (ok, stale, unreachable) store ->
+                match
+                  Action.Store_host.prepare sh ~from:client ~store ~action
+                    ~coordinator:client
+                    [ (group.Group.g_uid, state) ]
+                with
+                | Ok Action.Store_host.Vote_yes ->
+                    (store :: ok, stale, unreachable)
+                | Ok Action.Store_host.Vote_stale ->
+                    (ok, store :: stale, unreachable)
+                | Error _ -> (ok, stale, store :: unreachable))
+              ([], [], []) current_st
+          in
+          let ok = List.rev ok and failed = List.rev unreachable in
+          (* Any early abort from here on must withdraw the prepare
+             records just written: a prepared record is a write
+             reservation at the store, and leaking one blocks every
+             future writer of the object. *)
+          let withdraw_prepares () =
+            List.iter
+              (fun store ->
+                ignore (Action.Store_host.abort sh ~from:client ~store ~action))
+              ok
+          in
+          if stale <> [] then begin
+            withdraw_prepares ();
+            (* Backward validation failed: this action worked from a stale
+               activation (disjoint replica sets during churn — the
+               split-brain Arjuna's persistent lock store physically
+               prevents). Abort, and once the abort has drained the
+               action's locks, passivate the group's instances so the
+               next bind re-activates from the latest committed state. *)
+            Sim.Metrics.incr metrics "commit.conflicts";
+            Action.Atomic.after_abort act (fun () ->
+                List.iter
+                  (fun m ->
+                    ignore
+                      (Server.passivate (Group.server_runtime rt) ~from:client
+                         ~server:m ~uid:group.Group.g_uid))
+                  (Group.live_members rt group));
+            Error "stale activation: version conflict at object stores"
+          end
+          else
+            match ok with
+            | [] -> Error "all object stores unavailable at commit"
+            | _ -> (
+              let proceed =
+                if failed = [] then Ok ()
+                else begin
+                  Sim.Metrics.incr metrics "commit.exclusions"
+                    ~by:(List.length failed);
+                  exclude act failed
+                end
+              in
+              let proceed =
+                match proceed with
+                | Error why -> Error ("exclude failed: " ^ why)
+                | Ok () -> (
+                    match note_version with
+                    | None -> Ok ()
+                    | Some note -> (
+                        match note act view.Server.cv_version with
+                        | Ok () -> Ok ()
+                        | Error why -> Error ("version note refused: " ^ why)))
+              in
+              match proceed with
+              | Error why ->
+                  withdraw_prepares ();
+                  Error why
+              | Ok () ->
+                  Sim.Metrics.incr metrics ~by:(List.length ok)
+                    "commit.state_copies";
+                  List.iter
+                    (fun store ->
+                      Action.Atomic.add_participant act ~name:("st-copy:" ^ store)
+                        ~prepare:(fun () -> true)
+                        ~commit:(fun () ->
+                          ignore (Action.Store_host.commit sh ~from:client ~store ~action))
+                        ~abort:(fun () ->
+                          ignore (Action.Store_host.abort sh ~from:client ~store ~action)))
+                    ok;
+                  Ok ()))))

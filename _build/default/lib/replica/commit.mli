@@ -1,0 +1,46 @@
+(** Commit processing and object passivation (§2.3(3)).
+
+    When a client action that used a replicated object commits, the new
+    state must reach the object stores of every node in [StA], and the
+    naming service's view must stay accurate: stores the copy could not
+    reach are {e excluded} so later clients never bind to stale states.
+
+    [attach] installs this as a before-commit hook of the action:
+
+    + fetch the commit view from a functioning replica (abort if none);
+    + {e read optimisation}: if the action never modified the object, skip
+      the copy entirely;
+    + prepare the new state on every node of the group's [StA] view;
+    + if {e every} store is unreachable, abort;
+    + if {e some} failed, invoke the [exclude] callback (provided by the
+      naming layer; it performs the paper's lock promotion and [Exclude]
+      within the same action — its failure aborts too);
+    + register the successful stores as phase-2 participants. *)
+
+val attach :
+  Group.runtime ->
+  Action.Atomic.t ->
+  Group.t ->
+  ?current_stores:
+    (Action.Atomic.t -> (Net.Network.node_id list, string) result) ->
+  ?note_version:
+    (Action.Atomic.t -> Store.Version.t -> (unit, string) result) ->
+  exclude:
+    (Action.Atomic.t -> Net.Network.node_id list -> (unit, string) result) ->
+  unit ->
+  unit
+(** [attach rt act group ~exclude ()] arranges commit-time state copy-back
+    for [group] under [act]. Call once per (action, bound group).
+
+    [note_version] records the version this commit installs in the naming
+    service's committed-version fence (see {!Naming.Gvd.note_version});
+    its failure aborts the commit. The default records nothing.
+
+    [current_stores] re-reads [StA] {e at commit time}, under a lock owned
+    by [act] (the naming layer passes a [GetView]); the default uses the
+    bind-time view. The fresh read is what keeps the copy-back correct
+    under the independent/nested-top-level schemes: their bind-time view
+    is read in a separate action, so a recovered store's [Include] can
+    commit between bind and commit — the copy must target the {e current}
+    membership or the re-included store is left stale while listed in
+    [StA] (the enhancement §4.2.1(ii) alludes to). *)

@@ -1,0 +1,157 @@
+type t = {
+  impl_name : string;
+  initial : string;
+  apply : string -> string -> string * string;
+}
+
+let registry () : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let register reg impl = Hashtbl.replace reg impl.impl_name impl
+
+let find reg name = Hashtbl.find reg name
+
+let split_op op =
+  match String.index_opt op ' ' with
+  | None -> (op, "")
+  | Some i ->
+      ( String.sub op 0 i,
+        String.sub op (i + 1) (String.length op - i - 1) )
+
+let counter =
+  {
+    impl_name = "counter";
+    initial = "0";
+    apply =
+      (fun payload op ->
+        let v = int_of_string payload in
+        match split_op op with
+        | "incr", _ ->
+            let v = v + 1 in
+            (string_of_int v, string_of_int v)
+        | "add", n ->
+            let v = v + int_of_string n in
+            (string_of_int v, string_of_int v)
+        | "get", _ -> (payload, payload)
+        | other, _ -> (payload, "unknown op: " ^ other));
+  }
+
+let account =
+  {
+    impl_name = "account";
+    initial = "0";
+    apply =
+      (fun payload op ->
+        let balance = int_of_string payload in
+        match split_op op with
+        | "deposit", n ->
+            let balance = balance + int_of_string n in
+            (string_of_int balance, string_of_int balance)
+        | "withdraw", n ->
+            let amount = int_of_string n in
+            if amount > balance then (payload, "insufficient")
+            else
+              let balance = balance - amount in
+              (string_of_int balance, string_of_int balance)
+        | "balance", _ -> (payload, payload)
+        | other, _ -> (payload, "unknown op: " ^ other));
+  }
+
+let register_cell =
+  {
+    impl_name = "register";
+    initial = "";
+    apply =
+      (fun payload op ->
+        match split_op op with
+        | "write", s -> (s, "ok")
+        | "read", _ -> (payload, payload)
+        | other, _ -> (payload, "unknown op: " ^ other));
+  }
+
+let split_items payload =
+  if String.equal payload "" then [] else String.split_on_char ',' payload
+
+let join_items items = String.concat "," items
+
+let fifo_queue =
+  {
+    impl_name = "queue";
+    initial = "";
+    apply =
+      (fun payload op ->
+        let items = split_items payload in
+        match split_op op with
+        | "push", s -> (join_items (items @ [ s ]), "ok")
+        | "pop", _ -> (
+            match items with
+            | [] -> (payload, "empty")
+            | x :: rest -> (join_items rest, x))
+        | "peek", _ -> (
+            match items with [] -> (payload, "empty") | x :: _ -> (payload, x))
+        | "length", _ -> (payload, string_of_int (List.length items))
+        | other, _ -> (payload, "unknown op: " ^ other));
+  }
+
+let string_set =
+  {
+    impl_name = "set";
+    initial = "";
+    apply =
+      (fun payload op ->
+        let items = split_items payload in
+        match split_op op with
+        | "add", s ->
+            if List.mem s items then (payload, "present")
+            else (join_items (List.sort String.compare (s :: items)), "added")
+        | "remove", s ->
+            if List.mem s items then
+              (join_items (List.filter (fun x -> x <> s) items), "removed")
+            else (payload, "absent")
+        | "mem", s -> (payload, string_of_bool (List.mem s items))
+        | "size", _ -> (payload, string_of_int (List.length items))
+        | other, _ -> (payload, "unknown op: " ^ other));
+  }
+
+let kv_map =
+  let parse payload =
+    if String.equal payload "" then []
+    else
+      List.map
+        (fun pair ->
+          match String.index_opt pair '=' with
+          | Some i ->
+              ( String.sub pair 0 i,
+                String.sub pair (i + 1) (String.length pair - i - 1) )
+          | None -> (pair, ""))
+        (String.split_on_char ';' payload)
+  in
+  let render entries =
+    entries
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (k, v) -> k ^ "=" ^ v)
+    |> String.concat ";"
+  in
+  {
+    impl_name = "kvmap";
+    initial = "";
+    apply =
+      (fun payload op ->
+        let entries = parse payload in
+        match split_op op with
+        | "put", rest -> (
+            match String.index_opt rest ' ' with
+            | Some i ->
+                let k = String.sub rest 0 i in
+                let v = String.sub rest (i + 1) (String.length rest - i - 1) in
+                (render ((k, v) :: List.remove_assoc k entries), "ok")
+            | None -> (payload, "usage: put k v"))
+        | "get", k -> (
+            match List.assoc_opt k entries with
+            | Some v -> (payload, v)
+            | None -> (payload, "(none)"))
+        | "del", k -> (render (List.remove_assoc k entries), "ok")
+        | "size", _ -> (payload, string_of_int (List.length entries))
+        | other, _ -> (payload, "unknown op: " ^ other));
+  }
+
+let stock_all = [ counter; account; register_cell; fifo_queue; string_set; kv_map ]

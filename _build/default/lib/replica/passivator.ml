@@ -1,0 +1,53 @@
+type t = { p_node : Net.Network.node_id }
+
+let net srv = Action.Atomic.network (Server.atomic_runtime srv)
+let eng srv = Action.Atomic.engine (Server.atomic_runtime srv)
+
+(* Quiescent-since bookkeeping lives in the daemon, not the instance: a
+   fresh sweep observing a quiescent instance stamps it; a later sweep
+   passivates it if it stayed quiescent past the grace period. Any
+   non-quiescent observation clears the stamp. *)
+let sweep srv ~node ~idle_after stamps =
+  let now = Sim.Engine.now (eng srv) in
+  let passivated = ref 0 in
+  List.iter
+    (fun uid ->
+      let key = Store.Uid.to_string uid in
+      match Server.quiescent srv ~from:node ~server:node ~uid with
+      | Ok true -> (
+          match Hashtbl.find_opt stamps key with
+          | None -> Hashtbl.replace stamps key now
+          | Some since when now -. since >= idle_after -> (
+              match Server.passivate srv ~from:node ~server:node ~uid with
+              | Ok true ->
+                  incr passivated;
+                  Hashtbl.remove stamps key;
+                  Sim.Metrics.incr
+                    (Net.Network.metrics (net srv))
+                    "server.auto_passivations"
+              | Ok false | Error _ -> ())
+          | Some _ -> ())
+      | Ok false | Error _ -> Hashtbl.remove stamps key)
+    (Server.local_instances srv ~node);
+  !passivated
+
+let sweep_now srv ~node ~idle_after =
+  (* Immediate sweep: pretend every instance was first observed quiescent
+     [idle_after] ago, so currently-quiescent ones passivate right away. *)
+  let stamps = Hashtbl.create 8 in
+  let backdated = Sim.Engine.now (eng srv) -. idle_after in
+  List.iter
+    (fun uid -> Hashtbl.replace stamps (Store.Uid.to_string uid) backdated)
+    (Server.local_instances srv ~node);
+  sweep srv ~node ~idle_after stamps
+
+let start srv ~node ?(period = 20.0) ?(idle_after = 30.0) () =
+  let stamps = Hashtbl.create 8 in
+  Net.Network.spawn_on (net srv) node ~name:(node ^ ".passivator") (fun () ->
+      let rec loop () =
+        Sim.Engine.sleep (eng srv) period;
+        ignore (sweep srv ~node ~idle_after stamps : int);
+        loop ()
+      in
+      loop ());
+  { p_node = node }

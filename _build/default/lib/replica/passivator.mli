@@ -1,0 +1,36 @@
+(** Automatic passivation of quiescent servers (§2.3(3)).
+
+    "An active copy of an object which is no longer in use will be said to
+    be in a quiescent state; a quiescent object can passivate itself by
+    destroying the server." The passivator is a daemon fiber per server
+    node: every sweep it destroys instances that have been continuously
+    quiescent for at least [idle_after] — the grace period avoids
+    thrashing between back-to-back actions. The instance's committed state
+    is already safe on the object stores (commit processing put it there),
+    so passivation is pure memory reclamation; the next bind simply
+    re-activates from a store.
+
+    Passivation does not need to inform the naming service: [SvA] lists
+    nodes {e able} to run a server (the capability is unaffected), and the
+    use lists already show the object as unused. *)
+
+type t
+(** Handle for the daemon on one node. *)
+
+val start :
+  Server.runtime ->
+  node:Net.Network.node_id ->
+  ?period:float ->
+  ?idle_after:float ->
+  unit ->
+  t
+(** [start srv ~node ()] launches the sweeping daemon (defaults: [period]
+    20.0, [idle_after] 30.0). Passivations are counted in the
+    [server.auto_passivations] metric. The daemon is an infinite fiber:
+    worlds running it must drive the engine with a time bound. It dies
+    with the node and must be restarted by a recovery hook if wanted
+    across crashes. *)
+
+val sweep_now : Server.runtime -> node:Net.Network.node_id -> idle_after:float -> int
+(** One synchronous sweep from a fiber on [node]; returns the number of
+    instances passivated. *)

@@ -1,0 +1,12 @@
+type t = Single_copy_passive | Active of int | Coordinator_cohort of int
+
+let replicas = function
+  | Single_copy_passive -> 1
+  | Active k | Coordinator_cohort k -> k
+
+let to_string = function
+  | Single_copy_passive -> "single-copy-passive"
+  | Active k -> Printf.sprintf "active(%d)" k
+  | Coordinator_cohort k -> Printf.sprintf "coordinator-cohort(%d)" k
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,21 @@
+(** The three object replication policies of §2.3(2). *)
+
+type t =
+  | Single_copy_passive
+      (** One activated copy; its state is checkpointed to the object
+          stores at commit (Alsberg-Day style). A server crash aborts the
+          affected action. *)
+  | Active of int
+      (** [Active k]: [k] copies activated on distinct nodes, all
+          processing every (totally ordered) invocation; up to [k-1]
+          server crashes are masked. *)
+  | Coordinator_cohort of int
+      (** [Coordinator_cohort k]: [k] copies activated, only the
+          coordinator processes; it checkpoints to the cohorts after every
+          state change; on coordinator failure a cohort takes over. *)
+
+val replicas : t -> int
+(** Number of activated copies the policy requests. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

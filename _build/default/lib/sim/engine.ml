@@ -1,0 +1,174 @@
+type group = { gid : int; mutable alive : bool }
+
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable gid : int;
+  queue : event Heap.t;
+  root : group;
+  engine_rng : Rng.t;
+  mutable fiber_error : exn option;
+  mutable processed : int;
+  mutable suspended : int;
+  mutable detect_deadlock : bool;
+}
+
+exception Deadlock of string
+exception Timed_out
+
+let compare_event a b =
+  match Float.compare a.time b.time with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.0;
+    seq = 0;
+    gid = 1;
+    queue = Heap.create ~compare:compare_event;
+    root = { gid = 0; alive = true };
+    engine_rng = Rng.create seed;
+    fiber_error = None;
+    processed = 0;
+    suspended = 0;
+    detect_deadlock = false;
+  }
+
+let rng t = t.engine_rng
+let now t = t.clock
+let root_group t = t.root
+
+let new_group t =
+  let g = { gid = t.gid; alive = true } in
+  t.gid <- t.gid + 1;
+  g
+
+let kill_group t g = if g != t.root then g.alive <- false
+let group_alive g = g.alive
+
+let push t ~delay thunk =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  let e = { time = t.clock +. delay; seq = t.seq; thunk } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue e
+
+let schedule t ~delay f = push t ~delay f
+
+type 'a resumer = ('a, exn) result -> unit
+
+type _ Effect.t += Suspend : (group * ('a resumer -> unit)) -> 'a Effect.t
+
+(* The group of the fiber code currently executing. Every code path that
+   runs fiber code (initial start, resumption) sets this first; it is never
+   read outside fiber code, so stale values between events are harmless. *)
+let current_group : group ref = ref { gid = -1; alive = true }
+
+(* Each fiber runs under one deep handler installed by [spawn]. The handler
+   turns [Suspend] into a queue-mediated resumption: the registrant receives
+   a [resume] closure which (idempotently, and only while the fiber's group
+   is alive) schedules the continuation. A killed group drops resumptions,
+   so the fiber disappears at its suspension point without unwinding —
+   matching fail-silent crash semantics. *)
+let spawn t ?group ?(name = "fiber") f =
+  let g = match group with None -> t.root | Some g -> g in
+  let body () =
+    current_group := g;
+    f ()
+  in
+  let handler () =
+    let open Effect.Deep in
+    match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc =
+          (fun e ->
+            let bt = Printexc.get_backtrace () in
+            if t.fiber_error = None then
+              t.fiber_error <-
+                Some
+                  (Failure
+                     (Printf.sprintf "fiber %s died: %s\n%s" name
+                        (Printexc.to_string e) bt)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend (fg, register) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    t.suspended <- t.suspended + 1;
+                    let fired = ref false in
+                    let resume (r : (a, exn) result) =
+                      if (not !fired) && fg.alive then begin
+                        fired := true;
+                        t.suspended <- t.suspended - 1;
+                        push t ~delay:0.0 (fun () ->
+                            if fg.alive then begin
+                              current_group := fg;
+                              match r with
+                              | Ok v -> continue k v
+                              | Error e -> discontinue k e
+                            end)
+                      end
+                    in
+                    register resume)
+            | _ -> None);
+      }
+  in
+  if g.alive then push t ~delay:0.0 (fun () -> if g.alive then handler ())
+
+let suspend _t register =
+  let g = !current_group in
+  Effect.perform (Suspend (g, register))
+
+let sleep t dt =
+  suspend t (fun resume -> push t ~delay:dt (fun () -> resume (Ok ())))
+
+let yield t = sleep t 0.0
+
+let timeout t dt register =
+  let g = !current_group in
+  match
+    Effect.perform
+      (Suspend
+         ( g,
+           fun resume ->
+             push t ~delay:dt (fun () -> resume (Error Timed_out));
+             register resume ))
+  with
+  | v -> Ok v
+  | exception Timed_out -> Error Timed_out
+
+let set_detect_deadlock t flag = t.detect_deadlock <- flag
+
+let run ?(until = infinity) ?(max_steps = max_int) t =
+  let rec loop steps =
+    if steps >= max_steps then ()
+    else
+      match Heap.peek t.queue with
+      | None ->
+          if t.detect_deadlock && t.suspended > 0 then
+            raise
+              (Deadlock
+                 (Printf.sprintf "%d fiber(s) suspended with empty queue"
+                    t.suspended))
+      | Some e when e.time > until -> ()
+      | Some _ -> (
+          match Heap.pop t.queue with
+          | None -> ()
+          | Some e ->
+              t.clock <- (if e.time > t.clock then e.time else t.clock);
+              t.processed <- t.processed + 1;
+              e.thunk ();
+              (match t.fiber_error with
+              | Some err ->
+                  t.fiber_error <- None;
+                  raise err
+              | None -> ());
+              loop (steps + 1))
+  in
+  loop 0
+
+let processed_events t = t.processed

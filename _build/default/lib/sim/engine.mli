@@ -1,0 +1,100 @@
+(** Deterministic discrete-event simulation engine with lightweight fibers.
+
+    Protocol code runs inside {e fibers}: cooperative coroutines implemented
+    with OCaml 5 effect handlers. A fiber performs ordinary OCaml computation
+    between {e suspension points} ([sleep], [suspend], channel reads, ...);
+    only suspension points advance the virtual clock, so each segment of
+    computation is atomic with respect to every other fiber. This is exactly
+    the discrete-event model: determinism comes from the strictly ordered
+    event queue (time, then insertion sequence).
+
+    Fibers belong to {e groups}. Killing a group (used to model a node
+    crash) prevents every fiber of the group from ever being resumed; the
+    fiber simply vanishes at its current suspension point, mirroring a
+    fail-silent processor that stops mid-protocol without running cleanup
+    handlers. *)
+
+type t
+(** A simulation engine instance. *)
+
+type group
+(** A fiber group; typically one per simulated node incarnation. *)
+
+exception Deadlock of string
+(** Raised by [run] when deadlock detection is enabled (see
+    {!set_detect_deadlock}) and the event queue drains while fibers are
+    still suspended. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ?seed ()] is a fresh engine with virtual clock 0. [seed]
+    (default [1L]) seeds the engine's root {!Rng.t}. *)
+
+val rng : t -> Rng.t
+(** The engine's root random generator. Split it rather than sharing it
+    between independent components. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val root_group : t -> group
+(** The group that owns fibers not tied to any node. It is never killed. *)
+
+val new_group : t -> group
+(** [new_group t] is a fresh, live fiber group. *)
+
+val kill_group : t -> group -> unit
+(** [kill_group t g] kills [g]: fibers of [g] currently suspended are never
+    resumed, and future resumptions of its fibers are dropped. Spawning into
+    a killed group is a silent no-op (the fiber never starts). *)
+
+val group_alive : group -> bool
+(** Whether the group is still live. *)
+
+val spawn : t -> ?group:group -> ?name:string -> (unit -> unit) -> unit
+(** [spawn t ~group ~name f] schedules fiber [f] to start at the current
+    virtual time, after already-queued events. An exception escaping [f]
+    (other than the internal kill signal) is recorded and re-raised by
+    {!run}. [name] is used in error reports. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs the plain callback [f] at time [now t +.
+    delay]. [f] must not perform fiber effects; use [spawn] for that. *)
+
+type 'a resumer = ('a, exn) result -> unit
+(** Completion callback handed to [suspend] registrants: call it once with
+    [Ok v] to resume the fiber with [v], or [Error e] to raise [e] inside
+    the fiber. Subsequent calls are ignored, which makes races between a
+    result and a timeout safe. *)
+
+val suspend : t -> ('a resumer -> unit) -> 'a
+(** [suspend t register] suspends the calling fiber and calls
+    [register resume]. The fiber resumes when [resume] is first invoked.
+    Must be called from within a fiber. *)
+
+val sleep : t -> float -> unit
+(** [sleep t dt] suspends the calling fiber for [dt] units of virtual
+    time. [dt] is clamped to be non-negative. *)
+
+val yield : t -> unit
+(** [yield t] re-queues the calling fiber at the current time, letting
+    other ready fibers run first. *)
+
+val timeout : t -> float -> ('a resumer -> unit) -> ('a, exn) result
+(** [timeout t dt register] is like [suspend] but resumes with
+    [Error Timed_out] if nothing resumed the fiber within [dt]. *)
+
+exception Timed_out
+(** Raised (inside the fiber) when a [timeout] expires. *)
+
+val set_detect_deadlock : t -> bool -> unit
+(** Enable or disable deadlock detection in [run]. Off by default: a
+    simulation that ends while daemon fibers wait for work is normal; in
+    crash-free unit tests, turning detection on catches lost wakeups. *)
+
+val run : ?until:float -> ?max_steps:int -> t -> unit
+(** [run t] processes events in (time, sequence) order until the queue is
+    empty, time exceeds [until], or [max_steps] events have been processed.
+    Re-raises the first exception that escaped a fiber, if any. *)
+
+val processed_events : t -> int
+(** Number of events processed so far; useful for budget assertions. *)

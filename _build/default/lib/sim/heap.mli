@@ -1,0 +1,34 @@
+(** Resizable binary min-heap, used as the simulator's event queue.
+
+    The heap is polymorphic in its element type; the ordering is fixed at
+    creation time by a [compare] function following the [Stdlib.compare]
+    convention. All operations are amortised O(log n) except [peek] and
+    [length], which are O(1). *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : compare:('a -> 'a -> int) -> 'a t
+(** [create ~compare] is an empty heap ordered by [compare]. *)
+
+val length : 'a t -> int
+(** [length h] is the number of elements currently stored in [h]. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x] into [h]. *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element of [h], without removing it. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element of [h]. *)
+
+val clear : 'a t -> unit
+(** [clear h] removes every element from [h]. *)
+
+val to_list : 'a t -> 'a list
+(** [to_list h] is a snapshot of the elements of [h] in unspecified order.
+    [h] is unchanged. *)

@@ -1,0 +1,43 @@
+type 'a t = {
+  messages : 'a Queue.t;
+  mutable waiters : unit Engine.resumer list; (* newest first *)
+}
+
+let create () = { messages = Queue.create (); waiters = [] }
+
+(* Waiters are woken with a "check again" token rather than handed the
+   message directly: a waiter may be stale (its fiber timed out or its group
+   was killed, in which case the engine drops the resumption). Waking every
+   waiter and letting each re-poll the queue avoids lost wakeups at the cost
+   of a small thundering herd, which is negligible at simulation scale. *)
+let send mb m =
+  Queue.push m mb.messages;
+  let waiters = List.rev mb.waiters in
+  mb.waiters <- [];
+  List.iter (fun resume -> resume (Ok ())) waiters
+
+let rec recv eng mb =
+  match Queue.take_opt mb.messages with
+  | Some m -> m
+  | None ->
+      Engine.suspend eng (fun resume -> mb.waiters <- resume :: mb.waiters);
+      recv eng mb
+
+let rec recv_timeout eng dt mb =
+  match Queue.take_opt mb.messages with
+  | Some m -> Ok m
+  | None -> (
+      let started = Engine.now eng in
+      match
+        Engine.timeout eng dt (fun resume ->
+            mb.waiters <- resume :: mb.waiters)
+      with
+      | Error _ as e -> e
+      | Ok () ->
+          let remaining = dt -. (Engine.now eng -. started) in
+          if remaining <= 0.0 then Error Engine.Timed_out
+          else recv_timeout eng remaining mb)
+
+let try_recv mb = Queue.take_opt mb.messages
+
+let length mb = Queue.length mb.messages

@@ -1,0 +1,29 @@
+(** Unbounded FIFO channel between fibers.
+
+    Any number of fibers may send; any number may receive. Messages are
+    delivered in send order to receivers in arrival order. A mailbox models
+    a server's request queue. *)
+
+type 'a t
+(** A mailbox carrying messages of type ['a]. *)
+
+val create : unit -> 'a t
+(** A fresh, empty mailbox. *)
+
+val send : 'a t -> 'a -> unit
+(** [send mb m] enqueues [m], waking one waiting receiver if any. Never
+    blocks. *)
+
+val recv : Engine.t -> 'a t -> 'a
+(** [recv eng mb] dequeues the oldest message, suspending the calling fiber
+    until one is available. *)
+
+val recv_timeout : Engine.t -> float -> 'a t -> ('a, exn) result
+(** [recv_timeout eng dt mb] is [Ok m] if a message arrived within [dt],
+    [Error Engine.Timed_out] otherwise. On timeout no message is consumed. *)
+
+val try_recv : 'a t -> 'a option
+(** Dequeue without blocking. *)
+
+val length : 'a t -> int
+(** Number of queued (undelivered) messages. *)

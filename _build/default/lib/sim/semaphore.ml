@@ -1,0 +1,42 @@
+type t = {
+  mutable permits : int;
+  mutable waiters : unit Engine.resumer list; (* newest first *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative capacity";
+  { permits = n; waiters = [] }
+
+let rec acquire eng s =
+  if s.permits > 0 then s.permits <- s.permits - 1
+  else begin
+    Engine.suspend eng (fun resume -> s.waiters <- resume :: s.waiters);
+    acquire eng s
+  end
+
+let try_acquire s =
+  if s.permits > 0 then begin
+    s.permits <- s.permits - 1;
+    true
+  end
+  else false
+
+let release s =
+  s.permits <- s.permits + 1;
+  (* Wake everyone; stale waiters are dropped by the engine and live ones
+     re-check the permit count (see Mailbox for the rationale). *)
+  let waiters = List.rev s.waiters in
+  s.waiters <- [];
+  List.iter (fun resume -> resume (Ok ())) waiters
+
+let available s = s.permits
+
+let with_permit eng s f =
+  acquire eng s;
+  match f () with
+  | v ->
+      release s;
+      v
+  | exception e ->
+      release s;
+      raise e

@@ -1,0 +1,31 @@
+(** Counting semaphore for fibers.
+
+    Used to bound concurrency (e.g. a node's server slots) and as a simple
+    mutex when created with capacity 1. *)
+
+type t
+(** A counting semaphore. *)
+
+val create : int -> t
+(** [create n] is a semaphore with [n] initial permits.
+    Raises [Invalid_argument] if [n < 0]. *)
+
+val acquire : Engine.t -> t -> unit
+(** [acquire eng s] takes one permit, suspending until one is available. *)
+
+val try_acquire : t -> bool
+(** [try_acquire s] takes a permit without blocking, returning whether it
+    succeeded. *)
+
+val release : t -> unit
+(** [release s] returns one permit, waking waiters. *)
+
+val available : t -> int
+(** Current number of free permits. *)
+
+val with_permit : Engine.t -> t -> (unit -> 'a) -> 'a
+(** [with_permit eng s f] runs [f] holding one permit, releasing it on
+    normal return or exception. Note that if the calling fiber's group is
+    killed while [f] is suspended, the permit is {e not} released — which is
+    the desired crash semantics (a crashed node does not politely give back
+    its resources; recovery code must recreate the semaphore). *)

@@ -1,0 +1,1 @@
+lib/store/intent_log.ml: Format Hashtbl List Object_state String Uid

@@ -1,0 +1,1 @@
+lib/store/intent_log.mli: Format Object_state Uid

@@ -1,0 +1,1 @@
+lib/store/object_state.mli: Format Version

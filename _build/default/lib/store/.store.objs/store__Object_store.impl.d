@@ -1,0 +1,1 @@
+lib/store/object_store.ml: Hashtbl List Object_state Uid

@@ -1,0 +1,1 @@
+lib/store/object_store.mli: Object_state Uid Version

@@ -1,0 +1,1 @@
+lib/store/uid.ml: Format Hashtbl Int Printf

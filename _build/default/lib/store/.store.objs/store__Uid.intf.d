@@ -1,0 +1,1 @@
+lib/store/uid.mli: Format

@@ -1,0 +1,13 @@
+type t = { payload : string; version : Version.t }
+
+let make ~payload ~version = { payload; version }
+
+let initial payload = { payload; version = Version.initial }
+
+let equal a b =
+  String.equal a.payload b.payload && Version.equal a.version b.version
+
+let newer_than a b = Version.newer_than a.version b.version
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a %S@]" Version.pp t.version t.payload

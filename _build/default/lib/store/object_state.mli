@@ -1,0 +1,22 @@
+(** The passive representation of a persistent object: a serialised
+    payload plus the version stamp of the committing action.
+
+    Objects serialise themselves to strings (the simulator's stand-in for
+    Arjuna's instance-variable marshalling); equality of payloads is how
+    the mutual-consistency invariant is checked across store replicas. *)
+
+type t = { payload : string; version : Version.t }
+
+val make : payload:string -> version:Version.t -> t
+
+val initial : string -> t
+(** [initial payload] is a genesis state. *)
+
+val equal : t -> t -> bool
+(** Byte-identical payload and equal version: the paper's "mutually
+    consistent" test for store replicas. *)
+
+val newer_than : t -> t -> bool
+(** Compare versions. *)
+
+val pp : Format.formatter -> t -> unit

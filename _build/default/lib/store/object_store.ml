@@ -1,0 +1,28 @@
+module Tbl = Hashtbl.Make (struct
+  type t = Uid.t
+
+  let equal = Uid.equal
+  let hash = Uid.hash
+end)
+
+type t = { states : Object_state.t Tbl.t }
+
+let create () = { states = Tbl.create 16 }
+
+let read t uid = Tbl.find_opt t.states uid
+
+let write t uid state = Tbl.replace t.states uid state
+
+let remove t uid = Tbl.remove t.states uid
+
+let mem t uid = Tbl.mem t.states uid
+
+let uids t =
+  Tbl.fold (fun uid _ acc -> uid :: acc) t.states [] |> List.sort Uid.compare
+
+let size t = Tbl.length t.states
+
+let version_of t uid =
+  match read t uid with
+  | Some s -> Some s.Object_state.version
+  | None -> None

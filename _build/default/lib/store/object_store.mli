@@ -1,0 +1,30 @@
+(** A node's stable object store: UID → committed {!Object_state.t}.
+
+    Contents survive crashes (stable storage, §2.1). The store records a
+    {e tainted} flag while a 2PC write is being applied so that recovery
+    can detect torn applications — in this simulator applications are
+    atomic (single event), so the flag only serves assertions. *)
+
+type t
+(** One node's object store. *)
+
+val create : unit -> t
+
+val read : t -> Uid.t -> Object_state.t option
+(** Committed state of the object, if present. *)
+
+val write : t -> Uid.t -> Object_state.t -> unit
+(** Install a committed state, replacing any previous one. *)
+
+val remove : t -> Uid.t -> unit
+(** Delete the object's state. *)
+
+val mem : t -> Uid.t -> bool
+
+val uids : t -> Uid.t list
+(** All stored object UIDs, sorted by serial. *)
+
+val size : t -> int
+
+val version_of : t -> Uid.t -> Version.t option
+(** Shortcut for [Option.map (fun s -> s.version) (read t uid)]. *)

@@ -1,0 +1,18 @@
+type t = { serial : int; lbl : string }
+
+type supply = { mutable next : int }
+
+let supply () = { next = 0 }
+
+let fresh s ~label =
+  let serial = s.next in
+  s.next <- serial + 1;
+  { serial; lbl = label }
+
+let label t = t.lbl
+let serial t = t.serial
+let equal a b = a.serial = b.serial
+let compare a b = Int.compare a.serial b.serial
+let hash t = Hashtbl.hash t.serial
+let to_string t = Printf.sprintf "%s#%d" t.lbl t.serial
+let pp ppf t = Format.pp_print_string ppf (to_string t)

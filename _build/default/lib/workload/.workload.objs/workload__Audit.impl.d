@@ -1,0 +1,1 @@
+lib/workload/audit.ml: Action Format Gvd List Naming Net Printf Replica Result Scheme Service Sim Store

@@ -1,0 +1,1 @@
+lib/workload/audit.mli: Format Naming Replica Store

@@ -1,0 +1,1 @@
+lib/workload/exp_availability.ml: List Naming Net Option Printf Replica Scheme Service Sim Table

@@ -1,0 +1,1 @@
+lib/workload/exp_checkpoint.ml: Astring Naming Net Replica Scheme Service Sim Table

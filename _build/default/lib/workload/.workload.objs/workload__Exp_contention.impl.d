@@ -1,0 +1,1 @@
+lib/workload/exp_contention.ml: Float List Naming Printf Replica Scheme Service Sim Table

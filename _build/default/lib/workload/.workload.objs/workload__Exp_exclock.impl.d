@@ -1,0 +1,1 @@
+lib/workload/exp_exclock.ml: List Naming Net Printf Replica Scheme Service Sim Table

@@ -1,0 +1,1 @@
+lib/workload/exp_fig1.ml: Int64 List Net Sim Table

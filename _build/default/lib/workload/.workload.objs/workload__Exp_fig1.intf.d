@@ -1,0 +1,1 @@
+lib/workload/exp_fig1.mli: Table

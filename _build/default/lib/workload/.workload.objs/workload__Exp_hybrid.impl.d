@@ -1,0 +1,1 @@
+lib/workload/exp_hybrid.ml: Action Binder Gvd Hybrid List Naming Net Replica Scheme Service Sim Store Table

@@ -1,0 +1,1 @@
+lib/workload/exp_ns_failover.mli: Table

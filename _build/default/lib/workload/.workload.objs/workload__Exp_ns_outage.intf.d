@@ -1,0 +1,1 @@
+lib/workload/exp_ns_outage.mli: Table

@@ -1,0 +1,1 @@
+lib/workload/exp_partition.ml: Action Gvd Hashtbl List Naming Net Option Printf Replica Scheme Service Sim Store Table

@@ -1,0 +1,1 @@
+lib/workload/exp_readopt.ml: List Naming Replica Scheme Service Sim Table

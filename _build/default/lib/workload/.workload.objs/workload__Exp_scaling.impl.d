@@ -1,0 +1,1 @@
+lib/workload/exp_scaling.ml: Action Admin Gvd Hashtbl List Naming Option Printf Replica Scheme Service Sim Store String Table

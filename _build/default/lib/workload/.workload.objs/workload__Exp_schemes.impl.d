@@ -1,0 +1,1 @@
+lib/workload/exp_schemes.ml: Float List Naming Net Replica Scheme Service Sim Table

@@ -1,0 +1,1 @@
+lib/workload/table.ml: Float Format List Printf String

@@ -1,0 +1,134 @@
+open Naming
+
+let mutual_consistency w uid =
+  let st = Gvd.current_st (Service.gvd w) uid in
+  let states =
+    List.map
+      (fun node ->
+        ( node,
+          Store.Object_store.read
+            (Action.Store_host.objects (Service.store_host w) node)
+            uid ))
+      st
+  in
+  let rec check first = function
+    | [] -> Ok ()
+    | (node, None) :: _ ->
+        Error (Printf.sprintf "StA member %s holds no state" node)
+    | (node, Some s) :: rest -> (
+        match first with
+        | None -> check (Some s) rest
+        | Some f ->
+            if Store.Object_state.equal f s then check first rest
+            else
+              Error
+                (Printf.sprintf "StA member %s diverges (%s vs %s)" node
+                   (Format.asprintf "%a" Store.Object_state.pp s)
+                   (Format.asprintf "%a" Store.Object_state.pp f)))
+  in
+  check None states
+
+type stress_report = {
+  sr_attempts : int;
+  sr_commits : int;
+  sr_expected_total : int;
+  sr_actual_total : int;
+  sr_consistent : bool;
+}
+
+let exact r = r.sr_expected_total = r.sr_actual_total && r.sr_consistent
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "attempts=%d commits=%d expected=%d actual=%d consistent=%b verdict=%s"
+    r.sr_attempts r.sr_commits r.sr_expected_total r.sr_actual_total
+    r.sr_consistent
+    (if exact r then "EXACT" else "MISMATCH")
+
+let counter_stress ?(seed = 99L) ?(clients = 3) ?(actions_per_client = 8)
+    ?(server_churn = true) ?(store_churn = true)
+    ?(policy = Replica.Policy.Active 2) () =
+  let servers = [ "s1"; "s2" ] in
+  let stores = [ "t1"; "t2"; "t3" ] in
+  let client_nodes = List.init clients (fun i -> Printf.sprintf "c%d" (i + 1)) in
+  let w =
+    Service.create ~seed
+      {
+        Service.gvd_node = "ns";
+        server_nodes = servers;
+        store_nodes = stores;
+        client_nodes;
+      }
+  in
+  let uid =
+    Service.create_object w ~name:"audit" ~impl:"counter" ~sv:servers ~st:stores ()
+  in
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  let net = Service.network w in
+  let rng = Sim.Rng.split (Sim.Engine.rng eng) in
+  let horizon = float_of_int actions_per_client *. 40.0 in
+  if server_churn then
+    List.iter
+      (fun s ->
+        Net.Fault.churn net ~rng:(Sim.Rng.split rng) ~mttf:100.0 ~mttr:25.0
+          ~until:horizon s)
+      servers;
+  if store_churn then
+    List.iter
+      (fun s ->
+        Net.Fault.churn net ~rng:(Sim.Rng.split rng) ~mttf:100.0 ~mttr:25.0
+          ~until:horizon s)
+      stores;
+  let attempts = ref 0 and commits = ref 0 and expected = ref 0 in
+  List.iter
+    (fun client ->
+      let crng = Sim.Rng.split rng in
+      Service.spawn_client w client (fun () ->
+          for _ = 1 to actions_per_client do
+            incr attempts;
+            let amount = 1 + Sim.Rng.int crng 100 in
+            let scheme = Sim.Rng.pick crng Scheme.all in
+            (match
+               Service.with_bound w ~client ~scheme ~policy ~uid
+                 (fun act group ->
+                   Service.invoke w group ~act
+                     (Printf.sprintf "add %d" amount))
+             with
+            | Ok _ ->
+                incr commits;
+                expected := !expected + amount
+            | Error _ -> ());
+            Sim.Engine.sleep eng (Sim.Rng.uniform crng 2.0 15.0)
+          done))
+    client_nodes;
+  Service.run w;
+  (* The final committed value: the newest state anywhere in st_home (all
+     current StA members must agree; mutual_consistency checks that). *)
+  let actual =
+    List.fold_left
+      (fun best node ->
+        match
+          Store.Object_store.read
+            (Action.Store_host.objects (Service.store_host w) node)
+            uid
+        with
+        | Some s -> (
+            let v = int_of_string s.Store.Object_state.payload in
+            match best with
+            | Some (bv, bs) when not (Store.Object_state.newer_than s bs) ->
+                Some (bv, bs)
+            | _ -> Some (v, s))
+        | None -> best)
+      None stores
+    |> function
+    | Some (v, _) -> v
+    | None -> 0
+  in
+  {
+    sr_attempts = !attempts;
+    sr_commits = !commits;
+    sr_expected_total = !expected;
+    sr_actual_total = actual;
+    sr_consistent = Result.is_ok (mutual_consistency w uid);
+  }

@@ -1,0 +1,44 @@
+(** End-to-end correctness audits.
+
+    Two checks distilled from the paper's safety obligations, packaged for
+    property tests and the CLI:
+
+    - {!mutual_consistency}: after quiescence, every node in [StA] holds a
+      byte-identical state carrying the same version — the invariant the
+      whole meta-information machinery exists to protect (§2.3(1));
+    - {!counter_stress}: an {e accounting} audit. Clients add random
+      amounts to a counter object under randomized schemes, policies and
+      node churn; every action that reported commit contributes its
+      amount, every abort must contribute nothing, and retries across
+      coordinator failovers must apply exactly once. At the end the
+      committed store value must equal the sum of acknowledged additions —
+      lost updates, phantom applies and double applies all break it. *)
+
+val mutual_consistency :
+  Naming.Service.t -> Store.Uid.t -> (unit, string) result
+(** [Error] describes the first violation found. *)
+
+type stress_report = {
+  sr_attempts : int;
+  sr_commits : int;
+  sr_expected_total : int;  (** sum of committed additions *)
+  sr_actual_total : int;  (** final committed counter value *)
+  sr_consistent : bool;  (** {!mutual_consistency} verdict *)
+}
+
+val exact : stress_report -> bool
+(** Accounting holds and the stores are mutually consistent. *)
+
+val counter_stress :
+  ?seed:int64 ->
+  ?clients:int ->
+  ?actions_per_client:int ->
+  ?server_churn:bool ->
+  ?store_churn:bool ->
+  ?policy:Replica.Policy.t ->
+  unit ->
+  stress_report
+(** Run the audit workload to completion (defaults: 3 clients × 8 actions,
+    both churn kinds on, active replication over 2 servers). *)
+
+val pp_report : Format.formatter -> stress_report -> unit

@@ -1,0 +1,46 @@
+(** Experiments [fig2-single] … [fig5-general]: availability under the
+    four replica-management configurations of §3.2.
+
+    A client repeatedly runs an increment action against one object while
+    the designated nodes churn (exponential failures/repairs). Measured
+    availability is the fraction of actions that commit; the paper's
+    qualitative claims are:
+
+    - Figure 2 (|Sv|=|St|=1): any crash of the server or store node aborts
+      the action, so availability falls quickly with crash intensity;
+    - Figure 3 (|Sv|=1, |St|=k): replicated state masks store crashes
+      ([Exclude]/[Include] keeping the view accurate), so availability
+      grows with k;
+    - Figure 4 (|Sv|=k, |St|=1): active or coordinator-cohort replication
+      masks up to k−1 server crashes;
+    - Figure 5 (general): both effects compose. *)
+
+type outcome = {
+  o_attempts : int;
+  o_commits : int;
+  o_exclusions : int;
+  o_includes : int;
+  o_promotions : int;
+  o_futile : int;
+}
+
+val availability : outcome -> float
+
+type churn_spec = { mttf : float; mttr : float }
+
+val run_config :
+  ?actions:int ->
+  ?seed:int64 ->
+  n_sv:int ->
+  n_st:int ->
+  policy:Replica.Policy.t ->
+  ?server_churn:churn_spec ->
+  ?store_churn:churn_spec ->
+  unit ->
+  outcome
+(** Run one configuration to completion and collect its counters. *)
+
+val fig2 : ?seed:int64 -> unit -> Table.t
+val fig3 : ?seed:int64 -> unit -> Table.t
+val fig4 : ?seed:int64 -> unit -> Table.t
+val fig5 : ?seed:int64 -> unit -> Table.t

@@ -1,0 +1,14 @@
+(** Experiment [tab-contention]: database contention scaling of the
+    access schemes (§4.1.2 vs §4.1.3).
+
+    The paper's stated advantage for scheme A is that [GetServer] "is a
+    read operation, permitting shared access from within client actions" —
+    many clients bind concurrently without queueing at the database. The
+    flip side of schemes B/C is that every bind is a read-modify-write
+    ([GetServer]+[Increment] under a write lock), serialising binders.
+
+    Sweep the number of concurrent (read-only) clients and report mean
+    bind latency and database lock waits per scheme: scheme A stays flat,
+    B/C grow with the client count. *)
+
+val run : ?seed:int64 -> unit -> Table.t

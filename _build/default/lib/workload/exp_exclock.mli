@@ -1,0 +1,13 @@
+(** Experiment [tab-exclude-lock]: the §4.2.1 type-specific lock ablation.
+
+    A committing writer must [Exclude] a crashed store node while R other
+    clients hold read locks on the same state-database entry (they are
+    mid-action under the standard scheme). With the paper's exclude-write
+    lock the promotion shares with the readers and the commit goes
+    through; with plain write promotion it is refused as soon as R > 0
+    and the writer's action aborts.
+
+    Sweep R and report the writer's commit success under both lock
+    types. *)
+
+val run : ?seed:int64 -> unit -> Table.t

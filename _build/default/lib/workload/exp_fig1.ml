@@ -1,0 +1,69 @@
+type outcome = Both | None_ | Divergent
+
+let trial ~seed ~atomic ~crash_at =
+  let eng = Sim.Engine.create ~seed () in
+  let net = Net.Network.create eng in
+  let rpc = Net.Rpc.create net in
+  let mc = Net.Multicast.create rpc in
+  List.iter (Net.Network.add_node net) [ "b"; "seq"; "a1"; "a2" ];
+  Net.Multicast.enable_sequencer mc ~node:"seq";
+  let ch : string Net.Multicast.channel = Net.Multicast.channel "reply" in
+  let got1 = ref false and got2 = ref false in
+  Net.Multicast.listen mc ~node:"a1" ch (fun ~seq:_ _ -> got1 := true);
+  Net.Multicast.listen mc ~node:"a2" ch (fun ~seq:_ _ -> got2 := true);
+  (* B delivers the reply to the group; B crashes mid-delivery. *)
+  Net.Network.spawn_on net "b" (fun () ->
+      if atomic then
+        ignore
+          (Net.Multicast.cast_atomic mc ~from:"b" ~sequencer:"seq"
+             ~members:[ "a1"; "a2" ] ch "reply")
+      else
+        Net.Multicast.cast_unreliable mc ~from:"b" ~members:[ "a1"; "a2" ] ch
+          "reply");
+  Sim.Engine.schedule eng ~delay:crash_at (fun () -> Net.Network.crash net "b");
+  Sim.Engine.run eng;
+  match (!got1, !got2) with
+  | true, true -> Both
+  | false, false -> None_
+  | true, false | false, true -> Divergent
+
+let run ?(trials = 300) ?(seed = 42L) () =
+  let rng = Sim.Rng.create seed in
+  let sweep atomic =
+    let both = ref 0 and none = ref 0 and div = ref 0 in
+    for i = 1 to trials do
+      (* Crash instants spread across the sender's transmission window:
+         the unreliable cast suspends for the 0.01 inter-send gap between
+         the two point-to-point sends, so roughly half of these instants
+         interrupt it between them. (Messages already handed to the
+         network are delivered regardless — only the not-yet-sent copy is
+         lost, which is precisely the Figure-1 failure.) *)
+      let crash_at = Sim.Rng.uniform rng 0.0 0.02 in
+      match trial ~seed:(Int64.of_int (i * 7919)) ~atomic ~crash_at with
+      | Both -> incr both
+      | None_ -> incr none
+      | Divergent -> incr div
+    done;
+    (!both, !none, !div)
+  in
+  let ub, un, ud = sweep false in
+  let ab, an, ad = sweep true in
+  let row mode (b, n, d) =
+    [
+      mode;
+      Table.cell_i trials;
+      Table.cell_i b;
+      Table.cell_i n;
+      Table.cell_i d;
+      Table.cell_pct (float_of_int d /. float_of_int trials);
+    ]
+  in
+  Table.make ~title:"fig1-divergence: group reply delivery under sender crash"
+    ~columns:[ "multicast"; "trials"; "both"; "none"; "divergent"; "divergence" ]
+    ~notes:
+      [
+        "Paper claim (Fig. 1): without reliable ordered multicast, a sender";
+        "crash during delivery lets replica states diverge; atomic multicast";
+        "makes delivery all-or-nothing.";
+      ]
+    [ row "unreliable" (ub, un, ud); row "atomic(sequencer)" (ab, an, ad) ]

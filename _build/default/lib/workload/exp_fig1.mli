@@ -1,0 +1,13 @@
+(** Experiment [fig1-divergence]: reproduce Figure 1 / §2.3(2).
+
+    A replicated group GA = {A1, A2} invokes an operation on GB = {B}. B
+    crashes while delivering the reply. With plain per-member sends, the
+    reply can reach A1 but not A2, and the replicas diverge; with the
+    sequencer-based atomic multicast, delivery is all-or-nothing and no
+    trial diverges.
+
+    Each trial builds a fresh world, has B cast its reply to both members
+    with a crash scheduled inside the delivery window, and classifies the
+    outcome as [both], [none] or [divergent]. *)
+
+val run : ?trials:int -> ?seed:int64 -> unit -> Table.t

@@ -1,0 +1,14 @@
+(** Experiment [tab-hybrid]: the §5 extension.
+
+    Compare the fully-atomic naming service (standard scheme) with the
+    hybrid of §5 — server sets in a traditional non-atomic name server,
+    state sets in the atomic Object State database. Both run the same
+    workload with a mid-run store crash (forcing a commit-time [Exclude])
+    and a server bounce.
+
+    Claims to check: the hybrid preserves the binding-consistency
+    invariant (all [St] members mutually consistent — guaranteed by the
+    State database alone) while issuing no server-database lock
+    operations at all. *)
+
+val run : ?seed:int64 -> unit -> Table.t

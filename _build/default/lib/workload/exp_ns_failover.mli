@@ -1,0 +1,18 @@
+(** Experiment [tab-ns-replicated]: replicating the naming service
+    (§3.1's deferred extension).
+
+    Side by side under the same outage window of the primary service
+    node:
+
+    - a {e single durable} service: every bind during the outage fails
+      (cf. [tab-ns-outage]);
+    - a {e mirrored pair}: the primary pushes committed entry images to a
+      backup at every action end; clients fail over to the backup while
+      the failure detector reports the primary dead; the recovering
+      primary pulls a snapshot from the backup before resuming
+      mastership.
+
+    The pair keeps committing through the outage; both variants preserve
+    the St mutual-consistency invariant. *)
+
+val run : ?seed:int64 -> unit -> Table.t

@@ -1,0 +1,17 @@
+(** Experiment [tab-ns-outage]: dropping the always-available assumption.
+
+    §3.1 assumes the naming-and-binding service is always available; the
+    paper notes it can itself be built from (replicable) persistent
+    objects. This experiment runs the service as a single durable
+    persistent object and bounces its node mid-workload:
+
+    - while the node is down, binds fail (the service is a single point
+      of unavailability — motivating the replication the paper defers);
+    - actions that were in flight at the crash abort at prepare (their
+      database locks and before-images were volatile), so nothing
+      half-done commits against the restored entries;
+    - after recovery, the committed database state is intact and the
+      workload resumes; the St mutual-consistency invariant holds at the
+      end. *)
+
+val run : ?seed:int64 -> unit -> Table.t

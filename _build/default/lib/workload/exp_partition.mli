@@ -1,0 +1,16 @@
+(** Experiment [tab-partition]: why the paper excludes partitions.
+
+    §2.3(2)(i) is explicit: active replication keeps the object available
+    "in the absence of network partitions preventing communication". This
+    experiment partitions one of two clients away from the naming-service
+    node (and the sequencer it hosts) for a window:
+
+    - the partitioned client can bind nothing — every database operation
+      needs the service, so the service is the serialisation point and the
+      cut-off side is simply {e unavailable}, never inconsistent;
+    - the connected client continues normally;
+    - after healing, both resume, and the St invariant holds — the strong
+      consistency was never at risk, only availability, which is the
+      trade the paper makes by assuming partitions away. *)
+
+val run : ?seed:int64 -> unit -> Table.t

@@ -1,0 +1,10 @@
+(** Experiment [tab-read-opt]: the §4.2.1 read optimisation.
+
+    "If the client has not changed the state of the object, then no
+    copying to object stores is necessary." One client runs a mix of
+    read-only and updating actions against an object with |St| = 3; the
+    commit hook skips the state copy for clean objects. Sweeping the read
+    fraction shows state copies scaling with the number of {e updating}
+    actions only, and read-only commits completing faster. *)
+
+val run : ?seed:int64 -> unit -> Table.t

@@ -1,0 +1,16 @@
+(** Experiment [tab-scaling]: changing the degree of replication under
+    load (§2.3(1), §4.1.2).
+
+    "If we assume a dynamic system permitting changes to the degree of
+    replication for an object ... it is important to ensure that such
+    changes are reflected in the naming and binding service without
+    causing inconsistencies to current users."
+
+    A client stream runs throughout; operations staff add a second store,
+    add a second server, then retire the original server, mid-stream. The
+    table reports per-phase commit rates and the St invariant at the end:
+    the administrative actions serialise against users through the
+    database locks and the quiescence requirement, so no phase shows
+    inconsistency — only the retirement can briefly wait for quiescence. *)
+
+val run : ?seed:int64 -> unit -> Table.t

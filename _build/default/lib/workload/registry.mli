@@ -1,0 +1,17 @@
+(** The experiment registry: every table and figure of the reproduction,
+    addressable by the stable ids used in DESIGN.md and EXPERIMENTS.md. *)
+
+type experiment = {
+  id : string;
+  paper_artefact : string;  (** which figure/section it regenerates *)
+  synopsis : string;
+  runner : unit -> Table.t;
+}
+
+val all : experiment list
+(** Every experiment, in presentation order. *)
+
+val find : string -> experiment option
+(** Look an experiment up by id. *)
+
+val ids : unit -> string list

@@ -1,0 +1,43 @@
+type t = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~columns ?(notes = []) rows = { title; columns; rows; notes }
+
+let cell_f v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v
+
+let cell_pct v =
+  if Float.is_nan v then "-" else Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let cell_i = string_of_int
+
+let pp ppf t =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let cur = try List.nth acc i with _ -> 0 in
+            max cur (String.length cell))
+          row)
+      (List.map String.length t.columns)
+      t.rows
+  in
+  let pad i cell =
+    let w = try List.nth widths i with _ -> String.length cell in
+    cell ^ String.make (max 0 (w - String.length cell)) ' '
+  in
+  let line row = String.concat "  " (List.mapi pad row) in
+  Format.fprintf ppf "== %s ==@." t.title;
+  Format.fprintf ppf "%s@." (line t.columns);
+  Format.fprintf ppf "%s@."
+    (String.concat "  "
+       (List.mapi (fun i c -> String.make (max (String.length c) (List.nth widths i)) '-') t.columns));
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) t.rows;
+  List.iter (fun note -> Format.fprintf ppf "  %s@." note) t.notes;
+  Format.fprintf ppf "@."
+
+let print t = pp Format.std_formatter t

@@ -1,0 +1,26 @@
+(** Plain-text result tables, as printed by the benchmark harness and
+    recorded in EXPERIMENTS.md. *)
+
+type t = {
+  title : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;  (** free-form commentary lines printed after *)
+}
+
+val make : title:string -> columns:string list -> ?notes:string list ->
+  string list list -> t
+
+val cell_f : float -> string
+(** Format a float cell ("12.34"). *)
+
+val cell_pct : float -> string
+(** Format a ratio as a percentage ("97.5%"). *)
+
+val cell_i : int -> string
+
+val pp : Format.formatter -> t -> unit
+(** Render with aligned columns. *)
+
+val print : t -> unit
+(** [pp] to stdout. *)

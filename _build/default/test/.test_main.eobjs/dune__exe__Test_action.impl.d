@@ -1,0 +1,1 @@
+test/test_action.ml: Action Action_id Alcotest Atomic Hashtbl Intent_log List Lockmgr Net Object_state Object_store Recovery Resource_host Result Sim Store Store_host Store_participant Uid Version

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Action Admin Alcotest Astring Binder Gvd List Naming Net QCheck Replica Scheme Service Sim Store String Test_util

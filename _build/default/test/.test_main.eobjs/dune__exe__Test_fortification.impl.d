@@ -1,0 +1,1 @@
+test/test_fortification.ml: Action Alcotest Array Binder Gvd Hashtbl List Lockmgr Naming Net Printf QCheck Replica Scheme Service Sim Store String Test_util

@@ -1,0 +1,1 @@
+test/test_lockmgr.ml: Alcotest List Lockmgr Manager Mode Printf QCheck Sim String Test_util

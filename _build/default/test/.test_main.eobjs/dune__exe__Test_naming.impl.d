@@ -1,0 +1,1 @@
+test/test_naming.ml: Action Alcotest Binder Gvd Hashtbl Hybrid Int64 List Naming Net Option Printf QCheck Replica Scheme Service Sim Store String Test_util Use_list

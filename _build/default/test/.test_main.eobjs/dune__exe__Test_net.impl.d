@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Fault Int64 List Metrics Multicast Net Network Rng Rpc Sim String

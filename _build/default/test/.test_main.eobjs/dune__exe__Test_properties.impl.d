@@ -1,0 +1,1 @@
+test/test_properties.ml: Action Alcotest Array Gen Gvd Hashtbl List Naming Net Printf QCheck Replica Scheme Service Sim Store String Test_util

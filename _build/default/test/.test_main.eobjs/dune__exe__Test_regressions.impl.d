@@ -1,0 +1,1 @@
+test/test_regressions.ml: Action Alcotest Binder Gvd List Naming Net Replica Scheme Service Sim Store

@@ -1,0 +1,1 @@
+test/test_replica.ml: Action Alcotest Commit Format Group List Net Object_impl Object_state Object_store Policy Replica Result Server Sim Store String Uid

