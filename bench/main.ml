@@ -65,6 +65,7 @@ let small_world () =
   Naming.Service.create ~seed:5L
     {
       Naming.Service.gvd_node = "ns";
+      gvd_nodes = [];
       server_nodes = [ "alpha" ];
       store_nodes = [ "beta1"; "beta2" ];
       client_nodes = [ "c1" ];
@@ -137,6 +138,65 @@ let bench_audit_trial () =
     (Workload.Audit.counter_stress ~seed:1L ~clients:2 ~actions_per_client:4
        ~server_churn:false ~store_churn:false ())
 
+(* Pure consistent-hash dispatch: the per-request routing cost of the
+   sharded naming tier. *)
+let bench_shardmap_lookups () =
+  let map =
+    Naming.Shard_map.create
+      ~nodes:(List.init 8 (fun i -> Printf.sprintf "ns%d" (i + 1)))
+  in
+  let sup = Store.Uid.supply () in
+  let uids = Array.init 64 (fun i -> Store.Uid.fresh sup ~label:(string_of_int i)) in
+  for i = 0 to 999 do
+    ignore (Naming.Shard_map.owner map uids.(i mod 64) : string)
+  done
+
+let sharded_world ?bind_cache_lease () =
+  Naming.Service.create ~seed:5L ?bind_cache_lease
+    {
+      Naming.Service.gvd_node = "ns";
+      gvd_nodes = [ "ns2"; "ns3"; "ns4" ];
+      server_nodes = [ "alpha" ];
+      store_nodes = [ "beta1"; "beta2" ];
+      client_nodes = [ "c1" ];
+    }
+
+(* Router dispatch over four shards: same episode as the single-shard bind
+   benchmarks, plus hashing and shard fan-out. *)
+let bench_router_binds_sharded () =
+  let open Naming in
+  let w = sharded_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Service.spawn_client w "c1" (fun () ->
+      for _ = 1 to 5 do
+        ignore
+          (Service.with_bound w ~client:"c1" ~scheme:Scheme.Independent
+             ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+               Service.invoke w group ~act "incr"))
+      done);
+  Service.run w
+
+(* The cache hit path: first bind misses and fills, the remaining four
+   repeat binds skip all bind-time naming RPCs. *)
+let bench_cached_repeat_binds () =
+  let open Naming in
+  let w = sharded_world ~bind_cache_lease:1000.0 () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Service.spawn_client w "c1" (fun () ->
+      for _ = 1 to 5 do
+        ignore
+          (Service.with_bound w ~client:"c1" ~scheme:Scheme.Independent
+             ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+               Service.invoke w group ~act "incr"))
+      done);
+  Service.run w
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -153,8 +213,16 @@ let micro_tests =
         (Staged.stage (bench_bound_action Naming.Scheme.Nested_toplevel));
       Test.make ~name:"gvd.10-read-actions" (Staged.stage bench_gvd_ops);
       Test.make ~name:"audit.calm-trial" (Staged.stage bench_audit_trial);
+      Test.make ~name:"shardmap.1000-owner-lookups"
+        (Staged.stage bench_shardmap_lookups);
+      Test.make ~name:"router.5-binds-4-shards"
+        (Staged.stage bench_router_binds_sharded);
+      Test.make ~name:"cache.5-repeat-binds"
+        (Staged.stage bench_cached_repeat_binds);
     ]
 
+(* Run the micro suite; print the human table and return the per-subject
+   ns/run estimates for the JSON report. *)
 let run_micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -171,19 +239,87 @@ let run_micro () =
   print_endline "== micro: substrate hot paths (Bechamel, monotonic clock) ==";
   Printf.printf "%-40s  %s\n" "benchmark" "time/run";
   Printf.printf "%-40s  %s\n" (String.make 40 '-') "--------";
-  (match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
-  | None -> print_endline "(no results)"
-  | Some per_test ->
-      Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      |> List.iter (fun (name, ols) ->
-             let estimate =
-               match Analyze.OLS.estimates ols with
-               | Some [ e ] -> Printf.sprintf "%12.0f ns" e
-               | _ -> "-"
-             in
-             Printf.printf "%-40s  %s\n" name estimate));
-  print_newline ()
+  let estimates =
+    match Hashtbl.find_opt merged (Measure.label Instance.monotonic_clock) with
+    | None ->
+        print_endline "(no results)";
+        []
+    | Some per_test ->
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) per_test []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map (fun (name, ols) ->
+               let estimate =
+                 match Analyze.OLS.estimates ols with
+                 | Some [ e ] -> Some e
+                 | _ -> None
+               in
+               Printf.printf "%-40s  %s\n" name
+                 (match estimate with
+                 | Some e -> Printf.sprintf "%12.0f ns" e
+                 | None -> "-");
+               (name, estimate))
+  in
+  print_newline ();
+  estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results: BENCH_results.json *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+let json_list items = "[" ^ String.concat "," items ^ "]"
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.1f" f else "null"
+
+let write_json ~path ~micro ~tables =
+  let micro_json =
+    json_list
+      (List.map
+         (fun (name, est) ->
+           Printf.sprintf "{%s:%s,%s:%s}" (json_str "name") (json_str name)
+             (json_str "ns_per_run")
+             (match est with Some e -> json_float e | None -> "null"))
+         micro)
+  in
+  let table_json (id, (t : Workload.Table.t)) =
+    Printf.sprintf "{%s:%s,%s:%s,%s:%s,%s:%s}" (json_str "id") (json_str id)
+      (json_str "title")
+      (json_str t.Workload.Table.title)
+      (json_str "columns")
+      (json_list (List.map json_str t.Workload.Table.columns))
+      (json_str "rows")
+      (json_list
+         (List.map
+            (fun row -> json_list (List.map json_str row))
+            t.Workload.Table.rows))
+  in
+  let doc =
+    Printf.sprintf "{%s:%s,%s:%s,%s:%s}\n" (json_str "harness")
+      (json_str "repro-bench")
+      (json_str "experiments")
+      (json_list (List.map table_json tables))
+      (json_str "micro") micro_json
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 let () =
   print_endline
@@ -191,10 +327,15 @@ let () =
   print_endline
     "Each table regenerates one figure/table of the paper; see EXPERIMENTS.md.";
   print_newline ();
-  List.iter
-    (fun e ->
-      Printf.printf "[%s] %s\n" e.Workload.Registry.id
-        e.Workload.Registry.paper_artefact;
-      Workload.Table.print (e.Workload.Registry.runner ()))
-    Workload.Registry.all;
-  run_micro ()
+  let tables =
+    List.map
+      (fun e ->
+        Printf.printf "[%s] %s\n" e.Workload.Registry.id
+          e.Workload.Registry.paper_artefact;
+        let t = e.Workload.Registry.runner () in
+        Workload.Table.print t;
+        (e.Workload.Registry.id, t))
+      Workload.Registry.all
+  in
+  let micro = run_micro () in
+  write_json ~path:"BENCH_results.json" ~micro ~tables

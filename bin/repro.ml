@@ -64,6 +64,7 @@ let demo_cmd =
       Service.create ~seed:7L
         {
           Service.gvd_node = "ns";
+          gvd_nodes = [];
           server_nodes = [ "alpha" ];
           store_nodes = [ "beta1"; "beta2" ];
           client_nodes = [ "client" ];

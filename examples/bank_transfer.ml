@@ -46,6 +46,7 @@ let () =
     Service.create ~seed:2L
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = [ "beta1"; "beta2" ];
         client_nodes = [ "teller" ];

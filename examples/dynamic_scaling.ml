@@ -23,6 +23,7 @@ let () =
     Service.create ~seed:6L
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "srv-old"; "srv-new" ];
         store_nodes = [ "disk1"; "disk2" ];
         client_nodes = [ "app"; "ops" ];

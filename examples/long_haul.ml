@@ -18,6 +18,7 @@ let () =
     Service.create ~seed:42L ~cleanup_period:25.0
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = servers;
         store_nodes = stores;
         client_nodes = clients;

@@ -33,6 +33,7 @@ let () =
     Service.create ~seed:4L
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = [ "beta1"; "beta2"; "beta3" ];
         client_nodes = [ "app" ];

@@ -14,6 +14,7 @@ let () =
     Service.create ~seed:3L
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = servers;
         store_nodes = [ "store1" ];
         client_nodes = [ "app" ];

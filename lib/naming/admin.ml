@@ -15,6 +15,8 @@ let lift_reply = function
   | Ok (Gvd.Granted v) -> v
   | Ok (Gvd.Busy why) -> raise (Administrative (Busy why))
   | Ok (Gvd.Refused why) -> raise (Administrative (Refused why))
+  | Ok (Gvd.Moved dest) ->
+      raise (Administrative (Unavailable ("wrong shard: " ^ dest)))
   | Error e -> raise (Administrative (Unavailable (Net.Rpc.error_to_string e)))
 
 let administratively t ~from body =
@@ -33,12 +35,12 @@ let administratively t ~from body =
 
 let add_server t ~from ~uid node =
   administratively t ~from (fun act ->
-      lift_reply (Gvd.insert (Binder.gvd t) ~act ~uid node))
+      lift_reply (Router.insert (Binder.router t) ~act ~uid node))
 
 let retire_server t ~from ~uid node =
   let r =
     administratively t ~from (fun act ->
-        lift_reply (Gvd.retire_server_home (Binder.gvd t) ~act ~uid node))
+        lift_reply (Router.retire_server_home (Binder.router t) ~act ~uid node))
   in
   (match r with
   | Ok () ->
@@ -53,7 +55,7 @@ let retire_server t ~from ~uid node =
 
 let retire_store t ~from ~uid node =
   administratively t ~from (fun act ->
-      lift_reply (Gvd.retire_store_home (Binder.gvd t) ~act ~uid node))
+      lift_reply (Router.retire_store_home (Binder.router t) ~act ~uid node))
 
 let add_store t ~server_rt ~from ~uid node =
   let sh = Action.Atomic.store_host (art t) in
@@ -61,9 +63,9 @@ let add_store t ~server_rt ~from ~uid node =
       (* Include first: the write lock serialises against in-flight
          commits, so the state copied below stays the latest until this
          action commits (the reintegration discipline, §4.2). *)
-      let fence = lift_reply (Gvd.include_ (Binder.gvd t) ~act ~uid node) in
+      let fence = lift_reply (Router.include_ (Binder.router t) ~act ~uid node) in
       let sources =
-        match Gvd.entry_info (Binder.gvd t) ~from uid with
+        match Router.entry_info (Binder.router t) ~from uid with
         | Ok (Some info) -> info.Gvd.ei_st_home
         | Ok None | Error _ -> []
       in

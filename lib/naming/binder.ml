@@ -1,8 +1,14 @@
-type t = { b_gvd : Gvd.t; b_grt : Replica.Group.runtime }
+type t = {
+  b_router : Router.t;
+  b_grt : Replica.Group.runtime;
+  b_cache : Bind_cache.t option;
+}
 
-let create b_gvd b_grt = { b_gvd; b_grt }
+let create ?cache b_router b_grt = { b_router; b_grt; b_cache = cache }
 
-let gvd t = t.b_gvd
+let router t = t.b_router
+let gvd t = Router.primary t.b_router
+let cache t = t.b_cache
 let group_runtime t = t.b_grt
 
 type binding = {
@@ -39,7 +45,7 @@ let netw t = Action.Atomic.network (art t)
 let metrics t = Net.Network.metrics (netw t)
 
 let impl_of t ~from uid =
-  match Gvd.entry_info t.b_gvd ~from uid with
+  match Router.entry_info t.b_router ~from uid with
   | Ok (Some info) -> Ok info.Gvd.ei_impl
   | Ok None -> Error (Name_refused "unknown object")
   | Error e -> Error (Name_refused (Net.Rpc.error_to_string e))
@@ -57,9 +63,10 @@ let take k xs =
 
 let exclusion t ~scheme ~uid act failed =
   let run act' =
-    match Gvd.exclude t.b_gvd ~act:act' [ (uid, failed) ] with
+    match Router.exclude t.b_router ~act:act' [ (uid, failed) ] with
     | Ok (Gvd.Granted ()) -> Ok ()
     | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
     | Error e -> Error (Net.Rpc.error_to_string e)
   in
   match scheme with
@@ -83,15 +90,17 @@ let attach_commit t ~scheme ~act ~uid group =
      the independent/nested-top-level schemes (§4.2.1(ii)'s elided
      enhancement), and the copy-back must target the current members. *)
   let current_stores act' =
-    match Gvd.get_view t.b_gvd ~act:act' uid with
+    match Router.get_view t.b_router ~act:act' uid with
     | Ok (Gvd.Granted st) -> Ok st
     | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
     | Error e -> Error (Net.Rpc.error_to_string e)
   in
   let note_version act' version =
-    match Gvd.note_version t.b_gvd ~act:act' ~uid version with
+    match Router.note_version t.b_router ~act:act' ~uid version with
     | Ok (Gvd.Granted ()) -> Ok ()
     | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
     | Error e -> Error (Net.Rpc.error_to_string e)
   in
   Replica.Commit.attach t.b_grt act group ~current_stores ~note_version
@@ -128,18 +137,22 @@ let bind_standard t ~act ~uid ~policy =
       let reads =
         Action.Atomic.atomically_nested act (fun nested ->
             let sv =
-              match Gvd.get_server t.b_gvd ~act:nested uid with
+              match Router.get_server t.b_router ~act:nested uid with
               | Ok (Gvd.Granted view) -> view.Gvd.sv_servers
               | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
                   raise (Action.Atomic.Abort why)
+              | Ok (Gvd.Moved dest) ->
+                  raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
               | Error e ->
                   raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
             in
             let st =
-              match Gvd.get_view t.b_gvd ~act:nested uid with
+              match Router.get_view t.b_router ~act:nested uid with
               | Ok (Gvd.Granted st) -> st
               | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
                   raise (Action.Atomic.Abort why)
+              | Ok (Gvd.Moved dest) ->
+                  raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
               | Error e ->
                   raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
             in
@@ -175,14 +188,19 @@ let bind_standard t ~act ~uid ~policy =
 (* The database half of a Figure-7/8 bind, to be run inside a top-level
    action of its own. Returns the chosen servers and store view. *)
 let fresh_bind_db t ~client ~uid ~policy act =
+  let abort_reply = function
+    | Gvd.Refused why | Gvd.Busy why -> raise (Action.Atomic.Abort why)
+    | Gvd.Moved dest -> raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
+    | Gvd.Granted _ -> assert false
+  in
   (* Write-mode read: this short action will Remove/Increment on the same
      entry, and a read-then-promote pattern would make two concurrent
      binders refuse each other (§4.2.1's promotion problem, on the server
      database side). *)
   let view =
-    match Gvd.get_server_update t.b_gvd ~act uid with
+    match Router.get_server_update t.b_router ~act uid with
     | Ok (Gvd.Granted view) -> view
-    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+    | Ok other -> abort_reply other
     | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
   in
   let sv = view.Gvd.sv_servers in
@@ -197,11 +215,10 @@ let fresh_bind_db t ~client ~uid ~policy act =
   let dead = List.filter (fun n -> not (Net.Network.is_up net n)) sv in
   List.iter
     (fun n ->
-      match Gvd.remove t.b_gvd ~act ~uid n with
+      match Router.remove t.b_router ~act ~uid n with
       | Ok (Gvd.Granted ()) ->
           Sim.Metrics.incr (metrics t) "bind.removed_dead"
-      | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
-          raise (Action.Atomic.Abort why)
+      | Ok other -> abort_reply other
       | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
     dead;
   let live = List.filter (fun n -> Net.Network.is_up net n) sv in
@@ -213,22 +230,24 @@ let fresh_bind_db t ~client ~uid ~policy act =
       List.filter (fun n -> Net.Network.is_up net n) in_use
   in
   if chosen = [] then raise (Action.Atomic.Abort "no live server");
-  (match Gvd.increment t.b_gvd ~act ~uid ~client chosen with
+  (match Router.increment t.b_router ~act ~uid ~client chosen with
   | Ok (Gvd.Granted ()) -> ()
-  | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+  | Ok other -> abort_reply other
   | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)));
   let st =
-    match Gvd.get_view t.b_gvd ~act uid with
+    match Router.get_view t.b_router ~act uid with
     | Ok (Gvd.Granted st) -> st
-    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+    | Ok other -> abort_reply other
     | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
   in
   (chosen, st)
 
 let decrement_db t ~client ~uid ~servers act =
-  match Gvd.decrement t.b_gvd ~act ~uid ~client servers with
+  match Router.decrement t.b_router ~act ~uid ~client servers with
   | Ok (Gvd.Granted ()) -> ()
   | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+  | Ok (Gvd.Moved dest) ->
+      raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
   | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
 
 (* The trailing Decrement must not leak counters on transient lock
@@ -328,7 +347,7 @@ let bind_nested_toplevel t ~act ~uid ~policy =
               bd_stores = st;
             })
 
-let bind t ~act ~scheme ~uid ~policy =
+let bind_uncached t ~act ~scheme ~uid ~policy =
   match scheme with
   | Scheme.Standard -> bind_standard t ~act ~uid ~policy
   | Scheme.Nested_toplevel -> bind_nested_toplevel t ~act ~uid ~policy
@@ -341,3 +360,79 @@ let bind t ~act ~scheme ~uid ~policy =
           Action.Atomic.after_commit act release;
           Action.Atomic.on_abort act release;
           use_prebinding t ~act pb)
+
+(* ------------------------------------------------------------------ *)
+(* The lease cache fast path: a hit skips every bind-time naming RPC and
+   activates straight from the cached (impl, SvA', StA). Staleness is
+   safe, only slow: dead cached servers cost futile activation attempts
+   (scheme A's "hard way"); a stale StA is caught by the object stores'
+   backward validation at commit, which aborts the action — and the abort
+   hook below invalidates the entry so the retry takes the full path. *)
+
+let bind_cached t cache ~act ~scheme ~uid ~policy (e : Bind_cache.entry) =
+  let client = Action.Atomic.node act in
+  match
+    Replica.Group.activate t.b_grt ~client ~uid ~impl:e.Bind_cache.ce_impl
+      ~policy ~servers:e.Bind_cache.ce_servers ~stores:e.Bind_cache.ce_stores
+  with
+  | Error _ -> None
+  | Ok group ->
+      let futile =
+        List.length e.Bind_cache.ce_servers
+        - List.length group.Replica.Group.g_members
+      in
+      if futile > 0 then Sim.Metrics.incr (metrics t) ~by:futile "bind.futile";
+      Sim.Metrics.incr (metrics t) "bind.ok";
+      attach_commit t ~scheme ~act ~uid group;
+      Action.Atomic.on_abort act (fun () ->
+          Bind_cache.invalidate cache ~client uid);
+      (* A commit just revalidated the entry (StA re-read under lock,
+         stores backward-validated the activation): renew its lease. *)
+      Action.Atomic.after_commit act (fun () ->
+          Bind_cache.renew cache ~now:(Sim.Engine.now (Action.Atomic.engine (art t)))
+            ~client uid);
+      Some
+        {
+          bd_uid = uid;
+          bd_scheme = scheme;
+          bd_group = group;
+          bd_servers = group.Replica.Group.g_members;
+          bd_stores = e.Bind_cache.ce_stores;
+        }
+
+let bind t ~act ~scheme ~uid ~policy =
+  let eng = Action.Atomic.engine (art t) in
+  let started = Sim.Engine.now eng in
+  let finish r =
+    Sim.Metrics.observe (metrics t) "bind.latency"
+      (Sim.Engine.now eng -. started);
+    r
+  in
+  let client = Action.Atomic.node act in
+  let via_cache =
+    match t.b_cache with
+    | None -> None
+    | Some cache -> (
+        match Bind_cache.find cache ~now:started ~client uid with
+        | None -> None
+        | Some entry -> (
+            match bind_cached t cache ~act ~scheme ~uid ~policy entry with
+            | Some binding -> Some binding
+            | None ->
+                (* Every cached server failed to activate: drop the entry
+                   and take the full path within this same bind. *)
+                Bind_cache.invalidate cache ~client uid;
+                Sim.Metrics.incr (metrics t) "cache.fallbacks";
+                None))
+  in
+  match via_cache with
+  | Some binding -> finish (Ok binding)
+  | None ->
+      let r = bind_uncached t ~act ~scheme ~uid ~policy in
+      (match (r, t.b_cache) with
+      | Ok b, Some cache ->
+          Bind_cache.fill cache ~now:(Sim.Engine.now eng) ~client uid
+            ~impl:b.bd_group.Replica.Group.g_impl ~servers:b.bd_servers
+            ~stores:b.bd_stores
+      | _ -> ());
+      finish r

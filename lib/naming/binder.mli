@@ -30,9 +30,21 @@
 type t
 (** Binder runtime. *)
 
-val create : Gvd.t -> Replica.Group.runtime -> t
+val create : ?cache:Bind_cache.t -> Router.t -> Replica.Group.runtime -> t
+(** [create router grt] binds through the sharded naming tier. [cache]
+    (default none) enables the lease-based client cache: a fresh entry
+    lets {!bind} skip every bind-time naming RPC and activate straight
+    from the cached [(impl, SvA', StA)]. Staleness only slows a bind
+    down (futile activations, a commit-time version-conflict abort that
+    invalidates the entry); it can never commit against a stale store —
+    commit processing re-reads [StA] and the stores backward-validate. *)
+
+val router : t -> Router.t
 
 val gvd : t -> Gvd.t
+(** The primary shard (compatibility handle for single-shard worlds). *)
+
+val cache : t -> Bind_cache.t option
 val group_runtime : t -> Replica.Group.runtime
 
 type binding = {

@@ -23,6 +23,10 @@ let sweep_now gvd art =
                 | Ok (Gvd.Granted ()) -> ()
                 | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
                     raise (Action.Atomic.Abort why)
+                | Ok (Gvd.Moved dest) ->
+                    (* Entry migrated to another shard since the snapshot;
+                       that shard's own daemon will sweep it. *)
+                    raise (Action.Atomic.Abort ("moved to " ^ dest))
                 | Error e ->
                     raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
           with

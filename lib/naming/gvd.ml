@@ -1,4 +1,10 @@
-type 'a reply = Granted of 'a | Busy of string | Refused of string
+type 'a reply =
+  | Granted of 'a
+  | Busy of string
+  | Refused of string
+  | Moved of Net.Network.node_id
+      (* wrong shard: the entry was handed off to the given naming node;
+         the router follows the hint and retries there *)
 
 type server_view = {
   sv_servers : Net.Network.node_id list;
@@ -68,12 +74,35 @@ type read_req = { r_uid : Store.Uid.t; r_action : string }
 
 type note_req = { n_uid : Store.Uid.t; n_action : string; n_version : Store.Version.t }
 
+(* A migrating entry in flight between shards: the full recoverable image
+   plus every name bound to it. Only quiescent-at-the-lock-level entries
+   migrate (no holders, no waiters), so there are never before-images to
+   carry — the undo lifecycle is the lock lifecycle. *)
+type handoff = {
+  ho_serial : int;
+  ho_uid : Store.Uid.t;
+  ho_impl : string;
+  ho_image : image;
+  ho_names : string list;
+}
+
+type handoff_req = { hr_uid : Store.Uid.t; hr_dest : Net.Network.node_id }
+
 type t = {
   art : Action.Atomic.runtime;
   gvd_node : Net.Network.node_id;
   lock_timeout : float;
   use_exclude_write : bool;
   durable : bool;
+  service_time : float;
+      (* modeled CPU cost per database operation; 0.0 = infinitely fast
+         service node (the seed behaviour). Charged on a capacity-1
+         semaphore so concurrent requests queue for the shard's CPU —
+         lock waits inside handlers do not hold it. *)
+  service : Sim.Semaphore.t;
+  (* Entries handed off to another shard: uid serial -> destination.
+     Requests arriving here for a migrated entry get a [Moved] bounce. *)
+  moved_out : (int, Net.Network.node_id) Hashtbl.t;
   (* Actions that have touched the database since the last crash of the
      service node. With [durable], a crash restores every entry to its
      committed image and wipes locks — so pre-crash actions must vote no
@@ -105,6 +134,7 @@ type t = {
   ep_retire_sv : (op_req, unit reply) Net.Rpc.endpoint;
   ep_retire_st : (op_req, unit reply) Net.Rpc.endpoint;
   ep_note_version : (note_req, unit reply) Net.Rpc.endpoint;
+  ep_handoff : (handoff_req, handoff reply) Net.Rpc.endpoint;
   ep_mirror : ((int * image) list, unit) Net.Rpc.endpoint;
   ep_snapshot : (unit, (int * image) list) Net.Rpc.endpoint;
   mutable backup : t option;
@@ -130,6 +160,28 @@ let sv_key uid = "sv:" ^ Store.Uid.to_string uid
 let st_key uid = "st:" ^ Store.Uid.to_string uid
 
 let entry_opt t uid = Hashtbl.find_opt t.entries (Store.Uid.serial uid)
+
+(* The reply for an entry this shard does not hold: a [Moved] hint if it
+   was handed off, a refusal otherwise. *)
+let absent t uid =
+  match Hashtbl.find_opt t.moved_out (Store.Uid.serial uid) with
+  | Some dest -> Moved dest
+  | None -> Refused "unknown object"
+
+let owns t uid = Hashtbl.mem t.entries (Store.Uid.serial uid)
+
+(* Charge the shard's CPU for one database operation before running the
+   handler body. The permit is released before [f], so a handler blocked
+   on a lock does not hold the processor. With the default
+   [service_time = 0.0] this is a no-op and the seed behaviour is
+   byte-for-byte unchanged. *)
+let serviced t f =
+  if t.service_time > 0.0 then begin
+    Sim.Semaphore.acquire (eng t) t.service;
+    Sim.Engine.sleep (eng t) t.service_time;
+    Sim.Semaphore.release t.service
+  end;
+  f ()
 
 let entry_exn t uid =
   match entry_opt t uid with
@@ -220,7 +272,7 @@ let h_register t { rg_uid; rg_name; rg_impl; rg_sv; rg_st } =
 
 let h_get_server ?(mode = Lockmgr.Mode.Read) t { r_uid; r_action } =
   match entry_opt t r_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t r_uid
   | Some e ->
       with_lock t ~action:r_action ~mode (sv_key r_uid)
         (fun () ->
@@ -236,7 +288,7 @@ let h_get_server ?(mode = Lockmgr.Mode.Read) t { r_uid; r_action } =
 
 let h_insert t { o_uid; o_action; o_node } =
   match entry_opt t o_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t o_uid
   | Some e ->
       with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (sv_key o_uid)
         (fun () ->
@@ -263,7 +315,7 @@ let h_insert t { o_uid; o_action; o_node } =
 
 let h_remove t { o_uid; o_action; o_node } =
   match entry_opt t o_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t o_uid
   | Some e ->
       with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (sv_key o_uid)
         (fun () ->
@@ -284,7 +336,7 @@ let h_remove t { o_uid; o_action; o_node } =
 
 let h_use t ~f ~name { u_uid; u_action; u_client; u_nodes } =
   match entry_opt t u_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t u_uid
   | Some e ->
       with_lock t ~action:u_action ~mode:Lockmgr.Mode.Write (sv_key u_uid)
         (fun () ->
@@ -299,7 +351,7 @@ let h_use t ~f ~name { u_uid; u_action; u_client; u_nodes } =
 
 let h_get_view t { r_uid; r_action } =
   match entry_opt t r_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t r_uid
   | Some e ->
       with_lock t ~action:r_action ~mode:Lockmgr.Mode.Read (st_key r_uid)
         (fun () ->
@@ -311,6 +363,15 @@ let h_get_view t { r_uid; r_action } =
    database untouched. *)
 let h_exclude t { x_action; x_pairs } =
   touch_guard t x_action;
+  match
+    List.find_map
+      (fun (uid, _) ->
+        if owns t uid then None
+        else Hashtbl.find_opt t.moved_out (Store.Uid.serial uid))
+      x_pairs
+  with
+  | Some dest -> Moved dest
+  | None ->
   let mode =
     if t.use_exclude_write then Lockmgr.Mode.Exclude_write else Lockmgr.Mode.Write
   in
@@ -354,7 +415,7 @@ let h_exclude t { x_action; x_pairs } =
 
 let h_retire_sv t { o_uid; o_action; o_node } =
   match entry_opt t o_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t o_uid
   | Some e ->
       with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (sv_key o_uid)
         (fun () ->
@@ -382,7 +443,7 @@ let h_retire_sv t { o_uid; o_action; o_node } =
 
 let h_retire_st t { o_uid; o_action; o_node } =
   match entry_opt t o_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t o_uid
   | Some e ->
       with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (st_key o_uid)
         (fun () ->
@@ -406,7 +467,7 @@ let h_retire_st t { o_uid; o_action; o_node } =
 
 let h_include t { o_uid; o_action; o_node } =
   match entry_opt t o_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t o_uid
   | Some e ->
       with_lock t ~action:o_action ~mode:Lockmgr.Mode.Write (st_key o_uid)
         (fun () ->
@@ -427,12 +488,70 @@ let h_include t { o_uid; o_action; o_node } =
           Sim.Metrics.incr (metrics t) "gvd.includes";
           Granted e.e_image.im_state.im_version)
 
+(* Hand an entry off to another shard (online rebalance). Runs atomically
+   at the simulation level — no suspension points between the check and
+   the removal — so no bind can observe a half-migrated entry. Only
+   lock-free entries move: a holder (or waiter) implies in-flight
+   before-images whose undo must stay co-located with the entry, so the
+   router retries busy entries until the locks drain. Use lists ride
+   along inside the image: entries with active bindings migrate fine. *)
+let h_handoff t { hr_uid; hr_dest } =
+  match entry_opt t hr_uid with
+  | None -> absent t hr_uid
+  | Some e ->
+      let free key =
+        Lockmgr.Manager.holders t.locks key = []
+        && Lockmgr.Manager.waiting t.locks key = 0
+      in
+      if not (free (sv_key hr_uid) && free (st_key hr_uid)) then begin
+        Sim.Metrics.incr (metrics t) "gvd.handoff_busy";
+        Busy "entry locked"
+      end
+      else begin
+        let serial = Store.Uid.serial hr_uid in
+        let names =
+          Hashtbl.fold
+            (fun name uid acc ->
+              if Store.Uid.equal uid hr_uid then name :: acc else acc)
+            t.names []
+          |> List.sort String.compare
+        in
+        Hashtbl.remove t.entries serial;
+        List.iter (fun name -> Hashtbl.remove t.names name) names;
+        Hashtbl.replace t.moved_out serial hr_dest;
+        Sim.Metrics.incr (metrics t) "gvd.handoffs_out";
+        tracef t "handoff %a -> %s" Store.Uid.pp hr_uid hr_dest;
+        Granted
+          {
+            ho_serial = serial;
+            ho_uid = hr_uid;
+            ho_impl = e.e_impl;
+            ho_image = e.e_image;
+            ho_names = names;
+          }
+      end
+
+(* Install a migrated entry on the receiving shard (called in-process by
+   the router's migration fiber, immediately after the handoff reply —
+   the entry is unreachable only while that reply is in flight). *)
+let accept_handoff t ho =
+  Hashtbl.replace t.entries ho.ho_serial
+    { e_uid = ho.ho_uid; e_impl = ho.ho_impl; e_image = ho.ho_image };
+  List.iter (fun name -> Hashtbl.replace t.names name ho.ho_uid) ho.ho_names;
+  Hashtbl.remove t.moved_out ho.ho_serial;
+  Sim.Metrics.incr (metrics t) "gvd.handoffs_in";
+  tracef t "accepted handoff of %a" Store.Uid.pp ho.ho_uid
+
+let handoff_out t ~from ~uid ~dest =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_handoff
+    { hr_uid = uid; hr_dest = dest }
+
 (* Record the committed version at commit time, under the same lock
    discipline as Exclude (§4.2.1): readers are unaffected. *)
 let h_note_version t { n_uid; n_action; n_version } =
   touch_guard t n_action;
   match entry_opt t n_uid with
-  | None -> Refused "unknown object"
+  | None -> absent t n_uid
   | Some e ->
       let mode =
         if t.use_exclude_write then Lockmgr.Mode.Exclude_write
@@ -541,7 +660,7 @@ let manager t =
   }
 
 let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
-    ?(durable = false) art ~node =
+    ?(durable = false) ?(service_time = 0.0) art ~node =
   let t =
     {
       art;
@@ -549,6 +668,9 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       lock_timeout;
       use_exclude_write;
       durable;
+      service_time;
+      service = Sim.Semaphore.create 1;
+      moved_out = Hashtbl.create 16;
       known_actions = Hashtbl.create 64;
       entries = Hashtbl.create 64;
       names = Hashtbl.create 64;
@@ -574,6 +696,7 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       ep_retire_sv = Net.Rpc.endpoint "gvd.retire_sv";
       ep_retire_st = Net.Rpc.endpoint "gvd.retire_st";
       ep_note_version = Net.Rpc.endpoint "gvd.note_version";
+      ep_handoff = Net.Rpc.endpoint "gvd.handoff";
       ep_mirror = Net.Rpc.endpoint "gvd.mirror";
       ep_snapshot = Net.Rpc.endpoint "gvd.snapshot";
       backup = None;
@@ -603,30 +726,41 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
           if List.mem n e.e_image.im_server.im_sv_home then e.e_uid :: acc else acc)
         t.entries []
       |> List.sort Store.Uid.compare);
-  Net.Rpc.serve rpc ~node t.ep_get_server (fun req -> h_get_server t req);
+  Net.Rpc.serve rpc ~node t.ep_get_server (fun req ->
+      serviced t (fun () -> h_get_server t req));
   Net.Rpc.serve rpc ~node t.ep_get_server_update (fun req ->
-      h_get_server ~mode:Lockmgr.Mode.Write t req);
-  Net.Rpc.serve rpc ~node t.ep_insert (fun req -> h_insert t req);
-  Net.Rpc.serve rpc ~node t.ep_remove (fun req -> h_remove t req);
-  Net.Rpc.serve rpc ~node t.ep_increment
-    (fun req -> h_use t ~name:"increments" ~f:(Use_list.increment ~client:req.u_client) req);
-  Net.Rpc.serve rpc ~node t.ep_decrement
-    (fun req -> h_use t ~name:"decrements" ~f:(Use_list.decrement ~client:req.u_client) req);
+      serviced t (fun () -> h_get_server ~mode:Lockmgr.Mode.Write t req));
+  Net.Rpc.serve rpc ~node t.ep_insert (fun req ->
+      serviced t (fun () -> h_insert t req));
+  Net.Rpc.serve rpc ~node t.ep_remove (fun req ->
+      serviced t (fun () -> h_remove t req));
+  Net.Rpc.serve rpc ~node t.ep_increment (fun req ->
+      serviced t (fun () ->
+          h_use t ~name:"increments" ~f:(Use_list.increment ~client:req.u_client) req));
+  Net.Rpc.serve rpc ~node t.ep_decrement (fun req ->
+      serviced t (fun () ->
+          h_use t ~name:"decrements" ~f:(Use_list.decrement ~client:req.u_client) req));
   Net.Rpc.serve rpc ~node t.ep_zero (fun req ->
-      (* Drop the client from every use list of the entry, whatever the
-         server nodes are. *)
-      match entry_opt t req.u_uid with
-      | None -> Refused "unknown object"
-      | Some e ->
-          h_use t ~name:"zeroes"
-            ~f:(Use_list.drop_client ~client:req.u_client)
-            { req with u_nodes = List.map fst e.e_image.im_server.im_uses });
-  Net.Rpc.serve rpc ~node t.ep_get_view (fun req -> h_get_view t req);
-  Net.Rpc.serve rpc ~node t.ep_exclude (fun req -> h_exclude t req);
-  Net.Rpc.serve rpc ~node t.ep_include (fun req -> h_include t req);
+      serviced t (fun () ->
+          (* Drop the client from every use list of the entry, whatever the
+             server nodes are. *)
+          match entry_opt t req.u_uid with
+          | None -> absent t req.u_uid
+          | Some e ->
+              h_use t ~name:"zeroes"
+                ~f:(Use_list.drop_client ~client:req.u_client)
+                { req with u_nodes = List.map fst e.e_image.im_server.im_uses }));
+  Net.Rpc.serve rpc ~node t.ep_get_view (fun req ->
+      serviced t (fun () -> h_get_view t req));
+  Net.Rpc.serve rpc ~node t.ep_exclude (fun req ->
+      serviced t (fun () -> h_exclude t req));
+  Net.Rpc.serve rpc ~node t.ep_include (fun req ->
+      serviced t (fun () -> h_include t req));
   Net.Rpc.serve rpc ~node t.ep_retire_sv (fun req -> h_retire_sv t req);
   Net.Rpc.serve rpc ~node t.ep_retire_st (fun req -> h_retire_st t req);
-  Net.Rpc.serve rpc ~node t.ep_note_version (fun req -> h_note_version t req);
+  Net.Rpc.serve rpc ~node t.ep_note_version (fun req ->
+      serviced t (fun () -> h_note_version t req));
+  Net.Rpc.serve rpc ~node t.ep_handoff (fun req -> h_handoff t req);
   Net.Rpc.serve rpc ~node t.ep_mirror (fun images ->
       List.iter
         (fun (serial, im) ->
@@ -677,7 +811,7 @@ let call_enlisted t ~act ep req =
          its write lock but found the object busy); enlist so they are
          released at action end. *)
       Action.Atomic.enlist act ~node:t.gvd_node ~resource ()
-  | Error _ -> ());
+  | Ok (Moved _) | Error _ -> ());
   result
 
 let register_direct t ~uid ~name ~impl ~sv ~st =

@@ -35,6 +35,7 @@ val install :
   ?lock_timeout:float ->
   ?use_exclude_write:bool ->
   ?durable:bool ->
+  ?service_time:float ->
   Action.Atomic.runtime ->
   node:Net.Network.node_id ->
   t
@@ -49,7 +50,14 @@ val install :
     object (committed images survive a crash of the node), while its lock
     table and the before-images of in-flight actions are volatile — after
     a crash, every action started before it votes {e no} at prepare, so
-    nothing half-done ever commits against the restored database. *)
+    nothing half-done ever commits against the restored database.
+
+    [service_time] (default 0.0) models the CPU cost of one database
+    operation: each workload-path handler first queues for the node's
+    single service unit and holds it that long. The default keeps the
+    node infinitely fast, byte-for-byte the seed behaviour; a positive
+    value makes a single naming node a measurable bottleneck, which is
+    what the sharded tier ({!Router}) relieves. *)
 
 val node : t -> Net.Network.node_id
 (** The service node. *)
@@ -59,8 +67,14 @@ val resource : string
 
 (** Outcome of a database operation: [Refused] means a lock could not be
     granted (the caller should abort its action); [Busy] is
-    [Insert]-specific — the object is not quiescent. *)
-type 'a reply = Granted of 'a | Busy of string | Refused of string
+    [Insert]-specific — the object is not quiescent; [Moved] is the
+    wrong-shard bounce — the entry was handed off to the given naming
+    node and the caller (normally {!Router}) should retry there. *)
+type 'a reply =
+  | Granted of 'a
+  | Busy of string
+  | Refused of string
+  | Moved of Net.Network.node_id
 
 type server_view = {
   sv_servers : Net.Network.node_id list;  (** current [SvA] *)
@@ -239,6 +253,34 @@ val retire_store_home :
   (unit reply, Net.Rpc.error) result
 (** Permanently remove a node from [StA] and [st_home] (write lock), so
     recovery will not re-include it. *)
+
+(** {2 Shard handoff} (online rebalance; used by {!Router})
+
+    An entry migrates shard-to-shard without quiescing the workload: the
+    source removes it and leaves a [Moved] marker in one atomic handler
+    (only when no locks are held or queued on it — [Busy] otherwise, and
+    the router retries until in-flight actions drain), and the receiving
+    instance installs it in-process immediately after the reply. Requests
+    racing the migration are healed by the [Moved] bounce. *)
+
+type handoff
+(** A migrating entry in flight: image, names, use lists and the
+    committed-version fence travel together. *)
+
+val handoff_out :
+  t ->
+  from:Net.Network.node_id ->
+  uid:Store.Uid.t ->
+  dest:Net.Network.node_id ->
+  (handoff reply, Net.Rpc.error) result
+(** Ask this instance to release [uid] for migration to [dest] (RPC; must
+    run in a fiber). [Busy] if the entry has lock activity. *)
+
+val accept_handoff : t -> handoff -> unit
+(** Install a migrated entry on this instance (direct, no network). *)
+
+val owns : t -> Store.Uid.t -> bool
+(** Whether this instance currently holds the entry for [uid]. *)
 
 (** {2 Introspection} (tests, experiments; direct access) *)
 

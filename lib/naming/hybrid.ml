@@ -62,13 +62,13 @@ let take k xs =
 
 let bind t ~act ~uid ~policy =
   let client = Action.Atomic.node act in
-  let gvd = Binder.gvd t.binder in
+  let router = Binder.router t.binder in
   let grt = Binder.group_runtime t.binder in
   match servers t ~from:client uid with
   | Error e -> Error (Binder.Name_refused (Net.Rpc.error_to_string e))
   | Ok sv -> (
       let impl =
-        match Gvd.entry_info gvd ~from:client uid with
+        match Router.entry_info router ~from:client uid with
         | Ok (Some info) -> Ok info.Gvd.ei_impl
         | Ok None -> Error (Binder.Name_refused "unknown object")
         | Error e -> Error (Binder.Name_refused (Net.Rpc.error_to_string e))
@@ -81,10 +81,12 @@ let bind t ~act ~uid ~policy =
              standard-scheme guarantees. *)
           let st_read =
             Action.Atomic.atomically_nested act (fun nested ->
-                match Gvd.get_view gvd ~act:nested uid with
+                match Router.get_view router ~act:nested uid with
                 | Ok (Gvd.Granted st) -> st
                 | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
                     raise (Action.Atomic.Abort why)
+                | Ok (Gvd.Moved dest) ->
+                    raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
                 | Error e ->
                     raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
           in
@@ -101,9 +103,10 @@ let bind t ~act ~uid ~policy =
                 | Error why -> Error (Binder.No_server why)
                 | Ok group ->
                     let current_stores act' =
-                      match Gvd.get_view gvd ~act:act' uid with
+                      match Router.get_view router ~act:act' uid with
                       | Ok (Gvd.Granted nodes) -> Ok nodes
                       | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+                      | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
                       | Error e -> Error (Net.Rpc.error_to_string e)
                     in
                     Replica.Commit.attach grt act group ~current_stores

@@ -24,7 +24,7 @@ let newest_state t ~from ~stores uid =
     None stores
 
 let reintegrate_store_one t ~node uid =
-  let g = Binder.gvd t in
+  let r = Binder.router t in
   let sh = Action.Atomic.store_host (art t) in
   Action.Atomic.atomically (art t) ~node (fun act ->
       (* Include first: its write lock serialises us against every client
@@ -32,14 +32,16 @@ let reintegrate_store_one t ~node uid =
          final committed state. The granted fence is the committed
          version this node must reach before the inclusion may commit. *)
       let fence =
-        match Gvd.include_ g ~act ~uid node with
+        match Router.include_ r ~act ~uid node with
         | Ok (Gvd.Granted v) -> v
         | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
             raise (Action.Atomic.Abort why)
+        | Ok (Gvd.Moved dest) ->
+            raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
         | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
       in
       let sources =
-        match Gvd.entry_info g ~from:node uid with
+        match Router.entry_info r ~from:node uid with
         | Ok (Some info) -> info.Gvd.ei_st_home
         | Ok None | Error _ -> []
       in
@@ -77,7 +79,7 @@ let reintegrate_store_one t ~node uid =
 let reintegrate_store_now t ~node ?(retry_delay = 2.0) () =
   let eng = Action.Atomic.engine (art t) in
   let uids =
-    match Gvd.stored_on (Binder.gvd t) ~from:node node with
+    match Router.stored_on (Binder.router t) ~from:node node with
     | Ok uids -> uids
     | Error _ -> []
   in
@@ -101,9 +103,9 @@ let attach_store_node t ~node ?retry_delay () =
 
 let reinsert_server_now t ~node ?(retry_delay = 2.0) () =
   let eng = Action.Atomic.engine (art t) in
-  let g = Binder.gvd t in
+  let r = Binder.router t in
   let uids =
-    match Gvd.served_by g ~from:node node with
+    match Router.served_by r ~from:node node with
     | Ok uids -> uids
     | Error _ -> []
   in
@@ -116,9 +118,9 @@ let reinsert_server_now t ~node ?(retry_delay = 2.0) () =
         else
           let r =
             Action.Atomic.atomically (art t) ~node (fun act ->
-                match Gvd.insert g ~act ~uid node with
+                match Router.insert r ~act ~uid node with
                 | Ok (Gvd.Granted ()) -> `Done
-                | Ok (Gvd.Busy _) -> `Busy
+                | Ok (Gvd.Busy _) | Ok (Gvd.Moved _) -> `Busy
                 | Ok (Gvd.Refused why) -> raise (Action.Atomic.Abort why)
                 | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
           in

@@ -1,5 +1,6 @@
 type topology = {
   gvd_node : Net.Network.node_id;
+  gvd_nodes : Net.Network.node_id list;
   server_nodes : Net.Network.node_id list;
   store_nodes : Net.Network.node_id list;
   client_nodes : Net.Network.node_id list;
@@ -12,6 +13,7 @@ type t = {
   w_art : Action.Atomic.runtime;
   w_srv : Replica.Server.runtime;
   w_grt : Replica.Group.runtime;
+  w_router : Router.t;
   w_gvd : Gvd.t;
   w_binder : Binder.t;
   w_sup : Store.Uid.supply;
@@ -24,15 +26,17 @@ let atomic t = t.w_art
 let store_host t = t.w_sh
 let server_runtime t = t.w_srv
 let group_runtime t = t.w_grt
+let router t = t.w_router
 let gvd t = t.w_gvd
 let binder t = t.w_binder
+let bind_cache t = Binder.cache t.w_binder
 let metrics t = Net.Network.metrics t.w_net
 let trace t = Net.Network.trace t.w_net
 let uid_supply t = t.w_sup
 
 let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     ?(durable_naming = false) ?(cleanup_period = 0.0) ?(extra_impls = [])
-    topology =
+    ?bind_cache_lease ?(naming_service_time = 0.0) topology =
   let eng = Sim.Engine.create ?seed () in
   let net = Net.Network.create ?latency eng in
   let rpc = Net.Rpc.create net in
@@ -43,9 +47,15 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   List.iter (Replica.Object_impl.register impls)
     (Replica.Object_impl.stock_all @ extra_impls);
   let srv = Replica.Server.create art impls in
+  (* The primary naming node first, then the extra shards in declaration
+     order — the shard-map node set. *)
+  let naming_nodes =
+    topology.gvd_node
+    :: List.filter (fun n -> n <> topology.gvd_node) topology.gvd_nodes
+  in
   let all_nodes =
     List.sort_uniq String.compare
-      ((topology.gvd_node :: topology.server_nodes)
+      ((naming_nodes @ topology.server_nodes)
       @ topology.store_nodes @ topology.client_nodes)
   in
   (* Hook order per node matters: 2PC resolution must precede naming-level
@@ -59,18 +69,26 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   Action.Recovery.guard_prepares art;
   List.iter (fun n -> Replica.Server.install_host srv n) topology.server_nodes;
   let grt = Replica.Group.create srv ~sequencer:topology.gvd_node in
-  let gvd =
-    Gvd.install ~lock_timeout ~use_exclude_write ~durable:durable_naming art
-      ~node:topology.gvd_node
+  let router =
+    Router.create ~lock_timeout ~use_exclude_write ~durable:durable_naming
+      ~service_time:naming_service_time art ~nodes:naming_nodes
   in
-  let bdr = Binder.create gvd grt in
+  let gvd = Router.primary router in
+  let cache =
+    Option.map
+      (fun lease -> Bind_cache.create ~lease (Net.Network.metrics net))
+      bind_cache_lease
+  in
+  let bdr = Binder.create ?cache router grt in
   List.iter
     (fun n -> Reintegration.attach_store_node bdr ~node:n ())
     topology.store_nodes;
   List.iter
     (fun n -> Reintegration.attach_server_node bdr ~node:n ())
     topology.server_nodes;
-  if cleanup_period > 0.0 then Cleanup.start gvd ~period:cleanup_period art;
+  if cleanup_period > 0.0 then
+    List.iter (fun g -> Cleanup.start g ~period:cleanup_period art)
+      (Router.gvds router);
   {
     w_eng = eng;
     w_net = net;
@@ -78,6 +96,7 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     w_art = art;
     w_srv = srv;
     w_grt = grt;
+    w_router = router;
     w_gvd = gvd;
     w_binder = bdr;
     w_sup = Store.Uid.supply ();
@@ -104,13 +123,14 @@ let create_object t ~name ~impl ?initial ~sv ~st () =
     (fun store ->
       Action.Store_host.seed t.w_sh store uid (Store.Object_state.initial payload))
     st;
-  (* Registration is administrative world setup: apply it directly so
-     objects exist before any client fiber can race the entry. *)
-  Gvd.register_direct t.w_gvd ~uid ~name ~impl ~sv ~st;
+  (* Registration is administrative world setup: apply it directly (on the
+     owning shard) so objects exist before any client fiber can race the
+     entry. *)
+  Router.register_direct t.w_router ~uid ~name ~impl ~sv ~st;
   uid
 
 let lookup t ~from name =
-  match Gvd.lookup t.w_gvd ~from name with Ok r -> r | Error _ -> None
+  match Router.lookup t.w_router ~from name with Ok r -> r | Error _ -> None
 
 let with_bound t ~client ~scheme ~policy ~uid body =
   Action.Atomic.atomically t.w_art ~node:client (fun act ->

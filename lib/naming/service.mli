@@ -12,8 +12,11 @@
 
 type topology = {
   gvd_node : Net.Network.node_id;
-      (** hosts the naming service and the multicast sequencer; assumed
-          always available (§3.1) *)
+      (** hosts the primary naming shard and the multicast sequencer;
+          assumed always available (§3.1) *)
+  gvd_nodes : Net.Network.node_id list;
+      (** additional naming shard nodes; [[]] gives the paper's
+          single-node service, byte-for-byte the pre-sharding behaviour *)
   server_nodes : Net.Network.node_id list;  (** can run object servers *)
   store_nodes : Net.Network.node_id list;  (** have object stores *)
   client_nodes : Net.Network.node_id list;  (** run applications *)
@@ -29,6 +32,8 @@ val create :
   ?durable_naming:bool ->
   ?cleanup_period:float ->
   ?extra_impls:Replica.Object_impl.t list ->
+  ?bind_cache_lease:float ->
+  ?naming_service_time:float ->
   topology ->
   t
 (** Build a world. Stock object implementations (counter, account,
@@ -41,7 +46,13 @@ val create :
     persistent object instead of being assumed always available (see
     {!Gvd.install}). Recovery hooks
     (2PC resolution, then store reintegration, then server reinsertion)
-    are attached to every node per its capabilities. *)
+    are attached to every node per its capabilities.
+
+    [bind_cache_lease] (default off) enables the client-side lease cache
+    of bind results with that lease duration (see {!Bind_cache}).
+    [naming_service_time] (default 0.0) models the per-operation CPU cost
+    of each naming shard (see {!Gvd.install}); both defaults reproduce
+    the seed behaviour exactly. *)
 
 (* Substrate access *)
 
@@ -51,8 +62,12 @@ val atomic : t -> Action.Atomic.runtime
 val store_host : t -> Action.Store_host.t
 val server_runtime : t -> Replica.Server.runtime
 val group_runtime : t -> Replica.Group.runtime
+val router : t -> Router.t
 val gvd : t -> Gvd.t
+(** The primary naming shard (the only one when [gvd_nodes = []]). *)
+
 val binder : t -> Binder.t
+val bind_cache : t -> Bind_cache.t option
 val metrics : t -> Sim.Metrics.t
 val trace : t -> Sim.Trace.t
 val uid_supply : t -> Store.Uid.supply

@@ -1,7 +1,7 @@
 open Naming
 
 let mutual_consistency w uid =
-  let st = Gvd.current_st (Service.gvd w) uid in
+  let st = Router.current_st (Service.router w) uid in
   let states =
     List.map
       (fun node ->
@@ -47,14 +47,15 @@ let pp_report ppf r =
 
 let counter_stress ?(seed = 99L) ?(clients = 3) ?(actions_per_client = 8)
     ?(server_churn = true) ?(store_churn = true)
-    ?(policy = Replica.Policy.Active 2) () =
+    ?(policy = Replica.Policy.Active 2) ?(gvd_nodes = []) ?bind_cache_lease () =
   let servers = [ "s1"; "s2" ] in
   let stores = [ "t1"; "t2"; "t3" ] in
   let client_nodes = List.init clients (fun i -> Printf.sprintf "c%d" (i + 1)) in
   let w =
-    Service.create ~seed
+    Service.create ~seed ?bind_cache_lease
       {
         Service.gvd_node = "ns";
+        gvd_nodes;
         server_nodes = servers;
         store_nodes = stores;
         client_nodes;

@@ -36,9 +36,13 @@ val counter_stress :
   ?server_churn:bool ->
   ?store_churn:bool ->
   ?policy:Replica.Policy.t ->
+  ?gvd_nodes:Net.Network.node_id list ->
+  ?bind_cache_lease:float ->
   unit ->
   stress_report
 (** Run the audit workload to completion (defaults: 3 clients × 8 actions,
-    both churn kinds on, active replication over 2 servers). *)
+    both churn kinds on, active replication over 2 servers). [gvd_nodes]
+    and [bind_cache_lease] exercise the sharded naming tier and the
+    client bind cache under the same accounting obligations. *)
 
 val pp_report : Format.formatter -> stress_report -> unit

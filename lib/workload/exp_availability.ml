@@ -25,6 +25,7 @@ let run_config ?(actions = 80) ?(seed = 11L) ~n_sv ~n_st ~policy ?server_churn
     Service.create ~seed
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = servers;
         store_nodes = stores;
         client_nodes = [ "c1" ];

@@ -6,6 +6,7 @@ let run_variant ~seed ~eager =
     Service.create ~seed
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = servers;
         store_nodes = [ "t1" ];
         client_nodes = [ "c1" ];

@@ -6,6 +6,7 @@ let run_config ~seed ~scheme ~clients =
     Service.create ~seed
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = [ "t1" ];
         client_nodes;

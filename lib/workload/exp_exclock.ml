@@ -9,6 +9,7 @@ let trial ~seed ~use_exclude_write ~readers =
     Service.create ~seed ~use_exclude_write
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = [ "t1"; "t2" ];
         client_nodes = "writer" :: reader_nodes;

@@ -23,6 +23,7 @@ let run_variant ~seed ~hybrid =
     Service.create ~seed
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = servers;
         store_nodes = stores;
         client_nodes = [ "c1"; "c2" ];

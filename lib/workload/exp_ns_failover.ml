@@ -21,6 +21,7 @@ let run_variant ~seed ~replicated =
     Service.create ~seed ~durable_naming:true
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = [ "t1"; "t2" ];
         (* ns2 participates as a plain node; the backup database instance
@@ -47,7 +48,9 @@ let run_variant ~seed ~replicated =
         ~sv:[ "alpha" ] ~st:[ "t1"; "t2" ];
       Gvd.mirror_to gvd1 gvd2;
       Gvd.mirror_to gvd2 gvd1;
-      let binder2 = Binder.create gvd2 (Service.group_runtime w) in
+      let binder2 =
+    Binder.create (Router.of_gvd (Service.atomic w) gvd2) (Service.group_runtime w)
+  in
       (* The recovering primary pulls the backup's committed images before
          resuming mastership. *)
       Net.Network.on_crash net "ns" (fun () -> primary_ready := false);

@@ -5,6 +5,7 @@ let run ?(seed = 91L) () =
     Service.create ~seed ~durable_naming:true
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = [ "t1"; "t2" ];
         client_nodes = [ "c1" ];

@@ -5,6 +5,7 @@ let run ?(seed = 111L) () =
     Service.create ~seed
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = [ "t1"; "t2" ];
         client_nodes = [ "near"; "far" ];

@@ -6,6 +6,7 @@ let config ~seed ~read_fraction =
     Service.create ~seed
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha" ];
         store_nodes = stores;
         client_nodes = [ "c1" ];

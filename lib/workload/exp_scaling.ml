@@ -5,6 +5,7 @@ let run ?(seed = 101L) () =
     Service.create ~seed
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "srv1"; "srv2" ];
         store_nodes = [ "disk1"; "disk2" ];
         client_nodes = [ "app"; "ops" ];

@@ -28,6 +28,7 @@ let run_scheme ?(seed = 31L) scheme =
     Service.create ~seed ~cleanup_period:25.0
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = servers;
         store_nodes = stores;
         client_nodes = clients;

@@ -1,0 +1,165 @@
+open Naming
+
+(* tab-shard-scaling: throughput and bind latency of the naming tier as it
+   is sharded over 1/2/4/8 nodes, with and without the client-side lease
+   cache of bind results, plus one configuration performing an online
+   rebalance (2 -> 4 shards) in the middle of the workload.
+
+   Each naming operation is charged [service_time] of shard CPU
+   (capacity-1 per shard), so a single shard queues the whole bind stream
+   and extra shards buy real parallelism. Clients repeat-bind a small
+   private working set, the regime the cache is built for. *)
+
+let clients = 12
+let actions_per_client = 25
+let objects_per_client = 2
+let service_time = 1.0
+let lease = 120.0
+
+type outcome = {
+  oc_commits : int;
+  oc_makespan : float;
+  oc_bind_p95 : float;
+  oc_hit_rate : float; (* nan when the cache is off *)
+  oc_consistent : bool;
+}
+
+(* Run one configuration to completion. [shards] naming nodes are part of
+   the world; [active] of them are in the initial shard map; when
+   [rebalance_to] is given, an operator fiber grows the map to that many
+   shards once a third of the workload has committed. *)
+let run_config ~seed ~shards ~active ~cache ?rebalance_to () =
+  let naming_extra = List.init (shards - 1) (fun i -> Printf.sprintf "ns%d" (i + 2)) in
+  let naming_all = "ns" :: naming_extra in
+  let client_nodes = List.init clients (fun i -> Printf.sprintf "c%d" (i + 1)) in
+  let w =
+    Service.create ~seed
+      ?bind_cache_lease:(if cache then Some lease else None)
+      ~naming_service_time:service_time
+      {
+        Service.gvd_node = "ns";
+        gvd_nodes = naming_extra;
+        server_nodes = [ "s1"; "s2" ];
+        store_nodes = [ "t1"; "t2" ];
+        client_nodes;
+      }
+  in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  if active < shards then Router.reset_map (Service.router w) (take active naming_all);
+  let n_objects = clients * objects_per_client in
+  let uids =
+    List.init n_objects (fun i ->
+        Service.create_object w
+          ~name:(Printf.sprintf "obj%d" (i + 1))
+          ~impl:"counter" ~sv:[ "s1"; "s2" ]
+          ~st:[ (if i mod 2 = 0 then "t1" else "t2") ]
+          ())
+  in
+  Service.run ~until:1.0 w;
+  let eng = Service.engine w in
+  let rng = Sim.Rng.split (Sim.Engine.rng eng) in
+  let started = Sim.Engine.now eng in
+  let commits = ref 0 and finish = ref started in
+  (* Each client cycles over its private working set: pure repeat-binds. *)
+  List.iteri
+    (fun ci client ->
+      let mine =
+        List.filteri
+          (fun i _ -> i / objects_per_client = ci)
+          uids
+      in
+      let crng = Sim.Rng.split rng in
+      Service.spawn_client w client (fun () ->
+          for a = 0 to actions_per_client - 1 do
+            let uid = List.nth mine (a mod objects_per_client) in
+            (match
+               Service.with_bound w ~client ~scheme:Scheme.Independent
+                 ~policy:(Replica.Policy.Active 1) ~uid
+                 (fun act group -> Service.invoke w group ~act "incr")
+             with
+            | Ok _ ->
+                incr commits;
+                finish := Sim.Engine.now eng
+            | Error _ -> ());
+            Sim.Engine.sleep eng (Sim.Rng.uniform crng 0.5 1.5)
+          done))
+    client_nodes;
+  (match rebalance_to with
+  | None -> ()
+  | Some n ->
+      let target = take n naming_all in
+      Service.spawn_client w "ns" (fun () ->
+          (* Wait until the workload is visibly in flight, then grow the
+             map online: entries hand off shard-to-shard under the
+             running binds. *)
+          let third = clients * actions_per_client / 3 in
+          while !commits < third do
+            Sim.Engine.sleep eng 5.0
+          done;
+          Router.rebalance (Service.router w) ~from:"ns" target));
+  Service.run w;
+  let m = Service.metrics w in
+  let consistent =
+    List.for_all (fun uid -> Result.is_ok (Audit.mutual_consistency w uid)) uids
+  in
+  {
+    oc_commits = !commits;
+    oc_makespan = !finish -. started;
+    oc_bind_p95 = Sim.Metrics.percentile m "bind.latency" 95.0;
+    oc_hit_rate =
+      (match Service.bind_cache w with
+      | Some c -> Bind_cache.hit_rate c
+      | None -> nan);
+    oc_consistent = consistent;
+  }
+
+let run ?(seed = 4242L) () =
+  let configs =
+    List.concat_map
+      (fun shards -> [ (shards, false, None); (shards, true, None) ])
+      [ 1; 2; 4; 8 ]
+    @ [ (4, true, Some 4) ]
+  in
+  let rows =
+    List.map
+      (fun (shards, cache, rebalance_to) ->
+        let active, label =
+          match rebalance_to with
+          | Some n -> (2, Printf.sprintf "2->%d online" n)
+          | None -> (shards, string_of_int shards)
+        in
+        let o = run_config ~seed ~shards ~active ~cache ?rebalance_to () in
+        [
+          label;
+          (if cache then "on" else "off");
+          Table.cell_i o.oc_commits;
+          Table.cell_f o.oc_makespan;
+          Table.cell_f (float_of_int o.oc_commits /. o.oc_makespan);
+          Table.cell_f o.oc_bind_p95;
+          (if Float.is_nan o.oc_hit_rate then "-" else Table.cell_pct o.oc_hit_rate);
+          (if o.oc_consistent then "ok" else "VIOLATED");
+        ])
+      configs
+  in
+  Table.make
+    ~title:
+      "tab-shard-scaling: naming tier sharded over N nodes, lease cache on/off"
+    ~columns:
+      [
+        "shards"; "cache"; "commits"; "makespan"; "commits/s"; "bind p95";
+        "hit rate"; "St audit";
+      ]
+    ~notes:
+      [
+        (Printf.sprintf
+           "%d clients x %d actions repeat-binding %d private counters each;"
+           clients actions_per_client objects_per_client);
+        (Printf.sprintf
+           "every naming op costs %.1fs of shard CPU (capacity 1 per shard)."
+           service_time);
+        "Sharding divides the bind stream by object ownership; the cache";
+        "removes the bind-time naming reads entirely on repeat binds. The";
+        "last row grows the map 2->4 online, mid-workload, without";
+        "quiescing in-flight binds; the St audit must hold throughout.";
+      ]
+    rows

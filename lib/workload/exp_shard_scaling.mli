@@ -1,0 +1,6 @@
+(** tab-shard-scaling: bind throughput and latency of the sharded naming
+    tier at 1/2/4/8 shards, with and without the client lease cache, and
+    one online 2→4 rebalance mid-workload (St mutual consistency audited
+    in every configuration). *)
+
+val run : ?seed:int64 -> unit -> Table.t

@@ -115,6 +115,12 @@ let all =
       synopsis = "non-atomic name server + atomic state database";
       runner = (fun () -> Exp_hybrid.run ());
     };
+    {
+      id = "tab-shard-scaling";
+      paper_artefact = "§3.1 (extension implemented)";
+      synopsis = "naming tier sharded over N nodes; lease cache; online rebalance";
+      runner = (fun () -> Exp_shard_scaling.run ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

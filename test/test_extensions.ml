@@ -12,6 +12,7 @@ let slist = Alcotest.(list string)
 let topo ~servers ~stores ~clients =
   {
     Service.gvd_node = "ns";
+    gvd_nodes = [];
     server_nodes = servers;
     store_nodes = stores;
     client_nodes = clients;

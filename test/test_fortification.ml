@@ -14,6 +14,7 @@ let slist = Alcotest.(list string)
 let topo ~servers ~stores ~clients =
   {
     Service.gvd_node = "ns";
+    gvd_nodes = [];
     server_nodes = servers;
     store_nodes = stores;
     client_nodes = clients;
@@ -362,7 +363,9 @@ let test_resync_pulls_snapshot () =
      diverge gvd2 by committing through IT, and let gvd1 resync. *)
   Gvd.register_direct gvd2 ~uid ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
     ~st:[ "beta1" ];
-  let binder2 = Binder.create gvd2 (Service.group_runtime w) in
+  let binder2 =
+    Binder.create (Router.of_gvd (Service.atomic w) gvd2) (Service.group_runtime w)
+  in
   Service.spawn_client w "c1" (fun () ->
       (* Commit via the backup (as a failover client would). *)
       (match

@@ -94,6 +94,7 @@ let prop_active_replicas_identical =
         Service.create ~seed
           {
             Service.gvd_node = "ns";
+            gvd_nodes = [];
             server_nodes = [ "a1"; "a2"; "a3" ];
             store_nodes = [ "t1" ];
             client_nodes = [ "c1" ];
@@ -160,6 +161,7 @@ let prop_scheme_soup_quiescent =
         Service.create ~seed
           {
             Service.gvd_node = "ns";
+            gvd_nodes = [];
             server_nodes = [ "alpha" ];
             store_nodes = [ "t1"; "t2" ];
             client_nodes = [ "c1"; "c2" ];

@@ -10,6 +10,7 @@ let check_string = Alcotest.(check string)
 let topo =
   {
     Service.gvd_node = "ns";
+    gvd_nodes = [];
     server_nodes = [ "alpha" ];
     store_nodes = [ "beta1"; "beta2" ];
     client_nodes = [ "c1"; "c2" ];
@@ -183,6 +184,7 @@ let test_cleanup_sees_counters_on_removed_servers () =
     Service.create ~seed:6L ~cleanup_period:10.0
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "alpha"; "alpha2" ];
         store_nodes = [ "beta1" ];
         client_nodes = [ "c1"; "c2" ];
@@ -226,6 +228,7 @@ let test_stale_replica_does_not_outrace_live_one () =
     Service.create ~seed:7L
       {
         Service.gvd_node = "ns";
+        gvd_nodes = [];
         server_nodes = [ "a1"; "a2" ];
         store_nodes = [ "beta1" ];
         client_nodes = [ "c1" ];

@@ -386,6 +386,23 @@ let test_trace_disabled_drops () =
   Trace.recordf tr ~now:1.0 ~tag:"x" "%d" 42;
   check_int "empty" 0 (List.length (Trace.entries tr))
 
+let test_trace_disabled_no_alloc () =
+  let tr = Trace.create ~enabled:false () in
+  (* Warm the path once, then check the amortised per-call allocation stays
+     far below one formatted-string's worth: the disabled branch must not
+     render its arguments. *)
+  Trace.recordf tr ~now:0.0 ~tag:"x" "warm %d %s" 0 "payload";
+  let before = Gc.minor_words () in
+  for i = 1 to 1000 do
+    Trace.recordf tr ~now:(float_of_int i) ~tag:"x" "value=%d %s" i
+      "a-reasonably-long-payload-string-that-would-cost-to-render"
+  done;
+  let per_call = (Gc.minor_words () -. before) /. 1000.0 in
+  check_bool
+    (Printf.sprintf "allocation bounded (%.1f words/call)" per_call)
+    true (per_call < 100.0);
+  check_int "still empty" 0 (List.length (Trace.entries tr))
+
 let test_trace_recordf () =
   let tr = Trace.create () in
   Trace.recordf tr ~now:1.0 ~tag:"x" "value=%d" 42;
@@ -410,6 +427,20 @@ let test_metrics_samples () =
   check_int "count" 4 (Metrics.sample_count m "lat");
   check_float "p50" 2.0 (Metrics.percentile m "lat" 50.0);
   check_float "p100" 4.0 (Metrics.percentile m "lat" 100.0)
+
+let test_metrics_percentile_edges () =
+  let m = Metrics.create () in
+  check_bool "empty is nan" true (Float.is_nan (Metrics.percentile m "none" 50.0));
+  Metrics.observe m "one" 7.5;
+  check_float "single p0" 7.5 (Metrics.percentile m "one" 0.0);
+  check_float "single p50" 7.5 (Metrics.percentile m "one" 50.0);
+  check_float "single p100" 7.5 (Metrics.percentile m "one" 100.0);
+  List.iter (Metrics.observe m "d") [ 3.0; 1.0; 2.0 ];
+  check_float "p0 is min" 1.0 (Metrics.percentile m "d" 0.0);
+  check_float "p100 is max" 3.0 (Metrics.percentile m "d" 100.0);
+  (* Nearest-rank clamps out-of-range percentiles instead of raising. *)
+  check_float "clamp low" 1.0 (Metrics.percentile m "d" (-5.0));
+  check_float "clamp high" 3.0 (Metrics.percentile m "d" 200.0)
 
 let test_metrics_merge () =
   let a = Metrics.create () and b = Metrics.create () in
@@ -516,12 +547,14 @@ let suite =
       [
         tc "record and query" `Quick test_trace_record_and_query;
         tc "disabled drops" `Quick test_trace_disabled_drops;
+        tc "disabled does not allocate" `Quick test_trace_disabled_no_alloc;
         tc "recordf" `Quick test_trace_recordf;
       ] );
     ( "sim.metrics",
       [
         tc "counters" `Quick test_metrics_counters;
         tc "samples" `Quick test_metrics_samples;
+        tc "percentile edges" `Quick test_metrics_percentile_edges;
         tc "merge" `Quick test_metrics_merge;
         Test_util.qcheck prop_metrics_percentile_monotone;
       ] );
