@@ -322,20 +322,28 @@ let write_json ~path ~micro ~tables =
   Printf.printf "wrote %s\n" path
 
 let () =
+  (* [bench/main.exe micro] runs only the micro suite — the CI smoke job
+     uses this to gate on substrate regressions without paying for the
+     full experiment sweep. *)
+  let micro_only =
+    Array.exists (String.equal "micro") (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
+  in
   print_endline
     "Reproduction harness: Little, McCue & Shrivastava (ICDCS 1993)";
   print_endline
     "Each table regenerates one figure/table of the paper; see EXPERIMENTS.md.";
   print_newline ();
   let tables =
-    List.map
-      (fun e ->
-        Printf.printf "[%s] %s\n" e.Workload.Registry.id
-          e.Workload.Registry.paper_artefact;
-        let t = e.Workload.Registry.runner () in
-        Workload.Table.print t;
-        (e.Workload.Registry.id, t))
-      Workload.Registry.all
+    if micro_only then []
+    else
+      List.map
+        (fun e ->
+          Printf.printf "[%s] %s\n" e.Workload.Registry.id
+            e.Workload.Registry.paper_artefact;
+          let t = e.Workload.Registry.runner () in
+          Workload.Table.print t;
+          (e.Workload.Registry.id, t))
+        Workload.Registry.all
   in
   let micro = run_micro () in
   write_json ~path:"BENCH_results.json" ~micro ~tables

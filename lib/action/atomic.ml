@@ -168,20 +168,27 @@ let after_abort t f = t.post_abort_hooks <- f :: t.post_abort_hooks
 let deactivate t =
   if Action_id.is_top t.aid then Hashtbl.remove t.rt.active (owner t)
 
-(* Abort: undo newest-first, then tell every participant and resource. *)
+(* Abort: undo newest-first (strictly serial — each undo may depend on
+   the effects of later-installed ones), then tell every participant and
+   every resource, each stage as one parallel fan-out. *)
 let abort t ~reason =
   if t.st = Running then begin
     t.st <- Aborted;
     tracef t "%s abort: %s" (owner t) reason;
     Sim.Metrics.incr (metrics t) "action.aborts";
     List.iter (fun undo -> undo ()) t.undo_hooks;
-    List.iter (fun p -> p.pa_abort ()) (List.rev t.participants);
-    List.iter
-      (fun (rnode, resource, _) ->
-        ignore
-          (Resource_host.abort t.rt.rh ~from:t.coord ~node:rnode ~resource
-             ~action:(owner t)))
-      (List.rev t.enlisted);
+    let eng = engine t.rt in
+    ignore
+      (Sim.Join.all eng
+         (List.map (fun p () -> p.pa_abort ()) (List.rev t.participants)));
+    ignore
+      (Sim.Join.all eng
+         (List.map
+            (fun (rnode, resource, _) () ->
+              ignore
+                (Resource_host.abort t.rt.rh ~from:t.coord ~node:rnode
+                   ~resource ~action:(owner t)))
+            (List.rev t.enlisted)));
     deactivate t;
     List.iter (fun post -> post ()) (List.rev t.post_abort_hooks)
   end
@@ -190,12 +197,20 @@ let commit_nested t parent =
   (* Everything folds into the parent; nothing becomes durable. *)
   let child_owner = owner t in
   let parent_owner = owner parent in
-  List.iter
-    (fun (rnode, resource, required) ->
-      (match
-         Resource_host.transfer t.rt.rh ~from:t.coord ~node:rnode ~resource
-           ~action:child_owner ~parent:parent_owner
-       with
+  let enlisted = List.rev t.enlisted in
+  (* Scatter the transfer RPCs (independent resources), then merge into
+     the parent's enlistment serially — the merge mutates shared state. *)
+  let transfers =
+    Sim.Join.all (engine t.rt)
+      (List.map
+         (fun (rnode, resource, _) () ->
+           Resource_host.transfer t.rt.rh ~from:t.coord ~node:rnode ~resource
+             ~action:child_owner ~parent:parent_owner)
+         enlisted)
+  in
+  List.iter2
+    (fun (rnode, resource, required) transferred ->
+      (match transferred with
       | Ok () -> ()
       | Error e ->
           (* The resource's node crashed: its volatile locks are gone;
@@ -209,7 +224,7 @@ let commit_nested t parent =
       with
       | Some (_, _, req) -> if !required then req := true
       | None -> parent.enlisted <- (rnode, resource, required) :: parent.enlisted)
-    (List.rev t.enlisted);
+    enlisted transfers;
   parent.participants <- t.participants @ parent.participants;
   parent.pre_hooks <- t.pre_hooks @ parent.pre_hooks;
   parent.undo_hooks <- t.undo_hooks @ parent.undo_hooks;
@@ -235,39 +250,57 @@ let commit_top t =
       abort t ~reason;
       Error reason
   | Ok () -> (
-      (* Phase 1. *)
+      (* Phase 1, scattered: every participant prepares at once; if all
+         vote yes, every resource prepares at once. The first no-vote (in
+         registration order, for deterministic abort reasons) decides; a
+         loser that prepared anyway is cleaned up by the abort fan-out,
+         which notifies all participants and resources regardless. *)
+      let eng = engine t.rt in
       let participants = List.rev t.participants in
       let resources = List.rev t.enlisted in
-      let vote_fail = ref None in
-      List.iter
-        (fun p ->
-          if !vote_fail = None && not (p.pa_prepare ()) then
-            vote_fail := Some (Printf.sprintf "participant %s voted no" p.pa_name))
-        participants;
-      List.iter
-        (fun (rnode, resource, required) ->
-          if !vote_fail = None then
-            match
-              Resource_host.prepare t.rt.rh ~from:t.coord ~node:rnode ~resource
-                ~action
-            with
-            | Ok true -> ()
-            | Ok false ->
-                vote_fail :=
-                  Some (Printf.sprintf "resource %s@%s voted no" resource rnode)
-            | Error e ->
-                (* A crashed replica of a group is masked (its volatile
-                   state is gone anyway); a required resource aborts. *)
-                if !required then
-                  vote_fail :=
-                    Some
-                      (Printf.sprintf "resource %s@%s unreachable: %s" resource
-                         rnode (Net.Rpc.error_to_string e))
-                else
-                  tracef t "%s: tolerating lost replica %s@%s (%s)" action
-                    resource rnode (Net.Rpc.error_to_string e))
-        resources;
-      match !vote_fail with
+      let participant_fail =
+        Sim.Join.all eng
+          (List.map
+             (fun p () ->
+               if p.pa_prepare () then None
+               else
+                 Some (Printf.sprintf "participant %s voted no" p.pa_name))
+             participants)
+        |> List.find_map Fun.id
+      in
+      let vote_fail =
+        match participant_fail with
+        | Some _ -> participant_fail
+        | None ->
+            Sim.Join.all eng
+              (List.map
+                 (fun (rnode, resource, required) () ->
+                   match
+                     Resource_host.prepare t.rt.rh ~from:t.coord ~node:rnode
+                       ~resource ~action
+                   with
+                   | Ok true -> None
+                   | Ok false ->
+                       Some
+                         (Printf.sprintf "resource %s@%s voted no" resource
+                            rnode)
+                   | Error e ->
+                       (* A crashed replica of a group is masked (its
+                          volatile state is gone anyway); a required
+                          resource aborts. *)
+                       if !required then
+                         Some
+                           (Printf.sprintf "resource %s@%s unreachable: %s"
+                              resource rnode (Net.Rpc.error_to_string e))
+                       else begin
+                         tracef t "%s: tolerating lost replica %s@%s (%s)"
+                           action resource rnode (Net.Rpc.error_to_string e);
+                         None
+                       end)
+                 resources)
+            |> List.find_map Fun.id
+      in
+      match vote_fail with
       | Some reason ->
           abort t ~reason;
           Error reason
@@ -280,21 +313,25 @@ let commit_top t =
           t.st <- Committed;
           tracef t "%s commit" action;
           Sim.Metrics.incr (metrics t) "action.commits";
-          (* Phase 2: best effort; a crashed participant resolves through
-             recovery against our decision record. *)
-          List.iter (fun p -> p.pa_commit ()) participants;
-          List.iter
-            (fun (rnode, resource, _) ->
-              match
-                Resource_host.commit t.rt.rh ~from:t.coord ~node:rnode ~resource
-                  ~action
-              with
-              | Ok () -> ()
-              | Error e ->
-                  tracef t "%s phase-2 loss at %s/%s: %s" action rnode resource
-                    (Net.Rpc.error_to_string e);
-                  Sim.Metrics.incr (metrics t) "action.phase2_losses")
-            resources;
+          (* Phase 2, scattered: best effort; a crashed participant
+             resolves through recovery against our decision record. *)
+          ignore
+            (Sim.Join.all eng
+               (List.map (fun p () -> p.pa_commit ()) participants));
+          ignore
+            (Sim.Join.all eng
+               (List.map
+                  (fun (rnode, resource, _) () ->
+                    match
+                      Resource_host.commit t.rt.rh ~from:t.coord ~node:rnode
+                        ~resource ~action
+                    with
+                    | Ok () -> ()
+                    | Error e ->
+                        tracef t "%s phase-2 loss at %s/%s: %s" action rnode
+                          resource (Net.Rpc.error_to_string e);
+                        Sim.Metrics.incr (metrics t) "action.phase2_losses")
+                  resources));
           List.iter (fun post -> post ()) (List.rev t.post_hooks);
           Ok ())
 

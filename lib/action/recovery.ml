@@ -49,6 +49,82 @@ let attach rt ~node =
   Net.Network.on_recover (Atomic.network rt) node (fun () ->
       resolve_in_doubt rt ~node ())
 
+(* Break write reservations whose coordinator is partitioned away.
+   [guard_prepares] resolves in-doubt records when the coordinator
+   {e crashes}; a partition severs the coordinator's abort fan-out without
+   killing it, so its reservation would block every future writer of the
+   object until the cut heals — and nothing retries the withdrawal after
+   healing. When a prepare is refused by such a reservation, probe the
+   blocker's coordinator: a commit decision is applied locally, anything
+   else is presumed abort; if the coordinator stays unreachable through
+   the probe budget, presume abort rather than reserve the object
+   forever (backward validation keeps a wrongly-broken reservation safe —
+   a stale copy is caught at the next prepare). Reachable coordinators
+   are never probed: live contention resolves through the normal
+   fan-out, so healthy runs see no extra traffic. *)
+let break_stale_reservations rt ?(tries = 5) ?(retry_delay = 2.0) () =
+  let sh = Atomic.store_host rt in
+  let net = Atomic.network rt in
+  let eng = Atomic.engine rt in
+  let probing = Hashtbl.create 16 in
+  Store_host.set_reservation_hook sh (fun ~node ~blockers ->
+      List.iter
+        (fun (action, coordinator) ->
+          let key = (node, action) in
+          if
+            (not (Hashtbl.mem probing key))
+            && not (Net.Network.reachable net node coordinator)
+          then begin
+            Hashtbl.add probing key ();
+            Net.Network.spawn_on net node
+              ~name:(Printf.sprintf "%s.break-reservation:%s" node action)
+              (fun () ->
+                let log = Store_host.log sh node in
+                let tracef fmt =
+                  Sim.Trace.recordf
+                    (Net.Network.trace net)
+                    ~now:(Sim.Engine.now eng) ~tag:"recovery" fmt
+                in
+                let rec settle n =
+                  match Store.Intent_log.prepared log ~action with
+                  | None -> () (* withdrawn through the normal path *)
+                  | Some _ -> (
+                      match
+                        Atomic.query_decision rt ~from:node ~coordinator
+                          ~action
+                      with
+                      | Ok Atomic.D_commit ->
+                          tracef "%s: blocked reservation %s -> commit" node
+                            action;
+                          ignore
+                            (Store_host.commit sh ~from:node ~store:node
+                               ~action)
+                      | Ok (Atomic.D_abort | Atomic.D_unknown) ->
+                          tracef "%s: blocked reservation %s -> presumed abort"
+                            node action;
+                          Store.Intent_log.resolve log ~action
+                      | Ok Atomic.D_active ->
+                          (* The cut healed and the action is still live:
+                             its own completion will withdraw. *)
+                          ()
+                      | Error _ ->
+                          if n = 0 then begin
+                            tracef
+                              "%s: reservation %s coordinator unreachable -> \
+                               presumed abort"
+                              node action;
+                            Store.Intent_log.resolve log ~action
+                          end
+                          else begin
+                            Sim.Engine.sleep eng retry_delay;
+                            settle (n - 1)
+                          end)
+                in
+                settle tries;
+                Hashtbl.remove probing key)
+          end)
+        blockers)
+
 let guard_prepares rt =
   let sh = Atomic.store_host rt in
   let net = Atomic.network rt in

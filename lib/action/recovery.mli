@@ -23,6 +23,17 @@ val resolve_in_doubt :
 val attach : Atomic.runtime -> node:Net.Network.node_id -> unit
 (** Register {!resolve_in_doubt} as [node]'s first recovery action. *)
 
+val break_stale_reservations :
+  Atomic.runtime -> ?tries:int -> ?retry_delay:float -> unit -> unit
+(** Arrange (once per world) that a prepare refused by another action's
+    write reservation probes the blocker's coordinator {e when that
+    coordinator is unreachable} (partitioned away — a crash is already
+    covered by {!guard_prepares}). A commit decision is applied locally;
+    an abort or unknown decision, or a coordinator still unreachable
+    after [tries] probes spaced [retry_delay] apart, resolves the record
+    as presumed abort. Reachable coordinators are never probed, so
+    healthy contention generates no extra traffic. *)
+
 val guard_prepares : Atomic.runtime -> unit
 (** Arrange (once per world) that every store watches the coordinator of
     each prepare it accepts: if the coordinator crashes while the record

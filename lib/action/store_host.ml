@@ -15,6 +15,9 @@ type t = {
   mutable prepare_hook :
     (node:Net.Network.node_id -> action:string -> coordinator:string -> unit)
     option;
+  mutable reservation_hook :
+    (node:Net.Network.node_id -> blockers:(string * string) list -> unit)
+    option;
   ep_read : (read_req, Store.Object_state.t option) Net.Rpc.endpoint;
   ep_prepare : (prepare_req, vote) Net.Rpc.endpoint;
   ep_commit : (string, unit) Net.Rpc.endpoint;
@@ -27,6 +30,7 @@ let create rpc_rt =
     rpc_rt;
     hosts = Hashtbl.create 16;
     prepare_hook = None;
+    reservation_hook = None;
     ep_read = Net.Rpc.endpoint "store.read";
     ep_prepare = Net.Rpc.endpoint "store.prepare";
     ep_commit = Net.Rpc.endpoint "store.commit";
@@ -118,7 +122,33 @@ let add t node =
         | None -> ());
         Vote_yes
       end
-      else Vote_stale);
+      else begin
+        (* If the refusal came from another action's write reservation,
+           report the blockers (with their coordinators) so in-doubt
+           resolution can break reservations whose coordinator is
+           partitioned away — a crash fires [prepare_hook]'s watch, but a
+           partition severs the abort fan-out without killing anyone. *)
+        (match t.reservation_hook with
+        | None -> ()
+        | Some hook ->
+            let blockers =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun (uid, _) ->
+                     List.filter_map
+                       (fun a ->
+                         if String.equal a pr_action then None
+                         else
+                           Option.map
+                             (fun { Store.Intent_log.coordinator; _ } ->
+                               (a, coordinator))
+                             (Store.Intent_log.prepared h.h_log ~action:a))
+                       (Store.Intent_log.pending_writers h.h_log uid))
+                   pr_writes)
+            in
+            if blockers <> [] then hook ~node ~blockers);
+        Vote_stale
+      end);
   Net.Rpc.serve t.rpc_rt ~node t.ep_commit (fun action -> apply_commit h action);
   Net.Rpc.serve t.rpc_rt ~node t.ep_abort (fun action ->
       Store.Intent_log.resolve h.h_log ~action);
@@ -142,10 +172,24 @@ let commit t ~from ~store ~action = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_
 
 let abort t ~from ~store ~action = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_abort action
 
+let prepare_all t ~from ~stores ~action ~coordinator writes =
+  let req = { pr_action = action; pr_coordinator = coordinator; pr_writes = writes } in
+  Net.Rpc.call_all t.rpc_rt ~from t.ep_prepare
+    (List.map (fun store -> (store, req)) stores)
+
+let commit_all t ~from ~stores ~action =
+  Net.Rpc.call_all t.rpc_rt ~from t.ep_commit
+    (List.map (fun store -> (store, action)) stores)
+
+let abort_all t ~from ~stores ~action =
+  Net.Rpc.call_all t.rpc_rt ~from t.ep_abort
+    (List.map (fun store -> (store, action)) stores)
+
 let decision t ~from ~coordinator ~action =
   Net.Rpc.call t.rpc_rt ~from ~dst:coordinator t.ep_decision action
 
 let set_prepare_hook t hook = t.prepare_hook <- Some hook
+let set_reservation_hook t hook = t.reservation_hook <- Some hook
 
 let record_decision t ~node ~action d =
   Store.Intent_log.record_decision (host t node).h_log ~action d

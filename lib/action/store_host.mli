@@ -82,6 +82,35 @@ val abort :
   (unit, Net.Rpc.error) result
 (** Phase-2 abort: discard the intentions of [action]. *)
 
+val prepare_all :
+  t ->
+  from:Net.Network.node_id ->
+  stores:Net.Network.node_id list ->
+  action:string ->
+  coordinator:Net.Network.node_id ->
+  (Store.Uid.t * Store.Object_state.t) list ->
+  (Net.Network.node_id * (vote, Net.Rpc.error) result) list
+(** Scatter {!prepare} to every store concurrently ({!Net.Rpc.call_all});
+    votes come back in store order. The commit-time state copy (§2.3(3))
+    issues this one parallel write to all of [StA] instead of a chain of
+    blocking calls, so its latency is one round-trip, not [|St|] of them. *)
+
+val commit_all :
+  t ->
+  from:Net.Network.node_id ->
+  stores:Net.Network.node_id list ->
+  action:string ->
+  (Net.Network.node_id * (unit, Net.Rpc.error) result) list
+(** Scatter {!commit} (phase-2) to every store concurrently. *)
+
+val abort_all :
+  t ->
+  from:Net.Network.node_id ->
+  stores:Net.Network.node_id list ->
+  action:string ->
+  (Net.Network.node_id * (unit, Net.Rpc.error) result) list
+(** Scatter {!abort} (phase-2 abort / prepare withdrawal) concurrently. *)
+
 val decision :
   t ->
   from:Net.Network.node_id ->
@@ -98,6 +127,16 @@ val set_prepare_hook :
 (** Install a callback invoked (on the store node, within the prepare
     handler) for every accepted prepare. {!Recovery.guard_prepares} uses
     it to arrange in-doubt resolution should the coordinator crash. *)
+
+val set_reservation_hook :
+  t ->
+  (node:Net.Network.node_id -> blockers:(string * string) list -> unit) ->
+  unit
+(** Install a callback invoked (on the store node, within the prepare
+    handler) when a prepare is refused because other actions hold write
+    reservations on the objects. [blockers] lists each blocking action
+    with its coordinator. {!Recovery.break_stale_reservations} uses it to
+    resolve reservations whose coordinator has been partitioned away. *)
 
 val record_decision :
   t -> node:Net.Network.node_id -> action:string -> Store.Intent_log.decision -> unit

@@ -108,6 +108,9 @@ type t = {
      committed image and wipes locks — so pre-crash actions must vote no
      at prepare (their reads and staged updates are gone). *)
   known_actions : (string, unit) Hashtbl.t;
+  (* In-flight presumed-abort probes for lock holders whose coordinator
+     is partitioned away, keyed by holder action. *)
+  breaking : (string, unit) Hashtbl.t;
   entries : (int, entry) Hashtbl.t; (* keyed by uid serial *)
   names : (string, Store.Uid.t) Hashtbl.t;
   locks : Lockmgr.Manager.t;
@@ -137,10 +140,11 @@ type t = {
   ep_handoff : (handoff_req, handoff reply) Net.Rpc.endpoint;
   ep_mirror : ((int * image) list, unit) Net.Rpc.endpoint;
   ep_snapshot : (unit, (int * image) list) Net.Rpc.endpoint;
-  mutable backup : t option;
-      (* §3.1 extension: a second database instance receiving the
+  mutable backups : t list;
+      (* §3.1 extension: further database instances receiving the
          committed images of every touched entry, synchronously, at each
-         action end — the primary-backup replication the paper defers *)
+         action end — the primary-backup replication the paper defers.
+         Pushes to all backups go out in parallel. *)
 }
 
 let resource = "gvd"
@@ -216,6 +220,71 @@ let transfer_guard t action parent =
   | Some g -> Action.Orphan_guard.transfer g ~scope:"gvd" ~action ~parent
   | None -> ()
 
+(* A refused database lock may be held by an action whose coordinator is
+   partitioned away: its phase-2 fan-out (commit or abort) never reached
+   this node, the orphan guard only fires on crashes, and nothing retries
+   the release after the cut heals. Probe such holders' coordinators from
+   a separate fiber and complete them locally through the registered
+   resource manager — a commit decision commits, anything else (or a
+   coordinator unreachable through the whole probe budget) is presumed
+   abort. Holders with a reachable coordinator are live contention and
+   are left alone, so healthy runs see no extra traffic. *)
+let break_stale_lock_holders t key =
+  List.iter
+    (fun (owner, _mode) ->
+      let coordinator = Action.Orphan_guard.origin_of_action owner in
+      if
+        (not (Hashtbl.mem t.breaking owner))
+        && not (Net.Network.reachable (netw t) t.gvd_node coordinator)
+      then begin
+        Hashtbl.add t.breaking owner ();
+        Net.Network.spawn_on (netw t) t.gvd_node
+          ~name:(Printf.sprintf "%s.break-lock:%s" t.gvd_node owner)
+          (fun () ->
+            let rh = Action.Atomic.resource_host t.art in
+            let finish how =
+              match how with
+              | `Commit ->
+                  tracef t "%s: wedged holder %s -> commit" t.gvd_node owner;
+                  ignore
+                    (Action.Resource_host.commit rh ~from:t.gvd_node
+                       ~node:t.gvd_node ~resource ~action:owner)
+              | `Abort why ->
+                  tracef t "%s: wedged holder %s -> presumed abort (%s)"
+                    t.gvd_node owner why;
+                  ignore
+                    (Action.Resource_host.abort rh ~from:t.gvd_node
+                       ~node:t.gvd_node ~resource ~action:owner)
+            in
+            let rec settle n =
+              if
+                List.exists
+                  (fun (o, _) -> String.equal o owner)
+                  (Lockmgr.Manager.holders t.locks key)
+              then
+                match
+                  Action.Atomic.query_decision t.art ~from:t.gvd_node
+                    ~coordinator ~action:owner
+                with
+                | Ok Action.Atomic.D_commit -> finish `Commit
+                | Ok (Action.Atomic.D_abort | Action.Atomic.D_unknown) ->
+                    finish (`Abort "decided")
+                | Ok Action.Atomic.D_active ->
+                    (* The cut healed and the action is still live: its
+                       own completion will release the lock. *)
+                    ()
+                | Error _ ->
+                    if n = 0 then finish (`Abort "coordinator unreachable")
+                    else begin
+                      Sim.Engine.sleep (eng t) 2.0;
+                      settle (n - 1)
+                    end
+            in
+            settle 5;
+            Hashtbl.remove t.breaking owner)
+      end)
+    (Lockmgr.Manager.holders t.locks key)
+
 (* Lock acquisition helpers: block up to the timeout, refuse after. *)
 let with_lock t ~action ~mode key (f : unit -> 'a reply) : 'a reply =
   touch_guard t action;
@@ -224,6 +293,7 @@ let with_lock t ~action ~mode key (f : unit -> 'a reply) : 'a reply =
   with
   | Ok () -> f ()
   | Error `Timeout ->
+      break_stale_lock_holders t key;
       Sim.Metrics.incr (metrics t) "gvd.lock_refusals";
       Refused (Printf.sprintf "lock %s (%s) refused" key (Lockmgr.Mode.to_string mode))
 
@@ -563,7 +633,10 @@ let h_note_version t { n_uid; n_action; n_version } =
         | Some _ -> Lockmgr.Manager.promote t.locks ~owner:n_action ~to_mode:mode key
         | None -> Lockmgr.Manager.try_acquire t.locks ~owner:n_action ~mode key
       in
-      if not locked then Refused "version-note lock refused"
+      if not locked then begin
+        break_stale_lock_holders t key;
+        Refused "version-note lock refused"
+      end
       else begin
         save_st t ~action:n_action e;
         if Store.Version.newer_than n_version e.e_image.im_state.im_version then
@@ -576,12 +649,14 @@ let h_note_version t { n_uid; n_action; n_version } =
       end
 
 (* Synchronously push the committed images of the given entry serials to
-   the backup instance, if any. Failures are tolerated (the backup is
-   down; it resynchronises by pulling a snapshot on recovery). *)
+   every backup instance, in parallel. A push failure is tolerated (that
+   backup is down; it resynchronises by pulling a snapshot on recovery).
+   Each backup has its own [ep_mirror] endpoint value, so this scatters
+   individual calls through the join primitive rather than [call_all]. *)
 let mirror_push t serials =
-  match t.backup with
-  | None -> ()
-  | Some b ->
+  match t.backups with
+  | [] -> ()
+  | backups ->
       let payload =
         List.filter_map
           (fun serial ->
@@ -592,8 +667,14 @@ let mirror_push t serials =
       in
       if payload <> [] then
         ignore
-          (Net.Rpc.call (Action.Atomic.rpc t.art) ~from:t.gvd_node
-             ~dst:b.gvd_node b.ep_mirror payload)
+          (Sim.Join.all
+             (Action.Atomic.engine t.art)
+             (List.map
+                (fun b () ->
+                  ignore
+                    (Net.Rpc.call (Action.Atomic.rpc t.art) ~from:t.gvd_node
+                       ~dst:b.gvd_node b.ep_mirror payload))
+                backups))
 
 (* -- resource manager: ties the database into action completion -- *)
 
@@ -672,6 +753,7 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       service = Sim.Semaphore.create 1;
       moved_out = Hashtbl.create 16;
       known_actions = Hashtbl.create 64;
+      breaking = Hashtbl.create 16;
       entries = Hashtbl.create 64;
       names = Hashtbl.create 64;
       locks = Lockmgr.Manager.create ~metrics:(Net.Network.metrics (Action.Atomic.network art))
@@ -699,7 +781,7 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       ep_handoff = Net.Rpc.endpoint "gvd.handoff";
       ep_mirror = Net.Rpc.endpoint "gvd.mirror";
       ep_snapshot = Net.Rpc.endpoint "gvd.snapshot";
-      backup = None;
+      backups = [];
     }
   in
   let rpc = Action.Atomic.rpc art in
@@ -873,7 +955,8 @@ let include_ t ~act ~uid node =
   call_enlisted t ~act t.ep_include
     { o_uid = uid; o_action = Action.Atomic.owner act; o_node = node }
 
-let mirror_to t backup = t.backup <- Some backup
+let mirror_to t backup =
+  if not (List.memq backup t.backups) then t.backups <- t.backups @ [ backup ]
 
 let resync_from t ~source ~from =
   (* Pull the source's committed images (RPC from [from], normally our own

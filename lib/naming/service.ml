@@ -67,6 +67,7 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       Action.Recovery.attach art ~node:n)
     all_nodes;
   Action.Recovery.guard_prepares art;
+  Action.Recovery.break_stale_reservations art ();
   List.iter (fun n -> Replica.Server.install_host srv n) topology.server_nodes;
   let grt = Replica.Group.create srv ~sequencer:topology.gvd_node in
   let router =

@@ -83,11 +83,18 @@ let next_seq t ch_name =
 let enable_sequencer t ~node =
   Rpc.serve t.rpc ~node t.seq_endpoint (fun sr ->
       let seq = next_seq t sr.sr_channel in
-      List.iter
-        (fun dst ->
-          deliver t ~fifo:true ~src:node ~dst ~ch_name:sr.sr_channel ~seq
-            sr.sr_payload)
-        sr.sr_members;
+      (* Scatter the sequenced copy to every member through the join
+         primitive: all point-to-point sends are issued at the same
+         virtual instant (no inter-send gap), which is exactly what makes
+         the sequencer atomic where {!cast_unreliable} is not. *)
+      ignore
+        (Sim.Join.all
+           (Network.engine (net t))
+           (List.map
+              (fun dst () ->
+                deliver t ~fifo:true ~src:node ~dst ~ch_name:sr.sr_channel
+                  ~seq sr.sr_payload)
+              sr.sr_members));
       seq)
 
 let cast_atomic t ~from ~sequencer ~members ch m =

@@ -110,6 +110,18 @@ let call t ~from ~dst ?timeout ep req =
     outcome
   end
 
+let call_all t ~from ?timeout ep reqs =
+  (match reqs with
+  | [] | [ _ ] -> ()
+  | _ ->
+      Sim.Metrics.incr (Network.metrics t.net) "rpc.scatters";
+      Sim.Metrics.incr (Network.metrics t.net) ~by:(List.length reqs)
+        "rpc.scatter_calls");
+  Sim.Join.all (Network.engine t.net)
+    (List.map
+       (fun (dst, req) () -> (dst, call t ~from ~dst ?timeout ep req))
+       reqs)
+
 let notify t ~from ~dst ep req =
   Sim.Metrics.incr (Network.metrics t.net) "rpc.notifies";
   if Network.reachable t.net from dst then

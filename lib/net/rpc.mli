@@ -81,6 +81,22 @@ val call :
     notification, or the [timeout] (default: none). Must be called from
     within a fiber. *)
 
+val call_all :
+  t ->
+  from:Network.node_id ->
+  ?timeout:float ->
+  ('req, 'resp) endpoint ->
+  (Network.node_id * 'req) list ->
+  (Network.node_id * ('resp, error) result) list
+(** [call_all t ~from ep reqs] issues one {!call} per [(dst, req)] pair
+    {e concurrently} (scatter) and suspends the calling fiber until every
+    call has settled (gather). Results are returned in request order, each
+    tagged with its destination; per-call failures surface as [Error] items
+    rather than aborting the scatter. The elapsed virtual time is the
+    {e maximum} of the individual call times, not their sum — this is the
+    primitive behind the parallel commit copy-back. A one-element list is
+    exactly equivalent to a plain [call]. Must run within a fiber. *)
+
 val notify :
   t -> from:Network.node_id -> dst:Network.node_id -> ('req, unit) endpoint -> 'req -> unit
 (** One-way, best-effort message: runs the handler on [dst] if it is

@@ -1,6 +1,7 @@
 let attach rt act group ?current_stores ?note_version ~exclude () =
   let art = Server.atomic_runtime (Group.server_runtime rt) in
   let sh = Action.Atomic.store_host art in
+  let eng = Action.Atomic.engine art in
   let metrics = Net.Network.metrics (Action.Atomic.network art) in
   let read_stores =
     match current_stores with
@@ -24,20 +25,27 @@ let attach rt act group ?current_stores ?note_version ~exclude () =
             Store.Object_state.make ~payload:view.Server.cv_payload
               ~version:view.Server.cv_version
           in
+          (* The paper's parallel write to all of StA: one concurrent
+             prepare per store, votes gathered in store order. Latency is
+             the slowest round-trip, not the sum. *)
+          let scattered = Sim.Engine.now eng in
+          let votes =
+            Action.Store_host.prepare_all sh ~from:client ~stores:current_st
+              ~action ~coordinator:client
+              [ (group.Group.g_uid, state) ]
+          in
+          Sim.Metrics.observe metrics "commit.fanout"
+            (Sim.Engine.now eng -. scattered);
           let ok, stale, unreachable =
             List.fold_left
-              (fun (ok, stale, unreachable) store ->
-                match
-                  Action.Store_host.prepare sh ~from:client ~store ~action
-                    ~coordinator:client
-                    [ (group.Group.g_uid, state) ]
-                with
+              (fun (ok, stale, unreachable) (store, vote) ->
+                match vote with
                 | Ok Action.Store_host.Vote_yes ->
                     (store :: ok, stale, unreachable)
                 | Ok Action.Store_host.Vote_stale ->
                     (ok, store :: stale, unreachable)
                 | Error _ -> (ok, stale, store :: unreachable))
-              ([], [], []) current_st
+              ([], [], []) votes
           in
           let ok = List.rev ok and failed = List.rev unreachable in
           (* Any early abort from here on must withdraw the prepare
@@ -45,10 +53,8 @@ let attach rt act group ?current_stores ?note_version ~exclude () =
              reservation at the store, and leaking one blocks every
              future writer of the object. *)
           let withdraw_prepares () =
-            List.iter
-              (fun store ->
-                ignore (Action.Store_host.abort sh ~from:client ~store ~action))
-              ok
+            ignore
+              (Action.Store_host.abort_all sh ~from:client ~stores:ok ~action)
           in
           if stale <> [] then begin
             withdraw_prepares ();
@@ -98,13 +104,18 @@ let attach rt act group ?current_stores ?note_version ~exclude () =
               | Ok () ->
                   Sim.Metrics.incr metrics ~by:(List.length ok)
                     "commit.state_copies";
-                  List.iter
-                    (fun store ->
-                      Action.Atomic.add_participant act ~name:("st-copy:" ^ store)
-                        ~prepare:(fun () -> true)
-                        ~commit:(fun () ->
-                          ignore (Action.Store_host.commit sh ~from:client ~store ~action))
-                        ~abort:(fun () ->
-                          ignore (Action.Store_host.abort sh ~from:client ~store ~action)))
-                    ok;
+                  (* One phase-2 participant for the whole store set: its
+                     commit/abort scatters to every prepared store
+                     concurrently instead of registering |St| serially
+                     notified participants. *)
+                  Action.Atomic.add_participant act ~name:"st-copy"
+                    ~prepare:(fun () -> true)
+                    ~commit:(fun () ->
+                      ignore
+                        (Action.Store_host.commit_all sh ~from:client
+                           ~stores:ok ~action))
+                    ~abort:(fun () ->
+                      ignore
+                        (Action.Store_host.abort_all sh ~from:client
+                           ~stores:ok ~action));
                   Ok ()))))

@@ -93,17 +93,21 @@ let record_acked rt ~act g serial = Hashtbl.replace rt.acked (acked_key act g) s
 
 let activate rt ~client ~uid ~impl ~policy ~servers ~stores =
   ensure_reply_service rt client;
-  (* Pass 1: activate plainly wherever possible. *)
+  (* Pass 1: activate plainly wherever possible — all candidate servers
+     at once, keeping the activated list in server order so replica
+     preference (coordinator choice, single-copy pick) is unchanged. *)
   let activated =
-    List.filter
-      (fun server ->
-        match
-          Server.activate rt.srv ~from:client ~server ~uid ~impl ~stores
-            ~role:Server.Plain ~members:[]
-        with
-        | Ok (Server.Activated _) -> true
-        | Ok (Server.Activation_failed _) | Error _ -> false)
-      servers
+    Sim.Join.all (eng rt)
+      (List.map
+         (fun server () ->
+           match
+             Server.activate rt.srv ~from:client ~server ~uid ~impl ~stores
+               ~role:Server.Plain ~members:[]
+           with
+           | Ok (Server.Activated _) -> Some server
+           | Ok (Server.Activation_failed _) | Error _ -> None)
+         servers)
+    |> List.filter_map Fun.id
   in
   match (policy, activated) with
   | _, [] -> Error "no replica could be activated"
@@ -131,13 +135,17 @@ let activate rt ~client ~uid ~impl ~policy ~servers ~stores =
       (* Pass 2: assign roles now that the actual membership is known —
          activation is idempotent, so this just refreshes role and member
          lists (cohorts arrange their promotion watches here). *)
-      List.iteri
-        (fun i server ->
-          let role = if i = 0 then Server.Coordinator else Server.Cohort in
-          ignore
-            (Server.activate rt.srv ~from:client ~server ~uid ~impl ~stores
-               ~role ~members))
-        members;
+      ignore
+        (Sim.Join.all (eng rt)
+           (List.mapi
+              (fun i server () ->
+                let role =
+                  if i = 0 then Server.Coordinator else Server.Cohort
+                in
+                ignore
+                  (Server.activate rt.srv ~from:client ~server ~uid ~impl
+                     ~stores ~role ~members))
+              members));
       ignore coordinator;
       Ok
         {
@@ -193,18 +201,19 @@ let find_coordinator rt g =
   let rec probe attempts =
     if attempts = 0 then None
     else begin
+      (* Probe every member at once; pick the first (in member order)
+         claiming the coordinator role, as the serial scan did. *)
       let candidate =
-        List.fold_left
-          (fun acc m ->
-            match acc with
-            | Some _ -> acc
-            | None -> (
-                match
-                  Server.role_of rt.srv ~from:g.g_client ~server:m ~uid:g.g_uid
-                with
-                | Ok (Some Server.Coordinator) -> Some m
-                | Ok _ | Error _ -> None))
-          None g.g_members
+        Sim.Join.all (eng rt)
+          (List.map
+             (fun m () ->
+               match
+                 Server.role_of rt.srv ~from:g.g_client ~server:m ~uid:g.g_uid
+               with
+               | Ok (Some Server.Coordinator) -> Some m
+               | Ok _ | Error _ -> None)
+             g.g_members)
+        |> List.find_map Fun.id
       in
       match candidate with
       | Some m -> Some m
@@ -297,15 +306,20 @@ let invoke rt g ~act ?(write = true) op =
 let commit_view rt g ~act =
   let action = Action.Atomic.owner act in
   let acked = last_acked rt ~act g in
-  let rec try_members = function
-    | [] -> None
-    | m :: rest -> (
-        match
-          Server.commit_view rt.srv ~from:g.g_client ~server:m ~uid:g.g_uid
-            ~action ~last_acked:acked
-        with
-        | Ok (Some view) -> Some view
-        | Ok None | Error _ -> try_members rest)
+  (* Ask every live member at once; the first answer in member order wins
+     (members are mutually consistent, so any holder's view is the view). *)
+  let try_members members =
+    Sim.Join.all (eng rt)
+      (List.map
+         (fun m () ->
+           match
+             Server.commit_view rt.srv ~from:g.g_client ~server:m ~uid:g.g_uid
+               ~action ~last_acked:acked
+           with
+           | Ok (Some view) -> Some view
+           | Ok None | Error _ -> None)
+         members)
+    |> List.find_map Fun.id
   in
   (* A replica that answered the invocation exists (or existed); live
      replicas that are merely behind the ordered stream catch up within a
@@ -321,7 +335,9 @@ let commit_view rt g ~act =
   rounds 5
 
 let passivate rt g ~from =
-  List.iter
-    (fun m ->
-      ignore (Server.passivate rt.srv ~from ~server:m ~uid:g.g_uid))
-    (live_members rt g)
+  ignore
+    (Sim.Join.all (eng rt)
+       (List.map
+          (fun m () ->
+            ignore (Server.passivate rt.srv ~from ~server:m ~uid:g.g_uid))
+          (live_members rt g)))

@@ -107,6 +107,9 @@ type runtime = {
   ch_invoke : mc_invoke Net.Multicast.channel;
   lock_timeout : float;
   mutable eager_checkpoints : bool;
+  (* In-flight presumed-abort probes for instance locks whose holder's
+     coordinator is partitioned away: (node, uid, holder) triples. *)
+  breaking : (string * string * string, unit) Hashtbl.t;
 }
 
 let resource_name uid = "obj:" ^ Store.Uid.to_string uid
@@ -129,6 +132,7 @@ let create art impls =
     ch_invoke = Net.Multicast.channel "server.invoke.mc";
     lock_timeout = 30.0;
     eager_checkpoints = true;
+    breaking = Hashtbl.create 16;
   }
 
 let atomic_runtime t = t.art
@@ -207,16 +211,18 @@ let checkpoint_to_cohorts t inst =
         k_coordinator = inst.i_node;
       }
     in
-    List.iter
-      (fun cohort ->
-        if not (String.equal cohort inst.i_node) then
-          match
-            Net.Rpc.call (Action.Atomic.rpc t.art) ~from:inst.i_node ~dst:cohort
-              t.ep_checkpoint msg
-          with
-          | Ok () -> Sim.Metrics.incr (metrics t) "server.checkpoints"
-          | Error _ -> Sim.Metrics.incr (metrics t) "server.checkpoint_failures")
-      inst.i_members
+    (* Checkpoint distribution fans out to every cohort at once: the
+       coordinator pays one round-trip regardless of group size. *)
+    let cohorts =
+      List.filter (fun c -> not (String.equal c inst.i_node)) inst.i_members
+    in
+    Net.Rpc.call_all (Action.Atomic.rpc t.art) ~from:inst.i_node
+      t.ep_checkpoint
+      (List.map (fun cohort -> (cohort, msg)) cohorts)
+    |> List.iter (function
+         | _, Ok () -> Sim.Metrics.incr (metrics t) "server.checkpoints"
+         | _, Error _ ->
+             Sim.Metrics.incr (metrics t) "server.checkpoint_failures")
   end
 
 (* The resource manager wiring an instance into action completion. *)
@@ -289,6 +295,78 @@ let install_instance t node inst =
   Action.Resource_host.register (Action.Atomic.resource_host t.art) ~node
     ~resource:(resource_name inst.i_uid) (make_manager t inst)
 
+(* A lock wait that timed out may be blocked by an action whose
+   coordinator is partitioned away: the coordinator's abort fan-out never
+   reached this node, the orphan guard only fires on crashes, and nothing
+   retries the release after the cut heals — the instance would be wedged
+   forever. Probe such holders' coordinators from a separate fiber: a
+   commit decision completes the holder locally, an abort/unknown one (or
+   a coordinator unreachable through the whole probe budget) is presumed
+   abort. Holders whose coordinator is reachable are left alone — that is
+   live contention, resolved by the holder's own completion fan-out. *)
+let break_stale_holders t node inst =
+  List.iter
+    (fun (owner, _mode) ->
+      let coordinator = Action.Orphan_guard.origin_of_action owner in
+      let key = (node, Store.Uid.to_string inst.i_uid, owner) in
+      if
+        (not (Hashtbl.mem t.breaking key))
+        && not (Net.Network.reachable (net t) node coordinator)
+      then begin
+        Hashtbl.add t.breaking key ();
+        Net.Network.spawn_on (net t) node
+          ~name:(Printf.sprintf "%s.break-lock:%s" node owner)
+          (fun () ->
+            let rh = Action.Atomic.resource_host t.art in
+            let resource = resource_name inst.i_uid in
+            let finish how =
+              match how with
+              | `Commit ->
+                  tracef t "%s: wedged holder %s -> commit" node owner;
+                  ignore
+                    (Action.Resource_host.commit rh ~from:node ~node ~resource
+                       ~action:owner)
+              | `Abort why ->
+                  tracef t "%s: wedged holder %s -> presumed abort (%s)" node
+                    owner why;
+                  ignore
+                    (Action.Resource_host.abort rh ~from:node ~node ~resource
+                       ~action:owner);
+                  (* The presumption may be wrong (the coordinator may in
+                     fact have committed, unreachably): this instance's
+                     volatile state is now suspect, so passivate it — the
+                     next activation rebuilds from the object stores,
+                     which hold the committed truth. *)
+                  ignore
+                    (Net.Rpc.call
+                       (Action.Atomic.rpc t.art)
+                       ~from:node ~dst:node t.ep_passivate inst.i_uid)
+            in
+            let rec settle n =
+              if List.mem_assoc owner (holders_snapshot inst) then
+                match
+                  Action.Atomic.query_decision t.art ~from:node ~coordinator
+                    ~action:owner
+                with
+                | Ok Action.Atomic.D_commit -> finish `Commit
+                | Ok (Action.Atomic.D_abort | Action.Atomic.D_unknown) ->
+                    finish (`Abort "decided")
+                | Ok Action.Atomic.D_active ->
+                    (* The cut healed and the action is still live: its
+                       own completion will release the lock. *)
+                    ()
+                | Error _ ->
+                    if n = 0 then finish (`Abort "coordinator unreachable")
+                    else begin
+                      Sim.Engine.sleep (eng t) 2.0;
+                      settle (n - 1)
+                    end
+            in
+            settle 5;
+            Hashtbl.remove t.breaking key)
+      end)
+    (holders_snapshot inst)
+
 (* Core invocation logic, shared by the RPC and multicast paths. Runs in a
    fiber on the instance's node. *)
 let do_invoke t node { v_uid; v_action; v_serial; v_last_acked; v_write; v_op } =
@@ -319,6 +397,7 @@ let do_invoke t node { v_uid; v_action; v_serial; v_last_acked; v_write; v_op } 
                 ~timeout:t.lock_timeout "state"
             with
             | Error `Timeout ->
+                break_stale_holders t node inst;
                 Sim.Metrics.incr (metrics t) "server.lock_refusals";
                 Locked
             | Ok () ->

@@ -123,6 +123,8 @@ let suspend _t register =
   let g = !current_group in
   Effect.perform (Suspend (g, register))
 
+let self_group _t = !current_group
+
 let sleep t dt =
   suspend t (fun resume -> push t ~delay:dt (fun () -> resume (Ok ())))
 

@@ -71,6 +71,12 @@ val suspend : t -> ('a resumer -> unit) -> 'a
     [register resume]. The fiber resumes when [resume] is first invoked.
     Must be called from within a fiber. *)
 
+val self_group : t -> group
+(** [self_group t] is the group of the currently executing fiber. Child
+    fibers spawned into it share the caller's crash fate, which is what
+    structured-concurrency helpers ({!Join}) need. Must be called from
+    within a fiber. *)
+
 val sleep : t -> float -> unit
 (** [sleep t dt] suspends the calling fiber for [dt] units of virtual
     time. [dt] is clamped to be non-negative. *)

@@ -1,0 +1,117 @@
+(* Structured scatter-gather over fibers.
+
+   Every combinator spawns its tasks into the *caller's* group, so a node
+   crash that kills the scattering fiber also kills the workers — no fan-out
+   survives its initiator. Single-task scatters run inline (no spawn), which
+   keeps one-element fan-outs event-for-event identical to the sequential
+   code they replaced: worlds with |St| = |Sv| = 1 are byte-for-byte
+   unaffected by the scatter-gather rewiring. *)
+
+type 'a task = unit -> 'a
+
+(* Spawn one fiber per task; [on_done i r] runs in the worker fiber as soon
+   as task [i] finishes. Tasks are spawned in list order, and the engine's
+   (time, seq) queue makes every interleaving deterministic. [base] offsets
+   the task indices reported to [on_done] (and the worker names) when the
+   caller runs a prefix of the tasks itself. *)
+let scatter ?(base = 0) eng tasks ~on_done =
+  let group = Engine.self_group eng in
+  List.iteri
+    (fun i f ->
+      let i = i + base in
+      Engine.spawn eng ~group
+        ~name:(Printf.sprintf "join.worker.%d" i)
+        (fun () -> on_done i (f ())))
+    tasks
+
+let all eng tasks =
+  match tasks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | f0 :: rest ->
+      let n = 1 + List.length rest in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let iv = Ivar.create () in
+      let settle i r =
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Ivar.fill iv ()
+      in
+      (* The caller's fiber runs task 0 itself and only tasks 1..n-1 get
+         worker fibers: [all] waits for every task anyway, and under full
+         spawning task 0's leading segment would execute first regardless
+         (workers start in spawn order when the caller suspends), so the
+         event trajectory is the same while one fiber per scatter is
+         saved. Note this means an exception from task 0 propagates in
+         the calling fiber. *)
+      scatter ~base:1 eng rest ~on_done:settle;
+      settle 0 (f0 ());
+      if !remaining > 0 then Ivar.read eng iv;
+      Array.to_list results
+      |> List.map (function Some r -> r | None -> assert false)
+
+let first_error eng tasks =
+  match tasks with
+  | [] -> Ok []
+  | [ f ] -> ( match f () with Ok v -> Ok [ v ] | Error e -> Error e)
+  | tasks ->
+      let n = List.length tasks in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let iv = Ivar.create () in
+      scatter eng tasks ~on_done:(fun i r ->
+          results.(i) <- Some r;
+          decr remaining;
+          match r with
+          | Error e -> ignore (Ivar.try_fill iv (Error e))
+          | Ok _ -> if !remaining = 0 then ignore (Ivar.try_fill iv (Ok ())));
+      (match Ivar.read eng iv with
+      | Error e -> Error e
+      | Ok () ->
+          Ok
+            (Array.to_list results
+            |> List.filter_map (function
+                 | Some (Ok v) -> Some v
+                 | Some (Error _) | None -> None)))
+
+let quorum eng ~k tasks =
+  let n = List.length tasks in
+  if k <= 0 then begin
+    (* Trivially satisfied; still run the tasks (their effects may matter)
+       but do not wait for them. *)
+    scatter eng tasks ~on_done:(fun _ _ -> ());
+    Ok []
+  end
+  else begin
+    let results = Array.make (max n 1) None in
+    let remaining = ref n in
+    let successes = ref 0 in
+    let iv = Ivar.create () in
+    let settle i r =
+      results.(i) <- Some r;
+      decr remaining;
+      (match r with
+      | Ok _ ->
+          incr successes;
+          if !successes >= k then ignore (Ivar.try_fill iv true)
+      | Error _ -> ());
+      if !remaining = 0 then ignore (Ivar.try_fill iv (!successes >= k))
+    in
+    (match tasks with
+    | [] -> ignore (Ivar.try_fill iv false)
+    | [ f ] -> settle 0 (f ())
+    | tasks -> scatter eng tasks ~on_done:settle);
+    if Ivar.read eng iv then
+      Ok
+        (Array.to_list results
+        |> List.filter_map (function
+             | Some (Ok v) -> Some v
+             | Some (Error _) | None -> None))
+    else
+      Error
+        (Array.to_list results
+        |> List.filter_map (function
+             | Some (Error e) -> Some e
+             | Some (Ok _) | None -> None))
+  end

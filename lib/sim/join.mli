@@ -1,0 +1,45 @@
+(** Structured scatter-gather: spawn N fibers, join on a collection policy.
+
+    The paper's commit protocol (§2.3(3)) copies the new state to every
+    node of [StA] and delivers invocations to every live replica. Doing
+    that with one blocking call per destination makes the latency of the
+    hot path grow linearly in the replication degree; Arjuna-style systems
+    issue the calls concurrently and collect the votes. These combinators
+    are that shape, expressed over the simulator's fibers.
+
+    Guarantees shared by all combinators:
+    - tasks are spawned in list order into the {e caller's} fiber group,
+      so killing the caller's node kills the whole fan-out;
+    - results are returned in task (submission) order, never completion
+      order, and the engine's deterministic event queue makes the whole
+      interleaving a pure function of the seed;
+    - a single-task scatter runs inline in the calling fiber — one-element
+      fan-outs are event-for-event identical to sequential code. *)
+
+type 'a task = unit -> 'a
+(** One unit of scattered work; runs in its own fiber and may suspend. *)
+
+val all : Engine.t -> 'a task list -> 'a list
+(** [all eng tasks] runs every task concurrently and returns all results
+    in task order once the last one finishes. The calling fiber runs task
+    0 itself (it has nothing else to do but wait, and the first task's
+    leading segment executes first under full spawning too), so only
+    tasks 1..n-1 cost a worker fiber. A task that raises kills the
+    simulation via the engine's fiber-error channel (task 0: propagates
+    in the caller); encode expected failures as [result] values. *)
+
+val first_error :
+  Engine.t -> ('a, 'e) result task list -> ('a list, 'e) result
+(** [first_error eng tasks] resumes the caller as soon as any task returns
+    [Error e] (returning that first error, in completion order), or with
+    [Ok] of all results in task order when every task succeeds. Remaining
+    tasks keep running detached; their results are discarded. *)
+
+val quorum :
+  Engine.t -> k:int -> ('a, 'e) result task list -> ('a list, 'e list) result
+(** [quorum eng ~k tasks] resumes the caller as soon as [k] tasks have
+    succeeded — [Ok successes] lists, in task order, every success recorded
+    by the time the caller resumes (at least [k]). If all tasks settle with
+    fewer than [k] successes the result is [Error] of their errors in task
+    order. [k <= 0] returns [Ok []] immediately while the tasks run
+    detached. *)

@@ -188,6 +188,63 @@ let test_commit_excludes_crashed_store () =
   Alcotest.(check (list string)) "excluded beta2" [ "beta2" ] !excluded;
   Alcotest.(check (option string)) "beta1 updated" (Some "1") (store_payload w "beta1" uid)
 
+let test_withdraw_prepares_mixed_votes () =
+  (* The parallel prepare scatter returns a mixed vote set: one store is
+     stale (backward validation fails), one voted yes, one is crashed.
+     The abort path must withdraw the prepare records of the yes-voters —
+     a leaked record is a write reservation that blocks every future
+     writer of the object. *)
+  let w =
+    make_world ~servers:[ "alpha" ] ~stores:[ "s1"; "s2"; "s3" ]
+      ~clients:[ "c" ] ()
+  in
+  let uid = new_object w ~label:"ctr" ~payload:"0" ~stores:[ "s1"; "s3" ] in
+  (* s2 already holds a newer committed version: activation picks it as
+     the freshest state, so the commit-time prepare is its direct
+     successor at s2 (Vote_yes) but a version skip at s1 (Vote_stale). *)
+  Action.Store_host.seed w.sh "s2" uid
+    (Object_state.make ~payload:"7"
+       ~version:{ Version.counter = 2; committed_by = "elsewhere" });
+  let outcome = ref (Ok ()) in
+  Net.Network.spawn_on w.net "c" (fun () ->
+      outcome :=
+        Action.Atomic.atomically w.art ~node:"c" (fun act ->
+            match
+              Group.activate w.grt ~client:"c" ~uid ~impl:"counter"
+                ~policy:Policy.Single_copy_passive ~servers:[ "alpha" ]
+                ~stores:[ "s1"; "s2"; "s3" ]
+            with
+            | Error e -> raise (Action.Atomic.Abort e)
+            | Ok g ->
+                Commit.attach w.grt act g ~exclude:(fun _ _ -> Ok ()) ();
+                (match Group.invoke w.grt g ~act "incr" with
+                | Ok _ -> ()
+                | Error _ -> raise (Action.Atomic.Abort "invoke failed"));
+                (* s3 dies before commit: its vote is unreachable. *)
+                Net.Network.crash w.net "s3";
+                Sim.Engine.sleep w.eng 2.0));
+  Sim.Engine.run w.eng;
+  (match !outcome with
+  | Error why ->
+      check_bool
+        ("aborted on the stale vote: " ^ why)
+        true
+        (Astring.String.is_infix ~affix:"stale" why)
+  | Ok () -> Alcotest.fail "expected the stale vote to abort the action");
+  (* No reservation leaked anywhere: every surviving store's intent log
+     is clean again. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (list string))
+        (s ^ " intent log clean") []
+        (Intent_log.in_doubt (Action.Store_host.log w.sh s)))
+    [ "s1"; "s2" ];
+  (* And the committed states are untouched. *)
+  Alcotest.(check (option string)) "s1 unchanged" (Some "0")
+    (store_payload w "s1" uid);
+  Alcotest.(check (option string)) "s2 unchanged" (Some "7")
+    (store_payload w "s2" uid)
+
 let test_commit_aborts_when_all_stores_down () =
   let w = make_world ~servers:[ "alpha" ] ~stores:[ "beta" ] ~clients:[ "c" ] () in
   let uid = new_object w ~label:"ctr" ~payload:"0" ~stores:[ "beta" ] in
@@ -485,6 +542,7 @@ let suite =
         tc "server crash aborts" `Quick test_single_copy_server_crash_aborts;
         tc "read only skips copy" `Quick test_read_only_skips_copy;
         tc "commit excludes crashed store" `Quick test_commit_excludes_crashed_store;
+        tc "withdraws prepares on mixed votes" `Quick test_withdraw_prepares_mixed_votes;
         tc "aborts when all stores down" `Quick test_commit_aborts_when_all_stores_down;
       ] );
     ( "replica.isolation",
