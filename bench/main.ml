@@ -197,6 +197,85 @@ let bench_cached_repeat_binds () =
       done);
   Service.run w
 
+(* Eight clients in one synchronised wave against a single object: the
+   contended-bind episode of tab-contention at benchmark size. With the
+   batched Delta-mode bind the clients no longer serialise behind the
+   Increment write lock, so this episode settles in near-constant
+   simulated time. *)
+let bench_contended_binds () =
+  let open Naming in
+  let clients = List.init 8 (fun i -> Printf.sprintf "c%d" (i + 1)) in
+  let w =
+    Service.create ~seed:5L
+      {
+        Service.gvd_node = "ns";
+        gvd_nodes = [];
+        server_nodes = [ "alpha" ];
+        store_nodes = [ "beta1" ];
+        client_nodes = clients;
+      }
+  in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1" ] ()
+  in
+  List.iter
+    (fun client ->
+      Service.spawn_client w client (fun () ->
+          ignore
+            (Service.with_bound w ~client ~scheme:Scheme.Independent
+               ~policy:Replica.Policy.Single_copy_passive ~uid
+               (fun act group -> Service.invoke w group ~act "get"))))
+    clients;
+  Service.run w
+
+(* The same database bind work both ways, back to back: five one-round
+   batched binds, then five binds composed from the serial
+   GetServer/Increment/GetView (+ trailing Decrement) rounds the batch
+   replaced. The spread within this subject is what batching buys on the
+   naming hot path. *)
+let bench_batched_vs_serial () =
+  let open Naming in
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Service.spawn_client w "c1" (fun () ->
+      for _ = 1 to 5 do
+        match
+          Binder.bind_independent (Service.binder w) ~client:"c1" ~uid
+            ~policy:Replica.Policy.Single_copy_passive
+        with
+        | Ok pb -> Binder.release_independent (Service.binder w) pb
+        | Error _ -> ()
+      done;
+      for _ = 1 to 5 do
+        ignore
+          (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+               (match Gvd.get_server (Service.gvd w) ~act uid with
+               | Ok _ -> ()
+               | Error _ -> ());
+               (match
+                  Gvd.increment (Service.gvd w) ~act ~uid ~client:"c1"
+                    [ "alpha" ]
+                with
+               | Ok _ -> ()
+               | Error _ -> ());
+               match Gvd.get_view (Service.gvd w) ~act uid with
+               | Ok _ -> ()
+               | Error _ -> ()));
+        ignore
+          (Action.Atomic.atomically (Service.atomic w) ~node:"c1" (fun act ->
+               match
+                 Gvd.decrement (Service.gvd w) ~act ~uid ~client:"c1"
+                   [ "alpha" ]
+               with
+               | Ok _ -> ()
+               | Error _ -> ()))
+      done);
+  Service.run w
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -211,6 +290,10 @@ let micro_tests =
         (Staged.stage (bench_bound_action Naming.Scheme.Independent));
       Test.make ~name:"bind.5-actions-nested-toplevel"
         (Staged.stage (bench_bound_action Naming.Scheme.Nested_toplevel));
+      Test.make ~name:"bind.8-clients-contended"
+        (Staged.stage bench_contended_binds);
+      Test.make ~name:"bind.batched-vs-serial"
+        (Staged.stage bench_batched_vs_serial);
       Test.make ~name:"gvd.10-read-actions" (Staged.stage bench_gvd_ops);
       Test.make ~name:"audit.calm-trial" (Staged.stage bench_audit_trial);
       Test.make ~name:"shardmap.1000-owner-lookups"

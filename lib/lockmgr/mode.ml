@@ -1,13 +1,16 @@
-type t = Read | Write | Exclude_write
+type t = Read | Delta | Write | Exclude_write
 
 let compatible held requested =
   match (held, requested) with
   | Read, Read -> true
+  | Read, Delta | Delta, Read -> true
+  | Delta, Delta -> true
   | Read, Exclude_write | Exclude_write, Read -> true
+  | Delta, Exclude_write | Exclude_write, Delta -> false
   | Exclude_write, Exclude_write -> false
   | Write, _ | _, Write -> false
 
-let strength = function Read -> 0 | Exclude_write -> 1 | Write -> 2
+let strength = function Read -> 0 | Delta -> 1 | Exclude_write -> 2 | Write -> 3
 
 let strongest a b = if strength a >= strength b then a else b
 
@@ -17,6 +20,7 @@ let equal a b = strength a = strength b
 
 let to_string = function
   | Read -> "read"
+  | Delta -> "delta"
   | Write -> "write"
   | Exclude_write -> "exclude-write"
 

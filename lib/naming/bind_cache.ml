@@ -14,6 +14,7 @@ type entry = {
   ce_impl : string;
   ce_servers : Net.Network.node_id list;
   ce_stores : Net.Network.node_id list;
+  ce_version : int; (* GVD snapshot version the entry was filled from *)
   ce_expires : float; (* absolute sim time *)
 }
 
@@ -45,12 +46,13 @@ let find t ~now ~client uid =
       Sim.Metrics.incr t.bc_metrics "cache.miss";
       None
 
-let fill t ~now ~client uid ~impl ~servers ~stores =
+let fill t ~now ~client uid ~impl ~servers ~stores ~version =
   Hashtbl.replace t.bc_tbl (key client uid)
     {
       ce_impl = impl;
       ce_servers = servers;
       ce_stores = stores;
+      ce_version = version;
       ce_expires = now +. t.bc_lease;
     }
 

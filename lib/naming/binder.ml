@@ -2,14 +2,24 @@ type t = {
   b_router : Router.t;
   b_grt : Replica.Group.runtime;
   b_cache : Bind_cache.t option;
+  b_deltas : Use_delta.t;
+  b_flush_delay : float;
 }
 
-let create ?cache b_router b_grt = { b_router; b_grt; b_cache = cache }
+let create ?cache ?(flush_delay = 5.0) b_router b_grt =
+  {
+    b_router;
+    b_grt;
+    b_cache = cache;
+    b_deltas = Use_delta.create ();
+    b_flush_delay = flush_delay;
+  }
 
 let router t = t.b_router
 let gvd t = Router.primary t.b_router
 let cache t = t.b_cache
 let group_runtime t = t.b_grt
+let deltas t = t.b_deltas
 
 type binding = {
   bd_uid : Store.Uid.t;
@@ -17,6 +27,7 @@ type binding = {
   bd_group : Replica.Group.t;
   bd_servers : Net.Network.node_id list;
   bd_stores : Net.Network.node_id list;
+  bd_version : int;
 }
 
 type bind_error = Name_refused of string | No_server of string
@@ -37,6 +48,7 @@ type prebinding = {
          Decrement must mirror exactly this set, not the (possibly
          smaller) set that actually activated *)
   pb_stores : Net.Network.node_id list;
+  pb_version : int;
   mutable pb_released : bool;
 }
 
@@ -88,7 +100,13 @@ let attach_commit t ~scheme ~act ~uid group =
   (* Commit processing re-reads StA under the action's read lock: the
      bind-time view can be outdated by a recovered store's Include under
      the independent/nested-top-level schemes (§4.2.1(ii)'s elided
-     enhancement), and the copy-back must target the current members. *)
+     enhancement), and the copy-back must target the current members.
+     This read stays LOCKED under every scheme — unlike the bind-time
+     view it fences concurrent Includes: held to action end, it keeps a
+     recovering store from being re-admitted (with a state at the old
+     version fence) between the copy-back's target choice and its
+     commit, which would leave St members at different versions. The
+     lock-free snapshot path serves bind-time reads only. *)
   let current_stores act' =
     match Router.get_view t.b_router ~act:act' uid with
     | Ok (Gvd.Granted st) -> Ok st
@@ -173,6 +191,9 @@ let bind_standard t ~act ~uid ~policy =
             | Error e -> Error e
             | Ok group ->
                 attach_commit t ~scheme:Scheme.Standard ~act ~uid group;
+                (* impl_of + GetServer + GetView: three sequential naming
+                   rounds, as in Figure 6. *)
+                Sim.Metrics.observe (metrics t) "bind.naming_rounds" 3.0;
                 Ok
                   {
                     bd_uid = uid;
@@ -180,67 +201,30 @@ let bind_standard t ~act ~uid ~policy =
                     bd_group = group;
                     bd_servers = group.Replica.Group.g_members;
                     bd_stores = st;
+                    bd_version = 0;
                   }))
 
 (* ------------------------------------------------------------------ *)
 (* Figures 7 and 8: use lists, removal of dead servers *)
 
-(* The database half of a Figure-7/8 bind, to be run inside a top-level
-   action of its own. Returns the chosen servers and store view. *)
-let fresh_bind_db t ~client ~uid ~policy act =
-  let abort_reply = function
-    | Gvd.Refused why | Gvd.Busy why -> raise (Action.Atomic.Abort why)
-    | Gvd.Moved dest -> raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
-    | Gvd.Granted _ -> assert false
-  in
-  (* Write-mode read: this short action will Remove/Increment on the same
-     entry, and a read-then-promote pattern would make two concurrent
-     binders refuse each other (§4.2.1's promotion problem, on the server
-     database side). *)
-  let view =
-    match Router.get_server_update t.b_router ~act uid with
-    | Ok (Gvd.Granted view) -> view
-    | Ok other -> abort_reply other
-    | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
-  in
-  let sv = view.Gvd.sv_servers in
-  let in_use =
-    List.filter_map
-      (fun (node, ul) -> if Use_list.is_empty ul then None else Some node)
-      view.Gvd.sv_uses
-  in
-  (* Failure detection at bind time: remove dead servers from SvA so later
-     clients see a fresh view (§4.1.3(i)). *)
-  let net = netw t in
-  let dead = List.filter (fun n -> not (Net.Network.is_up net n)) sv in
-  List.iter
-    (fun n ->
-      match Router.remove t.b_router ~act ~uid n with
-      | Ok (Gvd.Granted ()) ->
-          Sim.Metrics.incr (metrics t) "bind.removed_dead"
-      | Ok other -> abort_reply other
-      | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
-    dead;
-  let live = List.filter (fun n -> Net.Network.is_up net n) sv in
-  let chosen =
-    if in_use = [] then take (Replica.Policy.replicas policy) live
-    else
-      (* The object is already activated: bind to the servers with
-         non-zero counters (that are still alive). *)
-      List.filter (fun n -> Net.Network.is_up net n) in_use
-  in
-  if chosen = [] then raise (Action.Atomic.Abort "no live server");
-  (match Router.increment t.b_router ~act ~uid ~client chosen with
-  | Ok (Gvd.Granted ()) -> ()
-  | Ok other -> abort_reply other
-  | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)));
-  let st =
-    match Router.get_view t.b_router ~act uid with
-    | Ok (Gvd.Granted st) -> st
-    | Ok other -> abort_reply other
-    | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
-  in
-  (chosen, st)
+(* The database half of a Figure-7/8 bind: since the batch endpoint this
+   is ONE RPC round — GetServer + Remove(dead) + Increment + GetView
+   collapsed server-side, with the caller's pending decrement credits
+   piggybacked. Runs inside a top-level action of its own. *)
+let fresh_bind_db t ~client ~uid ~policy ~credits act =
+  match
+    Router.bind_batch t.b_router ~act ~uid ~client
+      ~replicas:(Replica.Policy.replicas policy) ~credits
+  with
+  | Ok (Gvd.Granted bv) ->
+      if bv.Gvd.bv_removed <> [] then
+        Sim.Metrics.incr (metrics t)
+          ~by:(List.length bv.Gvd.bv_removed)
+          "bind.removed_dead";
+      bv
+  | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> raise (Action.Atomic.Abort why)
+  | Ok (Gvd.Moved dest) -> raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
+  | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
 
 let decrement_db t ~client ~uid ~servers act =
   match Router.decrement t.b_router ~act ~uid ~client servers with
@@ -250,44 +234,104 @@ let decrement_db t ~client ~uid ~servers act =
       raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
   | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
 
-(* The trailing Decrement must not leak counters on transient lock
-   refusals: a leaked counter of a live client poisons quiescence forever
-   (the cleanup daemon only repairs dead clients). Retry a few times
-   before giving up. *)
-let run_decrement t ~client ~uid ~servers =
+(* Expand credits into the node list the Decrement endpoint expects: a
+   node listed k times decrements k counts. *)
+let expand_credits credits =
+  List.concat_map (fun (node, count) -> List.init count (fun _ -> node)) credits
+
+(* Flush one object's credits as a single merged Decrement action. The
+   flush must not leak counters on transient lock refusals: a leaked
+   counter of a live client poisons quiescence forever (the cleanup
+   daemon only repairs dead clients). Retry a few times before giving
+   up. *)
+let run_flush t ~client ~uid ~credits =
   let eng = Action.Atomic.engine (art t) in
+  let servers = expand_credits credits in
   let rec attempt tries =
     match
       Action.Atomic.atomically (art t) ~node:client (fun act ->
           decrement_db t ~client ~uid ~servers act)
     with
-    | Ok () -> ()
+    | Ok () -> Sim.Metrics.incr (metrics t) "bind.flushes"
     | Error _ when tries > 1 ->
         Sim.Engine.sleep eng 2.0;
         attempt (tries - 1)
     | Error _ -> Sim.Metrics.incr (metrics t) "bind.decrement_failed"
   in
-  attempt 8
+  if servers <> [] then attempt 8
 
+(* Arrange for the client's buffered credits to be flushed after the
+   coalescing window. One one-shot fiber per client at a time; it drains
+   the whole buffer and exits (no periodic daemon — the simulation must
+   be able to run dry). The fiber lives on the client node, so it dies
+   with a client crash — leaving exactly the orphaned counters the
+   cleanup protocol repairs. Cooperative scheduling makes the
+   empty-check/flag-clear at the end race-free: there is no suspension
+   point between them, so a credit arriving later always finds the flag
+   down and schedules a fresh fiber. *)
+let schedule_flush t ~client =
+  if not (Use_delta.flush_scheduled t.b_deltas ~client) then begin
+    Use_delta.set_flush_scheduled t.b_deltas ~client true;
+    Net.Network.spawn_on (netw t) client ~name:(client ^ ".use-flush")
+      (fun () ->
+        Sim.Engine.sleep (Action.Atomic.engine (art t)) t.b_flush_delay;
+        let rec drain () =
+          match Use_delta.pending_uids t.b_deltas ~client with
+          | [] -> ()
+          | uid :: _ ->
+              let credits = Use_delta.take t.b_deltas ~client ~uid in
+              if credits <> [] then run_flush t ~client ~uid ~credits;
+              drain ()
+        in
+        drain ();
+        Use_delta.set_flush_scheduled t.b_deltas ~client false)
+  end
 
-let finish_bind t ~client ~uid ~policy ~chosen ~st =
-  match impl_of t ~from:client uid with
-  | Error e -> Error e
-  | Ok impl ->
-      activate_counted t ~client ~uid ~impl ~policy ~servers:chosen ~stores:st
+(* The trailing Decrement of Figures 7/8, coalesced: credit the buffer
+   and let the deferred flush — or the next bind's batch request, which
+   cancels the pair in its own round — carry it to the database. *)
+let credit_release t ~client ~uid ~servers =
+  List.iter
+    (fun node -> Use_delta.credit t.b_deltas ~client ~uid ~node ~count:1)
+    servers;
+  Sim.Metrics.incr (metrics t) ~by:(List.length servers) "bind.credits";
+  schedule_flush t ~client
+
+(* Take the client's pending credits for piggybacking on a bind batch;
+   [restore_credits] puts them back (and re-arms the flush) when the
+   batch action failed — its staged deltas, credits included, were
+   dropped server-side. *)
+let take_credits t ~client ~uid =
+  let credits = Use_delta.take t.b_deltas ~client ~uid in
+  if credits <> [] then Sim.Metrics.incr (metrics t) "bind.coalesced_sends";
+  credits
+
+let restore_credits t ~client ~uid credits =
+  if credits <> [] then begin
+    Use_delta.restore t.b_deltas ~client ~uid credits;
+    schedule_flush t ~client
+  end
 
 let bind_independent t ~client ~uid ~policy =
+  let credits = take_credits t ~client ~uid in
   match
     Action.Atomic.atomically (art t) ~node:client (fun act ->
-        fresh_bind_db t ~client ~uid ~policy act)
+        fresh_bind_db t ~client ~uid ~policy ~credits act)
   with
-  | Error why -> Error (Name_refused why)
-  | Ok (chosen, st) -> (
-      match finish_bind t ~client ~uid ~policy ~chosen ~st with
+  | Error why ->
+      restore_credits t ~client ~uid credits;
+      Error (Name_refused why)
+  | Ok bv -> (
+      Sim.Metrics.observe (metrics t) "bind.naming_rounds" 1.0;
+      let chosen = bv.Gvd.bv_chosen and st = bv.Gvd.bv_stores in
+      match
+        activate_counted t ~client ~uid ~impl:bv.Gvd.bv_impl ~policy
+          ~servers:chosen ~stores:st
+      with
       | Error e ->
           (* The bind action already incremented use lists; pair it with
              the Decrement even though activation failed. *)
-          run_decrement t ~client ~uid ~servers:chosen;
+          credit_release t ~client ~uid ~servers:chosen;
           Error e
       | Ok group ->
           Ok
@@ -298,6 +342,7 @@ let bind_independent t ~client ~uid ~policy =
               pb_servers = group.Replica.Group.g_members;
               pb_incremented = chosen;
               pb_stores = st;
+              pb_version = bv.Gvd.bv_version;
               pb_released = false;
             })
 
@@ -310,34 +355,43 @@ let use_prebinding t ~act pb =
       bd_group = pb.pb_group;
       bd_servers = pb.pb_servers;
       bd_stores = pb.pb_stores;
+      bd_version = pb.pb_version;
     }
 
 let release_independent t pb =
   if not pb.pb_released then begin
     pb.pb_released <- true;
-    run_decrement t ~client:pb.pb_client ~uid:pb.pb_uid
+    credit_release t ~client:pb.pb_client ~uid:pb.pb_uid
       ~servers:pb.pb_incremented
   end
 
 let bind_nested_toplevel t ~act ~uid ~policy =
   let client = Action.Atomic.node act in
+  let credits = take_credits t ~client ~uid in
   match
     Action.Atomic.atomically_nested_top act (fun dbact ->
-        fresh_bind_db t ~client ~uid ~policy dbact)
+        fresh_bind_db t ~client ~uid ~policy ~credits dbact)
   with
-  | Error why -> Error (Name_refused why)
-  | Ok (chosen, st) -> (
-      match finish_bind t ~client ~uid ~policy ~chosen ~st with
+  | Error why ->
+      restore_credits t ~client ~uid credits;
+      Error (Name_refused why)
+  | Ok bv -> (
+      Sim.Metrics.observe (metrics t) "bind.naming_rounds" 1.0;
+      let chosen = bv.Gvd.bv_chosen and st = bv.Gvd.bv_stores in
+      match
+        activate_counted t ~client ~uid ~impl:bv.Gvd.bv_impl ~policy
+          ~servers:chosen ~stores:st
+      with
       | Error e ->
-          run_decrement t ~client ~uid ~servers:chosen;
+          credit_release t ~client ~uid ~servers:chosen;
           Error e
       | Ok group ->
           attach_commit t ~scheme:Scheme.Nested_toplevel ~act ~uid group;
-          let decrement () = run_decrement t ~client ~uid ~servers:chosen in
-          (* The trailing Decrement runs when the client action ends,
-             whichever way. *)
-          Action.Atomic.after_commit act decrement;
-          Action.Atomic.on_abort act decrement;
+          let release () = credit_release t ~client ~uid ~servers:chosen in
+          (* The trailing Decrement is credited when the client action
+             ends, whichever way. *)
+          Action.Atomic.after_commit act release;
+          Action.Atomic.on_abort act release;
           Ok
             {
               bd_uid = uid;
@@ -345,6 +399,7 @@ let bind_nested_toplevel t ~act ~uid ~policy =
               bd_group = group;
               bd_servers = group.Replica.Group.g_members;
               bd_stores = st;
+              bd_version = bv.Gvd.bv_version;
             })
 
 let bind_uncached t ~act ~scheme ~uid ~policy =
@@ -391,6 +446,7 @@ let bind_cached t cache ~act ~scheme ~uid ~policy (e : Bind_cache.entry) =
       Action.Atomic.after_commit act (fun () ->
           Bind_cache.renew cache ~now:(Sim.Engine.now (Action.Atomic.engine (art t)))
             ~client uid);
+      Sim.Metrics.observe (metrics t) "bind.naming_rounds" 0.0;
       Some
         {
           bd_uid = uid;
@@ -398,6 +454,7 @@ let bind_cached t cache ~act ~scheme ~uid ~policy (e : Bind_cache.entry) =
           bd_group = group;
           bd_servers = group.Replica.Group.g_members;
           bd_stores = e.Bind_cache.ce_stores;
+          bd_version = e.Bind_cache.ce_version;
         }
 
 let bind t ~act ~scheme ~uid ~policy =
@@ -433,6 +490,6 @@ let bind t ~act ~scheme ~uid ~policy =
       | Ok b, Some cache ->
           Bind_cache.fill cache ~now:(Sim.Engine.now eng) ~client uid
             ~impl:b.bd_group.Replica.Group.g_impl ~servers:b.bd_servers
-            ~stores:b.bd_stores
+            ~stores:b.bd_stores ~version:b.bd_version
       | _ -> ());
       finish r

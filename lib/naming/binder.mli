@@ -11,33 +11,55 @@
       [SvA]: crashed servers are only discovered by failed activation
       attempts, counted in the [bind.futile] metric.
     - {!bind_independent} (Figure 7) runs {e before} the client action(s):
-      it reads [SvA] with the use lists, removes detectably-dead servers,
-      selects live ones and increments use lists, all in one independent
-      top-level action. {!use_prebinding} attaches the resulting group to
-      each client action; {!release_independent} runs the trailing
-      [Decrement] action after the client is done.
-    - {!bind_nested_toplevel} (Figure 8) performs the same database work
-      from {e inside} the client action using a nested top-level action,
-      and schedules the [Decrement] to run when the client action ends
+      the whole database half — read [SvA] with use lists, remove
+      detectably-dead servers, increment the chosen subset, read [StA] —
+      is one {!Gvd.bind_batch} request, a single RPC round inside one
+      independent top-level action. {!use_prebinding} attaches the
+      resulting group to each client action; {!release_independent}
+      {e credits} the trailing [Decrement] into the {!Use_delta} buffer
+      instead of sending it immediately.
+    - {!bind_nested_toplevel} (Figure 8) sends the same single-round
+      batch from {e inside} the client action using a nested top-level
+      action, and credits the [Decrement] when the client action ends
       (whether it commits or aborts — the use-list update is durable
       either way, as nested top-level actions are).
+
+    Buffered credits leave the client in one of two coalesced forms: the
+    next bind of the same (client, object) piggybacks them on its batch
+    request — cancelling the increment/decrement pair within that one
+    round — or a deferred flush fiber (after [flush_delay]) sends every
+    remaining credit for an object as one merged [Decrement] action. A
+    client crash with unflushed credits leaves exactly the orphaned
+    counters the cleanup protocol repairs.
+
+    The [bind.naming_rounds] distribution records the bind-time naming
+    RPC rounds per fresh bind: 3 for scheme A (impl_of + GetServer +
+    GetView), exactly 1 for schemes B/C, 0 on a cache hit.
 
     The commit-time [Exclude] follows the scheme as well: under
     [Standard] it runs inside the client action by promoting the held read
     lock (§4.2.1); under the other two it runs as a nested top-level
-    action acquiring the exclude-write lock afresh. *)
+    action acquiring the exclude-write lock afresh. Commit-time [StA]
+    re-reads are locked for scheme A, lock-free snapshot reads for
+    schemes B/C. *)
 
 type t
 (** Binder runtime. *)
 
-val create : ?cache:Bind_cache.t -> Router.t -> Replica.Group.runtime -> t
+val create :
+  ?cache:Bind_cache.t -> ?flush_delay:float -> Router.t ->
+  Replica.Group.runtime -> t
 (** [create router grt] binds through the sharded naming tier. [cache]
     (default none) enables the lease-based client cache: a fresh entry
     lets {!bind} skip every bind-time naming RPC and activate straight
     from the cached [(impl, SvA', StA)]. Staleness only slows a bind
     down (futile activations, a commit-time version-conflict abort that
     invalidates the entry); it can never commit against a stale store —
-    commit processing re-reads [StA] and the stores backward-validate. *)
+    commit processing re-reads [StA] and the stores backward-validate.
+
+    [flush_delay] (default 5.0) is the coalescing window: how long
+    credited [Decrement]s wait for a cancelling rebind before the flush
+    fiber sends them. *)
 
 val router : t -> Router.t
 
@@ -53,6 +75,9 @@ type binding = {
   bd_group : Replica.Group.t;
   bd_servers : Net.Network.node_id list;  (** the selected [SvA'] *)
   bd_stores : Net.Network.node_id list;  (** the [StA] view at bind time *)
+  bd_version : int;
+      (** GVD snapshot version the bind read (0 under scheme A, which
+          reads under locks and carries no version) *)
 }
 
 type bind_error =
@@ -87,8 +112,11 @@ val use_prebinding :
     included). May be used for several successive actions. *)
 
 val release_independent : t -> prebinding -> unit
-(** The trailing top-level [Decrement] action (Figure 7, last ellipse).
-    Must run in a fiber on the binding client. Safe to call once. *)
+(** The trailing [Decrement] (Figure 7, last ellipse), coalesced: the
+    counts are credited to the delta buffer and either cancelled by the
+    client's next bind of the same object or flushed after
+    [flush_delay]. Must run in a fiber on the binding client. Safe to
+    call once. *)
 
 val bind_nested_toplevel :
   t ->
@@ -110,6 +138,9 @@ val bind :
     [Independent] it performs the pre-bind, attach and (at action end)
     release as one unit; long-lived Figure-7 usage should call the
     explicit functions. *)
+
+val deltas : t -> Use_delta.t
+(** The client-side decrement credit buffer (tests, diagnostics). *)
 
 val exclusion :
   t -> scheme:Scheme.t -> uid:Store.Uid.t ->

@@ -44,7 +44,20 @@ type side = Sv_side | St_side
 
 type half_image = Server_half of sv_image | State_half of st_image
 
-type entry = { e_uid : Store.Uid.t; e_impl : string; mutable e_image : image }
+type entry = {
+  e_uid : Store.Uid.t;
+  e_impl : string;
+  mutable e_image : image;
+      (* working image: committed state plus the in-place mutations of
+         in-flight Write-mode actions (undone via before-images) *)
+  mutable e_snap : image;
+      (* latest committed snapshot, replaced (per touched half) when an
+         action commits: lock-free readers see this and only this *)
+  mutable e_version : int;
+      (* monotone counter, bumped once per committing action that touched
+         the entry; returned by snapshot reads and carried by mirrors,
+         handoffs and the bind cache *)
+}
 
 (* -- wire types -- *)
 
@@ -74,6 +87,26 @@ type read_req = { r_uid : Store.Uid.t; r_action : string }
 
 type note_req = { n_uid : Store.Uid.t; n_action : string; n_version : Store.Version.t }
 
+(* The single-round bind request (schemes B/C): GetServer + Remove(dead)
+   + Increment + GetView collapsed into one database operation, with the
+   caller's coalesced pending Decrements ([bt_credits], one count per
+   server node) piggybacked on the same round. *)
+type batch_req = {
+  bt_uid : Store.Uid.t;
+  bt_action : string;
+  bt_client : Net.Network.node_id;
+  bt_replicas : int; (* activation subset size wanted by the policy *)
+  bt_credits : (Net.Network.node_id * int) list;
+}
+
+type batch_view = {
+  bv_impl : string;
+  bv_chosen : Net.Network.node_id list; (* the servers whose counters were bumped *)
+  bv_removed : Net.Network.node_id list; (* dead servers pruned from SvA *)
+  bv_stores : Net.Network.node_id list; (* committed StA snapshot *)
+  bv_version : int; (* snapshot version of the entry *)
+}
+
 (* A migrating entry in flight between shards: the full recoverable image
    plus every name bound to it. Only quiescent-at-the-lock-level entries
    migrate (no holders, no waiters), so there are never before-images to
@@ -83,10 +116,19 @@ type handoff = {
   ho_uid : Store.Uid.t;
   ho_impl : string;
   ho_image : image;
+  ho_version : int;
   ho_names : string list;
 }
 
 type handoff_req = { hr_uid : Store.Uid.t; hr_dest : Net.Network.node_id }
+
+(* One shared endpoint VALUE for backup replication, served by every
+   instance: a typed endpoint only interoperates with itself (its [Univ]
+   embedding is per-value), so a module-level endpoint is what lets the
+   primary push one per-commit payload to all backups as a single
+   [call_all] scatter instead of per-instance sequential calls. *)
+let ep_mirror : ((int * image * int) list, unit) Net.Rpc.endpoint =
+  Net.Rpc.endpoint "gvd.mirror"
 
 type t = {
   art : Action.Atomic.runtime;
@@ -117,6 +159,12 @@ type t = {
   (* Before-images per action and per independently-locked half:
      (action, uid serial, side) -> half image. *)
   undo : (string * int * side, half_image) Hashtbl.t;
+  (* Staged commuting use-list updates per action and entry:
+     (action, uid serial) -> (server node, client, delta). Unlike the
+     structural Sv/St writes these are operation (redo) records, applied
+     at commit and simply dropped at abort: a before-image restore would
+     erase the committed deltas of concurrent [Delta]-mode holders. *)
+  pending : (string * int, (Net.Network.node_id * Net.Network.node_id * int) list) Hashtbl.t;
   mutable guard : Action.Orphan_guard.t option;
       (* watches action origins; aborts orphaned actions of dead clients *)
   ep_register : (reg_req, unit) Net.Rpc.endpoint;
@@ -132,14 +180,16 @@ type t = {
   ep_decrement : (use_req, unit reply) Net.Rpc.endpoint;
   ep_zero : (use_req, unit reply) Net.Rpc.endpoint;
   ep_get_view : (read_req, Net.Network.node_id list reply) Net.Rpc.endpoint;
+  ep_batch : (batch_req, batch_view reply) Net.Rpc.endpoint;
+  ep_view_snap : (Store.Uid.t, (Net.Network.node_id list * int) reply) Net.Rpc.endpoint;
+  ep_server_snap : (Store.Uid.t, (server_view * int) reply) Net.Rpc.endpoint;
   ep_exclude : (excl_req, unit reply) Net.Rpc.endpoint;
   ep_include : (op_req, Store.Version.t reply) Net.Rpc.endpoint;
   ep_retire_sv : (op_req, unit reply) Net.Rpc.endpoint;
   ep_retire_st : (op_req, unit reply) Net.Rpc.endpoint;
   ep_note_version : (note_req, unit reply) Net.Rpc.endpoint;
   ep_handoff : (handoff_req, handoff reply) Net.Rpc.endpoint;
-  ep_mirror : ((int * image) list, unit) Net.Rpc.endpoint;
-  ep_snapshot : (unit, (int * image) list) Net.Rpc.endpoint;
+  ep_snapshot : (unit, (int * image * int) list) Net.Rpc.endpoint;
   mutable backups : t list;
       (* §3.1 extension: further database instances receiving the
          committed images of every touched entry, synchronously, at each
@@ -203,6 +253,19 @@ let save_st t ~action e =
   let key = (action, Store.Uid.serial e.e_uid, St_side) in
   if not (Hashtbl.mem t.undo key) then
     Hashtbl.add t.undo key (State_half e.e_image.im_state)
+
+(* Stage commuting use-list deltas for the action (redo records, applied
+   at commit). Only taken under the [Delta] lock. *)
+let stage_deltas t ~action e deltas =
+  let key = (action, Store.Uid.serial e.e_uid) in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.pending key) in
+  Hashtbl.replace t.pending key (cur @ deltas)
+
+let rec apply_n f n x = if n <= 0 then x else apply_n f (n - 1) (f x)
+
+let apply_delta ul ~client d =
+  if d >= 0 then apply_n (fun ul -> Use_list.increment ul ~client) d ul
+  else apply_n (fun ul -> Use_list.decrement ul ~client) (-d) ul
 
 let touch_guard t action =
   Hashtbl.replace t.known_actions action ();
@@ -335,7 +398,7 @@ let h_register t { rg_uid; rg_name; rg_impl; rg_sv; rg_st } =
     }
   in
   Hashtbl.replace t.entries (Store.Uid.serial rg_uid)
-    { e_uid = rg_uid; e_impl = rg_impl; e_image = image };
+    { e_uid = rg_uid; e_impl = rg_impl; e_image = image; e_snap = image; e_version = 0 };
   Hashtbl.replace t.names rg_name rg_uid;
   tracef t "register %a sv=[%s] st=[%s]" Store.Uid.pp rg_uid
     (String.concat "," rg_sv) (String.concat "," rg_st)
@@ -404,7 +467,30 @@ let h_remove t { o_uid; o_action; o_node } =
           Sim.Metrics.incr (metrics t) "gvd.removes";
           Granted ())
 
-let h_use t ~f ~name { u_uid; u_action; u_client; u_nodes } =
+(* Increment/Decrement: commuting counter updates under the [Delta] lock,
+   so concurrent binders no longer serialise behind a write lock
+   (§4.1.3's contention problem). The updates are staged as redo records
+   and applied when the action commits; abort just drops them — a
+   before-image restore would erase concurrent holders' committed
+   deltas. [delta] is +1 (increment) or -1 (decrement) per listed node. *)
+let h_use_delta t ~delta ~name { u_uid; u_action; u_client; u_nodes } =
+  match entry_opt t u_uid with
+  | None -> absent t u_uid
+  | Some e ->
+      with_lock t ~action:u_action ~mode:Lockmgr.Mode.Delta (sv_key u_uid)
+        (fun () ->
+          stage_deltas t ~action:u_action e
+            (List.map (fun node -> (node, u_client, delta)) u_nodes);
+          Sim.Metrics.incr (metrics t) ("gvd." ^ name);
+          Granted ())
+
+(* Zero (the cleanup protocol's repair for a crashed client) is not a
+   commuting update — it erases the client's counters whatever their
+   value — so it keeps the write lock and before-image undo. Strict 2PL
+   makes the two undo disciplines safe to mix: [Write] excludes [Delta],
+   so no staged delta can exist on an entry while a zero's before-image
+   is live, and vice versa. *)
+let h_zero t { u_uid; u_action; u_client; u_nodes = _ } =
   match entry_opt t u_uid with
   | None -> absent t u_uid
   | Some e ->
@@ -413,10 +499,12 @@ let h_use t ~f ~name { u_uid; u_action; u_client; u_nodes } =
           save_sv t ~action:u_action e;
           e.e_image <-
             List.fold_left
-              (fun im node -> set_use_list im node (f (use_list im node)))
-              e.e_image u_nodes;
-          Sim.Metrics.incr (metrics t) ("gvd." ^ name);
-          ignore u_client;
+              (fun im node ->
+                set_use_list im node
+                  (Use_list.drop_client (use_list im node) ~client:u_client))
+              e.e_image
+              (List.map fst e.e_image.im_server.im_uses);
+          Sim.Metrics.incr (metrics t) "gvd.zeroes";
           Granted ())
 
 let h_get_view t { r_uid; r_action } =
@@ -427,6 +515,128 @@ let h_get_view t { r_uid; r_action } =
         (fun () ->
           Sim.Metrics.incr (metrics t) "gvd.get_view";
           Granted e.e_image.im_state.im_st)
+
+(* Lock-free snapshot reads (schemes B/C): serve the latest committed
+   image without touching the lock table. Writers install a new snapshot
+   only at commit, so a snapshot reader can never observe an uncommitted
+   mutation; the price is bounded staleness, which the commit-time
+   machinery (store-side backward validation, the Include version fence)
+   already tolerates. Scheme A keeps the locked read path — Figure 6's
+   semantics depend on its read locks being held to action end. *)
+let h_get_view_snapshot t uid =
+  match entry_opt t uid with
+  | None -> absent t uid
+  | Some e ->
+      Sim.Metrics.incr (metrics t) "gvd.get_view";
+      Sim.Metrics.incr (metrics t) "gvd.snapshot_reads";
+      Granted (e.e_snap.im_state.im_st, e.e_version)
+
+let h_get_server_snapshot t uid =
+  match entry_opt t uid with
+  | None -> absent t uid
+  | Some e ->
+      Sim.Metrics.incr (metrics t) "gvd.get_server";
+      Sim.Metrics.incr (metrics t) "gvd.snapshot_reads";
+      Granted
+        ( {
+            sv_servers = e.e_snap.im_server.im_sv;
+            sv_uses =
+              List.map (fun n -> (n, use_list e.e_snap n)) e.e_snap.im_server.im_sv;
+          },
+          e.e_version )
+
+let take k xs =
+  let rec go k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: go (k - 1) rest
+  in
+  go k xs
+
+(* The single-round bind (schemes B/C): one request carries the whole
+   database half of a Figure-7/8 bind — GetServer, Remove of detectably
+   dead servers, Increment of the chosen subset — with the caller's
+   coalesced pending Decrements piggybacked, and the reply carries the
+   committed StA snapshot so no separate GetView round is needed.
+
+   The lock mode is chosen by a lock-free peek at the committed
+   snapshot: only when a listed server is detectably dead does the
+   handler need the write lock (for the structural Remove); the common
+   case runs in [Delta] mode and concurrent binders commute. A server
+   that dies between the peek and the grant is simply not chosen — its
+   Remove happens on a later bind. *)
+let h_batch t { bt_uid; bt_action; bt_client; bt_replicas; bt_credits } =
+  match entry_opt t bt_uid with
+  | None -> absent t bt_uid
+  | Some e ->
+      let up n = Net.Network.is_up (netw t) n in
+      let structural =
+        List.exists (fun n -> not (up n)) e.e_snap.im_server.im_sv
+      in
+      let mode = if structural then Lockmgr.Mode.Write else Lockmgr.Mode.Delta in
+      with_lock t ~action:bt_action ~mode (sv_key bt_uid) (fun () ->
+          Sim.Metrics.incr (metrics t) "gvd.batch_binds";
+          Sim.Metrics.incr (metrics t) "gvd.get_server";
+          let sv = e.e_image.im_server.im_sv in
+          let dead = List.filter (fun n -> not (up n)) sv in
+          let removed =
+            if mode = Lockmgr.Mode.Write && dead <> [] then begin
+              save_sv t ~action:bt_action e;
+              e.e_image <-
+                {
+                  e.e_image with
+                  im_server =
+                    {
+                      e.e_image.im_server with
+                      im_sv = List.filter (fun n -> not (List.mem n dead)) sv;
+                    };
+                };
+              Sim.Metrics.incr (metrics t) ~by:(List.length dead) "gvd.removes";
+              dead
+            end
+            else []
+          in
+          let live = List.filter up e.e_image.im_server.im_sv in
+          let in_use =
+            List.filter
+              (fun n -> not (Use_list.is_empty (use_list e.e_image n)))
+              live
+          in
+          let chosen = if in_use = [] then take bt_replicas live else in_use in
+          if chosen = [] then Refused "no live server"
+          else begin
+            Sim.Metrics.incr (metrics t) "gvd.increments";
+            if bt_credits <> [] then Sim.Metrics.incr (metrics t) "gvd.decrements";
+            let deltas =
+              List.map (fun n -> (n, bt_client, 1)) chosen
+              @ List.map (fun (n, c) -> (n, bt_client, -c)) bt_credits
+            in
+            (match mode with
+            | Lockmgr.Mode.Delta -> stage_deltas t ~action:bt_action e deltas
+            | _ ->
+                (* Write mode excludes every concurrent counter holder,
+                   so the before-image is a sound undo and the deltas can
+                   apply in place. *)
+                save_sv t ~action:bt_action e;
+                e.e_image <-
+                  List.fold_left
+                    (fun im (node, client, d) ->
+                      set_use_list im node (apply_delta (use_list im node) ~client d))
+                    e.e_image deltas);
+            Sim.Metrics.incr (metrics t) "gvd.get_view";
+            Sim.Metrics.incr (metrics t) "gvd.snapshot_reads";
+            tracef t "%s batch-bind %a chosen=[%s]%s" bt_action Store.Uid.pp
+              bt_uid (String.concat "," chosen)
+              (if removed = [] then "" else " removed=[" ^ String.concat "," removed ^ "]");
+            Granted
+              {
+                bv_impl = e.e_impl;
+                bv_chosen = chosen;
+                bv_removed = removed;
+                bv_stores = e.e_snap.im_state.im_st;
+                bv_version = e.e_version;
+              }
+          end)
 
 (* Exclude: promote (or acquire) the §4.2.1 lock on every listed entry
    first; only mutate once every lock is held, so refusal leaves the
@@ -596,7 +806,10 @@ let h_handoff t { hr_uid; hr_dest } =
             ho_serial = serial;
             ho_uid = hr_uid;
             ho_impl = e.e_impl;
+            (* lock-free implies no uncommitted mutations, so the working
+               image IS the committed snapshot *)
             ho_image = e.e_image;
+            ho_version = e.e_version;
             ho_names = names;
           }
       end
@@ -606,7 +819,13 @@ let h_handoff t { hr_uid; hr_dest } =
    the entry is unreachable only while that reply is in flight). *)
 let accept_handoff t ho =
   Hashtbl.replace t.entries ho.ho_serial
-    { e_uid = ho.ho_uid; e_impl = ho.ho_impl; e_image = ho.ho_image };
+    {
+      e_uid = ho.ho_uid;
+      e_impl = ho.ho_impl;
+      e_image = ho.ho_image;
+      e_snap = ho.ho_image;
+      e_version = ho.ho_version;
+    };
   List.iter (fun name -> Hashtbl.replace t.names name ho.ho_uid) ho.ho_names;
   Hashtbl.remove t.moved_out ho.ho_serial;
   Sim.Metrics.incr (metrics t) "gvd.handoffs_in";
@@ -648,11 +867,12 @@ let h_note_version t { n_uid; n_action; n_version } =
         Granted ()
       end
 
-(* Synchronously push the committed images of the given entry serials to
-   every backup instance, in parallel. A push failure is tolerated (that
-   backup is down; it resynchronises by pulling a snapshot on recovery).
-   Each backup has its own [ep_mirror] endpoint value, so this scatters
-   individual calls through the join primitive rather than [call_all]. *)
+(* Synchronously push the committed images (with their snapshot versions)
+   of the given entry serials to every backup instance: ONE coalesced
+   payload per commit, scattered to all backups in a single [call_all]
+   round — previously this was one RPC per mutated entry per operation.
+   A push failure is tolerated (that backup is down; it resynchronises by
+   pulling a snapshot on recovery). *)
 let mirror_push t serials =
   match t.backups with
   | [] -> ()
@@ -661,20 +881,14 @@ let mirror_push t serials =
         List.filter_map
           (fun serial ->
             Option.map
-              (fun e -> (serial, e.e_image))
+              (fun e -> (serial, e.e_image, e.e_version))
               (Hashtbl.find_opt t.entries serial))
           (List.sort_uniq Int.compare serials)
       in
       if payload <> [] then
         ignore
-          (Sim.Join.all
-             (Action.Atomic.engine t.art)
-             (List.map
-                (fun b () ->
-                  ignore
-                    (Net.Rpc.call (Action.Atomic.rpc t.art) ~from:t.gvd_node
-                       ~dst:b.gvd_node b.ep_mirror payload))
-                backups))
+          (Net.Rpc.call_all (Action.Atomic.rpc t.art) ~from:t.gvd_node ep_mirror
+             (List.map (fun b -> (b.gvd_node, payload)) backups))
 
 (* -- resource manager: ties the database into action completion -- *)
 
@@ -684,10 +898,33 @@ let actions_images t action =
       if String.equal a action then (serial, side, half) :: acc else acc)
     t.undo []
 
+let actions_deltas t action =
+  Hashtbl.fold
+    (fun (a, serial) ops acc ->
+      if String.equal a action then (serial, ops) :: acc else acc)
+    t.pending []
+
 let restore_half e half =
   match half with
   | Server_half sv -> e.e_image <- { e.e_image with im_server = sv }
   | State_half st -> e.e_image <- { e.e_image with im_state = st }
+
+(* Replace the given halves of the entry's committed snapshot with the
+   (now committed) working image, bumping the entry version once however
+   many halves the action touched. From this point lock-free readers see
+   the new state. *)
+let install_snapshot t serial sides =
+  match Hashtbl.find_opt t.entries serial with
+  | None -> ()
+  | Some e ->
+      e.e_snap <-
+        List.fold_left
+          (fun snap side ->
+            match side with
+            | Sv_side -> { snap with im_server = e.e_image.im_server }
+            | St_side -> { snap with im_state = e.e_image.im_state })
+          e.e_snap sides;
+      e.e_version <- e.e_version + 1
 
 let manager t =
   {
@@ -699,10 +936,42 @@ let manager t =
         (not t.durable) || Hashtbl.mem t.known_actions action);
     m_commit =
       (fun ~action ->
-        let touched = List.map (fun (s, _, _) -> s) (actions_images t action) in
+        let images = actions_images t action in
+        let deltas = actions_deltas t action in
+        (* Apply the staged commuting counter updates first... *)
+        List.iter
+          (fun (serial, ops) ->
+            (match Hashtbl.find_opt t.entries serial with
+            | Some e ->
+                e.e_image <-
+                  List.fold_left
+                    (fun im (node, client, d) ->
+                      set_use_list im node
+                        (apply_delta (use_list im node) ~client d))
+                    e.e_image ops
+            | None -> ());
+            Hashtbl.remove t.pending (action, serial))
+          deltas;
+        (* ...then install a fresh committed snapshot for every half the
+           action touched, bumping each entry's version exactly once, and
+           only then release the locks: a lock-free reader can never see
+           a pre-install state after a later action was granted. *)
+        let touched_sides =
+          List.map (fun (s, side, _) -> (s, side)) images
+          @ List.map (fun (s, _) -> (s, Sv_side)) deltas
+          |> List.sort_uniq compare
+        in
+        let touched = List.sort_uniq Int.compare (List.map fst touched_sides) in
+        List.iter
+          (fun serial ->
+            install_snapshot t serial
+              (List.filter_map
+                 (fun (s, side) -> if s = serial then Some side else None)
+                 touched_sides))
+          touched;
         List.iter
           (fun (serial, side, _) -> Hashtbl.remove t.undo (action, serial, side))
-          (actions_images t action);
+          images;
         Lockmgr.Manager.release_all t.locks ~owner:action;
         Hashtbl.remove t.known_actions action;
         settle_guard t action;
@@ -719,6 +988,10 @@ let manager t =
             | None -> ());
             Hashtbl.remove t.undo (action, serial, side))
           (actions_images t action);
+        (* Staged deltas are redo records: abort just drops them. *)
+        List.iter
+          (fun (serial, _) -> Hashtbl.remove t.pending (action, serial))
+          (actions_deltas t action);
         Lockmgr.Manager.release_all t.locks ~owner:action;
         Hashtbl.remove t.known_actions action;
         settle_guard t action);
@@ -732,6 +1005,15 @@ let manager t =
               Hashtbl.add t.undo (parent, serial, side) half;
             Hashtbl.remove t.undo (action, serial, side))
           (actions_images t action);
+        (* Staged deltas append to the parent's: both sets apply when the
+           top-level action eventually commits. *)
+        List.iter
+          (fun (serial, ops) ->
+            let pkey = (parent, serial) in
+            let cur = Option.value ~default:[] (Hashtbl.find_opt t.pending pkey) in
+            Hashtbl.replace t.pending pkey (cur @ ops);
+            Hashtbl.remove t.pending (action, serial))
+          (actions_deltas t action);
         Lockmgr.Manager.transfer_all t.locks ~from_owner:action ~to_owner:parent;
         if Hashtbl.mem t.known_actions action then begin
           Hashtbl.remove t.known_actions action;
@@ -759,6 +1041,7 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       locks = Lockmgr.Manager.create ~metrics:(Net.Network.metrics (Action.Atomic.network art))
           (Action.Atomic.engine art);
       undo = Hashtbl.create 64;
+      pending = Hashtbl.create 64;
       guard = None;
       ep_register = Net.Rpc.endpoint "gvd.register";
       ep_lookup = Net.Rpc.endpoint "gvd.lookup";
@@ -773,13 +1056,15 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       ep_decrement = Net.Rpc.endpoint "gvd.decrement";
       ep_zero = Net.Rpc.endpoint "gvd.zero";
       ep_get_view = Net.Rpc.endpoint "gvd.get_view";
+      ep_batch = Net.Rpc.endpoint "gvd.bind_batch";
+      ep_view_snap = Net.Rpc.endpoint "gvd.get_view_snapshot";
+      ep_server_snap = Net.Rpc.endpoint "gvd.get_server_snapshot";
       ep_exclude = Net.Rpc.endpoint "gvd.exclude";
       ep_include = Net.Rpc.endpoint "gvd.include";
       ep_retire_sv = Net.Rpc.endpoint "gvd.retire_sv";
       ep_retire_st = Net.Rpc.endpoint "gvd.retire_st";
       ep_note_version = Net.Rpc.endpoint "gvd.note_version";
       ep_handoff = Net.Rpc.endpoint "gvd.handoff";
-      ep_mirror = Net.Rpc.endpoint "gvd.mirror";
       ep_snapshot = Net.Rpc.endpoint "gvd.snapshot";
       backups = [];
     }
@@ -817,23 +1102,19 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   Net.Rpc.serve rpc ~node t.ep_remove (fun req ->
       serviced t (fun () -> h_remove t req));
   Net.Rpc.serve rpc ~node t.ep_increment (fun req ->
-      serviced t (fun () ->
-          h_use t ~name:"increments" ~f:(Use_list.increment ~client:req.u_client) req));
+      serviced t (fun () -> h_use_delta t ~name:"increments" ~delta:1 req));
   Net.Rpc.serve rpc ~node t.ep_decrement (fun req ->
-      serviced t (fun () ->
-          h_use t ~name:"decrements" ~f:(Use_list.decrement ~client:req.u_client) req));
+      serviced t (fun () -> h_use_delta t ~name:"decrements" ~delta:(-1) req));
   Net.Rpc.serve rpc ~node t.ep_zero (fun req ->
-      serviced t (fun () ->
-          (* Drop the client from every use list of the entry, whatever the
-             server nodes are. *)
-          match entry_opt t req.u_uid with
-          | None -> absent t req.u_uid
-          | Some e ->
-              h_use t ~name:"zeroes"
-                ~f:(Use_list.drop_client ~client:req.u_client)
-                { req with u_nodes = List.map fst e.e_image.im_server.im_uses }));
+      serviced t (fun () -> h_zero t req));
   Net.Rpc.serve rpc ~node t.ep_get_view (fun req ->
       serviced t (fun () -> h_get_view t req));
+  Net.Rpc.serve rpc ~node t.ep_batch (fun req ->
+      serviced t (fun () -> h_batch t req));
+  Net.Rpc.serve rpc ~node t.ep_view_snap (fun uid ->
+      serviced t (fun () -> h_get_view_snapshot t uid));
+  Net.Rpc.serve rpc ~node t.ep_server_snap (fun uid ->
+      serviced t (fun () -> h_get_server_snapshot t uid));
   Net.Rpc.serve rpc ~node t.ep_exclude (fun req ->
       serviced t (fun () -> h_exclude t req));
   Net.Rpc.serve rpc ~node t.ep_include (fun req ->
@@ -843,16 +1124,21 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   Net.Rpc.serve rpc ~node t.ep_note_version (fun req ->
       serviced t (fun () -> h_note_version t req));
   Net.Rpc.serve rpc ~node t.ep_handoff (fun req -> h_handoff t req);
-  Net.Rpc.serve rpc ~node t.ep_mirror (fun images ->
+  Net.Rpc.serve rpc ~node ep_mirror (fun images ->
       List.iter
-        (fun (serial, im) ->
+        (fun (serial, im, version) ->
           match Hashtbl.find_opt t.entries serial with
-          | Some e -> e.e_image <- im
+          | Some e ->
+              e.e_image <- im;
+              e.e_snap <- im;
+              e.e_version <- max version e.e_version
           | None -> ())
         images;
       Sim.Metrics.incr (metrics t) "gvd.mirror_applies");
   Net.Rpc.serve rpc ~node t.ep_snapshot (fun () ->
-      Hashtbl.fold (fun serial e acc -> (serial, e.e_image) :: acc) t.entries []);
+      Hashtbl.fold
+        (fun serial e acc -> (serial, e.e_snap, e.e_version) :: acc)
+        t.entries []);
   let mgr = manager t in
   Action.Resource_host.register (Action.Atomic.resource_host art) ~node
     ~resource mgr;
@@ -875,6 +1161,7 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
             | None -> ())
           t.undo;
         Hashtbl.reset t.undo;
+        Hashtbl.reset t.pending;
         Hashtbl.reset t.known_actions;
         Lockmgr.Manager.release_everything t.locks;
         Sim.Metrics.incr (metrics t) "gvd.crash_resets");
@@ -947,6 +1234,25 @@ let get_view t ~act uid =
   call_enlisted t ~act t.ep_get_view
     { r_uid = uid; r_action = Action.Atomic.owner act }
 
+let bind_batch t ~act ~uid ~client ~replicas ~credits =
+  call_enlisted t ~act t.ep_batch
+    {
+      bt_uid = uid;
+      bt_action = Action.Atomic.owner act;
+      bt_client = client;
+      bt_replicas = replicas;
+      bt_credits = credits;
+    }
+
+(* Snapshot reads are lock-free and touch no recoverable state, so they
+   are plain calls — no enlistment, nothing for the action to release. *)
+let get_view_snapshot t ~from uid =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_view_snap uid
+
+let get_server_snapshot t ~from uid =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_server_snap
+    uid
+
 let exclude t ~act pairs =
   call_enlisted t ~act t.ep_exclude
     { x_action = Action.Atomic.owner act; x_pairs = pairs }
@@ -967,9 +1273,12 @@ let resync_from t ~source ~from =
   with
   | Ok images ->
       List.iter
-        (fun (serial, im) ->
+        (fun (serial, im, version) ->
           match Hashtbl.find_opt t.entries serial with
-          | Some e -> e.e_image <- im
+          | Some e ->
+              e.e_image <- im;
+              e.e_snap <- im;
+              e.e_version <- max version e.e_version
           | None -> ())
         images;
       Sim.Metrics.incr (metrics t) "gvd.resyncs";
@@ -1002,6 +1311,8 @@ let current_uses t uid =
   List.sort (fun (a, _) (b, _) -> String.compare a b) e.e_image.im_server.im_uses
 
 let quiescent t uid = all_quiescent (entry_exn t uid).e_image
+
+let snapshot_version t uid = (entry_exn t uid).e_version
 
 let all_uids t =
   Hashtbl.fold (fun _ e acc -> e.e_uid :: acc) t.entries [] |> List.sort Store.Uid.compare

@@ -167,19 +167,65 @@ val remove :
 val increment :
   t -> act:Action.Atomic.t -> uid:Store.Uid.t -> client:Net.Network.node_id ->
   Net.Network.node_id list -> (unit reply, Net.Rpc.error) result
-(** Bump [client]'s counter in the use list of each listed server node
-    (write lock) — §4.1.3. *)
+(** Bump [client]'s counter in the use list of each listed server node —
+    §4.1.3. Counter updates commute, so this takes the {!Lockmgr.Mode.Delta}
+    lock (compatible with other increments/decrements and with readers)
+    and stages a redo record that is applied when [act] commits. *)
 
 val decrement :
   t -> act:Action.Atomic.t -> uid:Store.Uid.t -> client:Net.Network.node_id ->
   Net.Network.node_id list -> (unit reply, Net.Rpc.error) result
-(** Undo one [increment]. *)
+(** Undo one [increment] (also [Delta]-mode, staged until commit). *)
 
 val zero_client :
   t -> act:Action.Atomic.t -> uid:Store.Uid.t -> client:Net.Network.node_id ->
   (unit reply, Net.Rpc.error) result
 (** Drop every counter of [client] on the object — the cleanup protocol's
     repair for crashed clients (§4.1.3). *)
+
+(** {2 Single-round batched bind and snapshot reads}
+
+    Every committing action installs a fresh immutable snapshot of the
+    entry halves it touched and bumps a per-entry version. Schemes B/C
+    read these snapshots lock-free; scheme A keeps the locked
+    {!get_server}/{!get_view} path so Figure 6's read-lock semantics are
+    untouched. *)
+
+type batch_view = {
+  bv_impl : string;  (** implementation name (saves the impl_of round) *)
+  bv_chosen : Net.Network.node_id list;
+      (** the activation subset whose counters were incremented *)
+  bv_removed : Net.Network.node_id list;
+      (** detectably dead servers pruned from [SvA] in the same round *)
+  bv_stores : Net.Network.node_id list;  (** committed [StA] snapshot *)
+  bv_version : int;  (** entry snapshot version *)
+}
+
+val bind_batch :
+  t ->
+  act:Action.Atomic.t ->
+  uid:Store.Uid.t ->
+  client:Net.Network.node_id ->
+  replicas:int ->
+  credits:(Net.Network.node_id * int) list ->
+  (batch_view reply, Net.Rpc.error) result
+(** The whole database half of a scheme-B/C bind in one RPC round:
+    GetServer + Remove(dead) + Increment(chosen) + GetView, with the
+    caller's coalesced pending Decrements ([credits], one count per
+    server node) piggybacked. Runs in [Delta] lock mode unless a listed
+    server is detectably dead (then a structural write). [replicas] is
+    the activation-subset size wanted when no server is in use yet. *)
+
+val get_view_snapshot :
+  t -> from:Net.Network.node_id ->
+  Store.Uid.t -> ((Net.Network.node_id list * int) reply, Net.Rpc.error) result
+(** Lock-free read of the committed [StA] snapshot and its version. Not
+    enlisted in any action (there is nothing to undo or release). *)
+
+val get_server_snapshot :
+  t -> from:Net.Network.node_id ->
+  Store.Uid.t -> ((server_view * int) reply, Net.Rpc.error) result
+(** Lock-free read of the committed [SvA] snapshot (with use lists). *)
 
 (** {2 Object State database operations} (§4.2) *)
 
@@ -289,3 +335,7 @@ val current_st : t -> Store.Uid.t -> Net.Network.node_id list
 val current_uses : t -> Store.Uid.t -> (Net.Network.node_id * Use_list.t) list
 val quiescent : t -> Store.Uid.t -> bool
 val all_uids : t -> Store.Uid.t list
+
+val snapshot_version : t -> Store.Uid.t -> int
+(** The entry's committed snapshot version: bumped exactly once per
+    committing action that touched the entry, never decremented. *)

@@ -112,6 +112,18 @@ let zero_client t ~act ~uid ~client =
 
 let get_view t ~act uid = dispatch t ~uid (fun g -> Gvd.get_view g ~act uid)
 
+(* The single-round bind: the whole database half of a scheme-B/C bind is
+   one uid-keyed request, so it dispatches to (and runs atomically on)
+   exactly one shard. *)
+let bind_batch t ~act ~uid ~client ~replicas ~credits =
+  dispatch t ~uid (fun g -> Gvd.bind_batch g ~act ~uid ~client ~replicas ~credits)
+
+let get_view_snapshot t ~from uid =
+  dispatch t ~uid (fun g -> Gvd.get_view_snapshot g ~from uid)
+
+let get_server_snapshot t ~from uid =
+  dispatch t ~uid (fun g -> Gvd.get_server_snapshot g ~from uid)
+
 let include_ t ~act ~uid node =
   dispatch t ~uid (fun g -> Gvd.include_ g ~act ~uid node)
 

@@ -72,6 +72,26 @@ val get_view :
   t -> act:Action.Atomic.t -> Store.Uid.t ->
   (Net.Network.node_id list Gvd.reply, Net.Rpc.error) result
 
+val bind_batch :
+  t ->
+  act:Action.Atomic.t ->
+  uid:Store.Uid.t ->
+  client:Net.Network.node_id ->
+  replicas:int ->
+  credits:(Net.Network.node_id * int) list ->
+  (Gvd.batch_view Gvd.reply, Net.Rpc.error) result
+(** The single-round bind ({!Gvd.bind_batch}); uid-keyed, so the whole
+    batch runs atomically on the one owning shard. *)
+
+val get_view_snapshot :
+  t -> from:Net.Network.node_id -> Store.Uid.t ->
+  ((Net.Network.node_id list * int) Gvd.reply, Net.Rpc.error) result
+(** Lock-free committed-snapshot read of [StA] (with entry version). *)
+
+val get_server_snapshot :
+  t -> from:Net.Network.node_id -> Store.Uid.t ->
+  ((Gvd.server_view * int) Gvd.reply, Net.Rpc.error) result
+
 val exclude :
   t -> act:Action.Atomic.t -> (Store.Uid.t * Net.Network.node_id list) list ->
   (unit Gvd.reply, Net.Rpc.error) result

@@ -1,0 +1,76 @@
+(* Client-side use-list delta buffer: pending Decrements, keyed by
+   (client node, object uid, server node), waiting to be coalesced into a
+   later bind's batch request or flushed in one merged Decrement action.
+   A pure in-memory structure — all scheduling (flush fibers, retries)
+   belongs to the binder that owns the buffer. Keyed by client because
+   one binder serves every client node of a world and a credit must only
+   ever decrement the counters of the client that earned it. *)
+
+type key = Net.Network.node_id * int (* client, uid serial *)
+
+type t = {
+  buf : (key, (Net.Network.node_id, int) Hashtbl.t) Hashtbl.t;
+  (* uids with a non-empty bucket per client, oldest first *)
+  mutable queue : (Net.Network.node_id * Store.Uid.t) list;
+  scheduled : (Net.Network.node_id, unit) Hashtbl.t;
+}
+
+let create () =
+  { buf = Hashtbl.create 32; queue = []; scheduled = Hashtbl.create 8 }
+
+let key client uid = (client, Store.Uid.serial uid)
+
+let bucket t ~client ~uid =
+  let k = key client uid in
+  match Hashtbl.find_opt t.buf k with
+  | Some b -> b
+  | None ->
+      let b = Hashtbl.create 4 in
+      Hashtbl.add t.buf k b;
+      t.queue <- t.queue @ [ (client, uid) ];
+      b
+
+let credit t ~client ~uid ~node ~count =
+  if count > 0 then begin
+    let b = bucket t ~client ~uid in
+    let cur = Option.value ~default:0 (Hashtbl.find_opt b node) in
+    Hashtbl.replace b node (cur + count)
+  end
+
+let sorted_credits b =
+  Hashtbl.fold (fun node count acc -> (node, count) :: acc) b []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let take t ~client ~uid =
+  let k = key client uid in
+  match Hashtbl.find_opt t.buf k with
+  | None -> []
+  | Some b ->
+      let credits = sorted_credits b in
+      Hashtbl.remove t.buf k;
+      t.queue <-
+        List.filter
+          (fun (c, u) -> not (String.equal c client && Store.Uid.equal u uid))
+          t.queue;
+      credits
+
+let restore t ~client ~uid credits =
+  List.iter (fun (node, count) -> credit t ~client ~uid ~node ~count) credits
+
+let pending t ~client ~uid =
+  match Hashtbl.find_opt t.buf (key client uid) with
+  | None -> []
+  | Some b -> sorted_credits b
+
+let pending_uids t ~client =
+  List.filter_map
+    (fun (c, u) -> if String.equal c client then Some u else None)
+    t.queue
+
+let is_empty t = t.queue = []
+
+let flush_scheduled t ~client = Hashtbl.mem t.scheduled client
+
+let set_flush_scheduled t ~client v =
+  if v then Hashtbl.replace t.scheduled client ()
+  else Hashtbl.remove t.scheduled client

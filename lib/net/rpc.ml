@@ -61,6 +61,10 @@ let record t fmt =
 let call t ~from ~dst ?timeout ep req =
   let eng = Network.engine t.net in
   Sim.Metrics.incr (Network.metrics t.net) "rpc.calls";
+  (* Per-operation round counter: lets tests and experiments assert how
+     many network rounds a protocol step costs (e.g. a batched bind is
+     exactly one "rpc.op.gvd.bind_batch" tick). *)
+  Sim.Metrics.incr (Network.metrics t.net) ("rpc.op." ^ ep.ep_name);
   if not (Network.reachable t.net from dst) then begin
     (* The callee is already known-dead (or unreachable): the failure
        detector answers after one detection latency. *)

@@ -79,7 +79,8 @@ val call :
 (** [call t ~from ~dst ep req] invokes [ep] on [dst] from a fiber running
     on [from]. Suspends the calling fiber until the reply, a failure
     notification, or the [timeout] (default: none). Must be called from
-    within a fiber. *)
+    within a fiber. Every call bumps the aggregate [rpc.calls] counter
+    and a per-operation [rpc.op.<endpoint name>] counter. *)
 
 val call_all :
   t ->

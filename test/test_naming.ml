@@ -427,6 +427,127 @@ let test_second_client_joins_in_use_servers () =
   Alcotest.check slist "joined the in-use server" [ "alpha" ] !second_servers
 
 (* ------------------------------------------------------------------ *)
+(* Single-round batched bind and use-list delta coalescing *)
+
+let use_count w uid node =
+  match List.assoc_opt node (Gvd.current_uses (Service.gvd w) uid) with
+  | Some ul -> Use_list.total ul
+  | None -> 0
+
+let test_batched_bind_is_one_round () =
+  (* The database half of a scheme-B bind is one RPC round: the batch
+     endpoint subsumes GetServer, dead-server Remove, Increment and
+     GetView (impl comes back in the reply, so no impl lookup either). *)
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  let m = Service.metrics w in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Binder.bind_independent (Service.binder w) ~client:"c1" ~uid
+          ~policy:Replica.Policy.Single_copy_passive
+      with
+      | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+      | Ok pb ->
+          check_int "one batch round" 1
+            (Sim.Metrics.counter m "rpc.op.gvd.bind_batch");
+          check_int "no GetServer round" 0
+            (Sim.Metrics.counter m "rpc.op.gvd.get_server");
+          check_int "no GetView round" 0
+            (Sim.Metrics.counter m "rpc.op.gvd.get_view");
+          check_int "no Increment round" 0
+            (Sim.Metrics.counter m "rpc.op.gvd.increment");
+          check_int "no impl lookup round" 0
+            (Sim.Metrics.counter m "rpc.op.gvd.info");
+          check_int "counter incremented" 1 (use_count w uid "alpha");
+          Binder.release_independent (Service.binder w) pb);
+  Service.run w;
+  check_bool "quiescent after flush" true (Gvd.quiescent (Service.gvd w) uid)
+
+let test_rebind_cancels_decrement () =
+  (* A release inside the coalescing window buffers the Decrement as a
+     client-local credit; a rebind before the flush piggybacks it on the
+     batch, cancelling the Increment/Decrement pair in the same round —
+     no separate Decrement action is ever sent for that pair. Only the
+     final release reaches the database, as one merged flush. *)
+  let w = small_world () in
+  let uid = counter_object w "ctr" in
+  Service.run ~until:1.0 w;
+  let m = Service.metrics w in
+  let b = Service.binder w in
+  let policy = Replica.Policy.Single_copy_passive in
+  Service.spawn_client w "c1" (fun () ->
+      (match Binder.bind_independent b ~client:"c1" ~uid ~policy with
+      | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+      | Ok pb -> Binder.release_independent b pb);
+      (* The Decrement is deferred: the database still shows the bind. *)
+      check_int "decrement deferred" 1 (use_count w uid "alpha");
+      check_int "no decrement round yet" 0
+        (Sim.Metrics.counter m "rpc.op.gvd.decrement");
+      match Binder.bind_independent b ~client:"c1" ~uid ~policy with
+      | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+      | Ok pb2 ->
+          (* +1 (rebind) and the buffered -1 cancelled in one round. *)
+          check_int "net-zero after rebind" 1 (use_count w uid "alpha");
+          check_int "credits piggybacked once" 1
+            (Sim.Metrics.counter m "bind.coalesced_sends");
+          check_int "still no decrement round" 0
+            (Sim.Metrics.counter m "rpc.op.gvd.decrement");
+          Binder.release_independent b pb2);
+  Service.run w;
+  (* The last release had no rebind to ride on: the deferred flush sent
+     it as a single merged Decrement action after the window. *)
+  check_bool "quiescent after flush" true (Gvd.quiescent (Service.gvd w) uid);
+  check_int "one merged flush" 1 (Sim.Metrics.counter m "bind.flushes");
+  check_int "one decrement round total" 1
+    (Sim.Metrics.counter m "rpc.op.gvd.decrement")
+
+let test_crashed_client_unflushed_delta_cleanup () =
+  (* A client crash with a buffered (unflushed) Decrement leaves exactly
+     the orphaned-counter state of §4.1.3: the flush fiber dies with the
+     client node, and the cleanup daemon's dead-client sweep zeroes the
+     counter. *)
+  let w = small_world ~cleanup_period:20.0 () in
+  let uid = counter_object w "ctr" in
+  let eng = Service.engine w in
+  Service.run ~until:1.0 w;
+  let m = Service.metrics w in
+  let count_at_crash = ref (-1) in
+  Service.spawn_client w "c1" (fun () ->
+      match
+        Binder.bind_independent (Service.binder w) ~client:"c1" ~uid
+          ~policy:Replica.Policy.Single_copy_passive
+      with
+      | Error e -> Alcotest.fail (Binder.bind_error_to_string e)
+      | Ok pb -> Binder.release_independent (Service.binder w) pb);
+  (* Watcher on the naming node: the moment the release buffers its
+     credit — well inside the 5.0 coalescing window — crash the client,
+     so the delta never flushes. *)
+  Net.Network.spawn_on (Service.network w) "ns" ~name:"crash-watch" (fun () ->
+      let rec wait () =
+        if
+          Use_delta.pending_uids (Binder.deltas (Service.binder w))
+            ~client:"c1"
+          <> []
+        then begin
+          Net.Network.crash (Service.network w) "c1";
+          count_at_crash := use_count w uid "alpha"
+        end
+        else begin
+          Sim.Engine.sleep eng 0.25;
+          wait ()
+        end
+      in
+      wait ());
+  Service.run ~until:100.0 w;
+  check_int "counter orphaned at crash" 1 !count_at_crash;
+  check_int "flush died with the client" 0
+    (Sim.Metrics.counter m "bind.flushes");
+  check_bool "cleanup zeroed the orphan" true
+    (Sim.Metrics.counter m "cleanup.orphans" >= 1);
+  check_bool "quiescent after sweep" true (Gvd.quiescent (Service.gvd w) uid)
+
+(* ------------------------------------------------------------------ *)
 (* Commit-time exclusion end-to-end *)
 
 let test_commit_exclusion_updates_gvd scheme () =
@@ -721,6 +842,14 @@ let suite =
           test_independent_use_lists_track_binding;
         tc "second client joins in-use servers" `Quick
           test_second_client_joins_in_use_servers;
+      ] );
+    ( "naming.batch",
+      [
+        tc "batched bind is one round" `Quick test_batched_bind_is_one_round;
+        tc "rebind cancels deferred decrement" `Quick
+          test_rebind_cancels_decrement;
+        tc "crashed client's unflushed delta swept" `Quick
+          test_crashed_client_unflushed_delta_cleanup;
       ] );
     ( "naming.exclusion",
       [

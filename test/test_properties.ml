@@ -202,6 +202,101 @@ let prop_scheme_soup_quiescent =
       in
       Gvd.quiescent (Service.gvd w) uid && final = !commits)
 
+(* ------------------------------------------------------------------ *)
+(* Snapshot reads: the committed-snapshot version a lock-free reader
+   observes never moves backwards, however Exclude/Include churn and
+   concurrent binds interleave — commits install the new snapshot and
+   bump the version before any lock is released, and aborts install
+   nothing. *)
+
+let prop_snapshot_version_monotone =
+  QCheck.Test.make ~name:"snapshot versions are monotone under churn" ~count:40
+    QCheck.(pair int64 (int_range 2 8))
+    (fun (seed, rounds) ->
+      let w =
+        Service.create ~seed
+          {
+            Service.gvd_node = "ns";
+            gvd_nodes = [];
+            server_nodes = [ "alpha" ];
+            store_nodes = [ "t1"; "t2" ];
+            client_nodes = [ "c1"; "c2"; "c3" ];
+          }
+      in
+      let uid =
+        Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+          ~st:[ "t1"; "t2" ] ()
+      in
+      Service.run ~until:1.0 w;
+      let eng = Service.engine w in
+      let rng = Sim.Rng.create seed in
+      let monotone = ref true in
+      let last = ref (-1) in
+      let observe v =
+        if v < !last then monotone := false;
+        if v > !last then last := v
+      in
+      (* Writer: exclude t2 and re-include it, each in its own action;
+         sometimes abort mid-flight so nothing may be installed. *)
+      Service.spawn_client w "c1" (fun () ->
+          for _ = 1 to rounds do
+            let gvd = Service.gvd w in
+            (match
+               Action.Atomic.atomically (Service.atomic w) ~node:"c1"
+                 (fun act ->
+                   (match Gvd.exclude gvd ~act [ (uid, [ "t2" ]) ] with
+                   | Ok (Gvd.Granted ()) -> ()
+                   | _ -> raise (Action.Atomic.Abort "exclude"));
+                   if Sim.Rng.bool rng 0.3 then
+                     raise (Action.Atomic.Abort "chaos"))
+             with
+            | Ok () | Error _ -> ());
+            Sim.Engine.sleep eng (Sim.Rng.uniform rng 0.5 3.0);
+            (match
+               Action.Atomic.atomically (Service.atomic w) ~node:"c1"
+                 (fun act ->
+                   match Gvd.include_ gvd ~act ~uid "t2" with
+                   | Ok (Gvd.Granted _) -> ()
+                   | _ -> raise (Action.Atomic.Abort "include"))
+             with
+            | Ok () | Error _ -> ());
+            Sim.Engine.sleep eng (Sim.Rng.uniform rng 0.5 3.0)
+          done);
+      (* Binder churn keeps the Sv half moving through the batch path. *)
+      Service.spawn_client w "c2" (fun () ->
+          for _ = 1 to rounds do
+            (match
+               Service.with_bound w ~client:"c2" ~scheme:Scheme.Independent
+                 ~policy:Replica.Policy.Single_copy_passive ~uid
+                 (fun act group ->
+                   ignore (Service.invoke w group ~act "incr"))
+             with
+            | Ok () | Error _ -> ());
+            Sim.Engine.sleep eng (Sim.Rng.uniform rng 0.5 4.0)
+          done);
+      (* Lock-free poller: both snapshot endpoints report the same entry
+         version; neither may ever observe it decreasing. *)
+      Service.spawn_client w "c3" (fun () ->
+          for _ = 1 to rounds * 6 do
+            Sim.Engine.sleep eng (Sim.Rng.uniform rng 0.2 2.0);
+            (match
+               Gvd.get_view_snapshot (Service.gvd w) ~from:"c3" uid
+             with
+            | Ok (Gvd.Granted (_, v)) -> observe v
+            | _ -> ());
+            match
+              Gvd.get_server_snapshot (Service.gvd w) ~from:"c3" uid
+            with
+            | Ok (Gvd.Granted (_, v)) -> observe v
+            | _ -> ()
+          done);
+      Service.run w;
+      (* The poller's floor and the final committed version agree on
+         direction: the local introspection view is at least as new as
+         anything observed over the wire. *)
+      monotone := !monotone && Gvd.snapshot_version (Service.gvd w) uid >= !last;
+      !monotone)
+
 let suite =
   [
     ( "properties",
@@ -210,5 +305,6 @@ let suite =
         Test_util.qcheck prop_multicast_total_order;
         Test_util.qcheck prop_active_replicas_identical;
         Test_util.qcheck prop_scheme_soup_quiescent;
+        Test_util.qcheck prop_snapshot_version_monotone;
       ] );
   ]

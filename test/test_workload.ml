@@ -242,21 +242,37 @@ let test_ns_failover_shape () =
 
 let test_contention_shape () =
   let t = Workload.Exp_contention.run () in
-  let latency clients scheme =
+  let cell clients scheme i =
     let row =
       List.find
         (fun r -> List.nth r 0 = string_of_int clients && List.nth r 1 = scheme)
         t.Workload.Table.rows
     in
-    float_of_string (List.nth row 2)
+    float_of_string (List.nth row i)
   in
-  (* Scheme A's shared reads stay flat; B's RMW binds climb. *)
+  let latency clients scheme = cell clients scheme 2 in
+  let rounds clients scheme = cell clients scheme 3 in
+  let waits clients scheme = int_of_float (cell clients scheme 4) in
+  (* Scheme A's shared reads stay flat, as before. *)
   check_bool "standard flat" true
     (latency 8 "standard" < 2.0 *. latency 1 "standard");
-  check_bool "independent climbs" true
-    (latency 8 "independent" > 1.5 *. latency 1 "independent");
-  check_bool "independent pays more at 8" true
-    (latency 8 "independent" > 2.0 *. latency 8 "standard")
+  (* Snapshot reads + Delta-mode Increment: binds in B no longer
+     serialise behind the write lock, so the curve stays flat instead of
+     climbing, the database records no lock waits, and the batched bind
+     stays within 1.5x of scheme A even at 32 clients. *)
+  check_bool "independent flat" true
+    (latency 8 "independent" < 1.5 *. latency 1 "independent");
+  check_bool "independent within 1.5x of standard at 8" true
+    (latency 8 "independent" < 1.5 *. latency 8 "standard");
+  check_bool "independent within 1.5x of standard at 32" true
+    (latency 32 "independent" < 1.5 *. latency 32 "standard");
+  check_bool "independent waits collapsed" true (waits 8 "independent" <= 22);
+  (* Round budget: the batched bind is one RPC round; scheme A still pays
+     impl lookup + GetServer + GetView. *)
+  check_bool "batched bind is one round" true
+    (abs_float (rounds 8 "independent" -. 1.0) < 0.01);
+  check_bool "standard is three rounds" true
+    (abs_float (rounds 8 "standard" -. 3.0) < 0.01)
 
 let test_all_experiments_produce_tables () =
   (* Every registered experiment runs to completion and yields rows. This
