@@ -87,7 +87,7 @@ let bench_bound_action scheme () =
       done);
   Service.run w
 
-let bench_2pc_commit () =
+let bench_2pc ?(drop = 0.0) () =
   let eng = Sim.Engine.create () in
   let net = Net.Network.create eng in
   let rpc = Net.Rpc.create net in
@@ -100,6 +100,10 @@ let bench_2pc_commit () =
       Net.Network.add_node net n;
       Action.Store_host.add sh n)
     [ "client"; "s1"; "s2" ];
+  if drop > 0.0 then
+    List.iter
+      (fun dst -> Net.Network.set_link_fault net ~drop ~src:"client" ~dst ())
+      [ "s1"; "s2" ];
   let uid = Store.Uid.fresh sup ~label:"x" in
   Net.Network.spawn_on net "client" (fun () ->
       for _ = 1 to 10 do
@@ -112,6 +116,28 @@ let bench_2pc_commit () =
                    [ (uid, state) ])))
       done);
   Sim.Engine.run eng
+
+(* The same five-bind episode over a lossy client->naming link: dropped
+   requests are re-sent through Net.Retry backoff instead of surfacing as
+   bind failures, so the episode pays extra retry rounds and timeout
+   waits. Recorded for trend-watching only, never regression-gated —
+   timeout-dominated runs are far noisier than the fault-free paths. *)
+let bench_binds_under_drop drop () =
+  let open Naming in
+  let w = small_world () in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+      ~st:[ "beta1"; "beta2" ] ()
+  in
+  Net.Network.set_link_fault (Service.network w) ~drop ~src:"c1" ~dst:"ns" ();
+  Service.spawn_client w "c1" (fun () ->
+      for _ = 1 to 5 do
+        ignore
+          (Service.with_bound w ~client:"c1" ~scheme:Scheme.Independent
+             ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+               Service.invoke w group ~act "incr"))
+      done);
+  Service.run w
 
 let bench_gvd_ops () =
   let open Naming in
@@ -283,7 +309,9 @@ let micro_tests =
       Test.make ~name:"lock.100-write-cycles" (Staged.stage bench_lock_cycle);
       Test.make ~name:"rpc.50-roundtrips" (Staged.stage bench_rpc_roundtrips);
       Test.make ~name:"mcast.20-atomic-casts" (Staged.stage bench_atomic_multicast);
-      Test.make ~name:"2pc.10-commits" (Staged.stage bench_2pc_commit);
+      Test.make ~name:"2pc.10-commits" (Staged.stage (bench_2pc ?drop:None));
+      Test.make ~name:"2pc.10-commits-lossy"
+        (Staged.stage (bench_2pc ~drop:0.05));
       Test.make ~name:"bind.5-actions-standard"
         (Staged.stage (bench_bound_action Naming.Scheme.Standard));
       Test.make ~name:"bind.5-actions-independent"
@@ -294,6 +322,10 @@ let micro_tests =
         (Staged.stage bench_contended_binds);
       Test.make ~name:"bind.batched-vs-serial"
         (Staged.stage bench_batched_vs_serial);
+      Test.make ~name:"bind.retry-under-drop-1pct"
+        (Staged.stage (bench_binds_under_drop 0.01));
+      Test.make ~name:"bind.retry-under-drop-5pct"
+        (Staged.stage (bench_binds_under_drop 0.05));
       Test.make ~name:"gvd.10-read-actions" (Staged.stage bench_gvd_ops);
       Test.make ~name:"audit.calm-trial" (Staged.stage bench_audit_trial);
       Test.make ~name:"shardmap.1000-owner-lookups"

@@ -123,12 +123,34 @@ let audit_cmd =
   in
   Cmd.v (Cmd.info "audit" ~doc) Term.(const run $ seeds)
 
+let chaos_cmd =
+  let doc =
+    "Run the deterministic chaos harness (tab-chaos) over seeded fault \
+     schedules; exit non-zero, echoing the failing seed and its minimized \
+     schedule, if any invariant audit fails."
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (list int64) Workload.Exp_chaos.default_seeds
+      & info [ "seeds" ] ~docv:"SEEDS"
+          ~doc:"comma-separated seeds to replay (default: the CI smoke set)")
+  in
+  let run seeds =
+    let table, clean = Workload.Exp_chaos.run_check ~seeds () in
+    Workload.Table.print table;
+    if clean then `Ok () else `Error (false, "chaos audit failed (see notes above)")
+  in
+  Cmd.v (Cmd.info "chaos" ~doc) Term.(ret (const run $ seeds))
+
 let main =
   let doc =
     "Reproduction of Little, McCue & Shrivastava, \"Maintaining Information \
      about Persistent Replicated Objects in a Distributed System\" (ICDCS \
      1993)."
   in
-  Cmd.group (Cmd.info "repro" ~version:"1.0.0" ~doc) [ list_cmd; run_cmd; demo_cmd; audit_cmd ]
+  Cmd.group
+    (Cmd.info "repro" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; demo_cmd; audit_cmd; chaos_cmd ]
 
 let () = exit (Cmd.eval main)

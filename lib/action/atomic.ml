@@ -22,6 +22,7 @@ type runtime = {
   active : (string, Net.Network.node_id) Hashtbl.t; (* action -> coordinator *)
   decision_nodes : (Net.Network.node_id, unit) Hashtbl.t;
   ep_decision : (string, decision_reply) Net.Rpc.endpoint;
+  rt_retry : Net.Retry.t;
 }
 
 let make_runtime sh rh =
@@ -32,6 +33,7 @@ let make_runtime sh rh =
     active = Hashtbl.create 32;
     decision_nodes = Hashtbl.create 8;
     ep_decision = Net.Rpc.endpoint "action.decision";
+    rt_retry = Net.Retry.create (Net.Rpc.network (Store_host.rpc sh));
   }
 
 let store_host rt = rt.sh
@@ -39,6 +41,7 @@ let resource_host rt = rt.rh
 let rpc rt = Store_host.rpc rt.sh
 let network rt = Net.Rpc.network (rpc rt)
 let engine rt = Net.Network.engine (network rt)
+let retry rt = rt.rt_retry
 
 type t = {
   rt : runtime;
@@ -54,6 +57,7 @@ type t = {
   mutable undo_hooks : (unit -> unit) list; (* newest first *)
   mutable post_hooks : (unit -> unit) list; (* newest first *)
   mutable post_abort_hooks : (unit -> unit) list; (* newest first *)
+  mutable deadline : float option; (* absolute virtual time *)
 }
 
 let id t = t.aid
@@ -101,13 +105,18 @@ let ensure_decision_service rt coord =
 let query_decision rt ~from ~coordinator ~action =
   Net.Rpc.call (rpc rt) ~from ~dst:coordinator rt.ep_decision action
 
-let begin_top rt ~node =
+let begin_top ?deadline rt ~node =
   ensure_decision_service rt node;
   let serial = rt.next_serial in
   rt.next_serial <- serial + 1;
   let aid = Action_id.top ~origin:node ~serial in
   Hashtbl.replace rt.active (Action_id.to_string aid) node;
   Sim.Metrics.incr (Net.Network.metrics (network rt)) "action.begin_top";
+  (* [deadline] is a relative budget; store it absolute so nested actions
+     started later inherit the remaining (not a fresh) budget. *)
+  let deadline =
+    Option.map (fun d -> Sim.Engine.now (engine rt) +. d) deadline
+  in
   {
     rt;
     aid;
@@ -121,6 +130,7 @@ let begin_top rt ~node =
     undo_hooks = [];
     post_hooks = [];
     post_abort_hooks = [];
+    deadline;
   }
 
 let begin_nested parent =
@@ -141,9 +151,17 @@ let begin_nested parent =
     undo_hooks = [];
     post_hooks = [];
     post_abort_hooks = [];
+    deadline = parent.deadline;
   }
 
-let begin_nested_top t = begin_top t.rt ~node:t.coord
+let begin_nested_top t =
+  let a = begin_top t.rt ~node:t.coord in
+  (* A nested-top serves the same user operation: it inherits the
+     enclosing action's remaining deadline budget. *)
+  a.deadline <- t.deadline;
+  a
+
+let deadline t = t.deadline
 
 let enlist t ?(required = true) ~node ~resource () =
   if t.st <> Running then invalid_arg "enlist: action not running";
@@ -168,6 +186,48 @@ let after_abort t f = t.post_abort_hooks <- f :: t.post_abort_hooks
 let deactivate t =
   if Action_id.is_top t.aid then Hashtbl.remove t.rt.active (owner t)
 
+(* Phase-2 notification of an enlisted resource. Releasing a resource
+   must not be fire-and-forget: a release message lost to the network
+   leaves the resource's locks and staged state held by a completed
+   action forever (nothing re-sends it — the decision is already durable
+   on this side only). But it must not block the action's completion
+   either: the decision is made, and a coordinator wedged behind a
+   partition would stall its client for the partition's whole lifetime.
+   So: one inline attempt (the fault-free fast path, unchanged), and on
+   failure with the node still up, a reaper fiber keeps retrying in the
+   background until the release lands or the node dies — once it crashes
+   its volatile locks and stage die with it, so stopping is safe. No
+   [~dst]: an unreachable-but-up node is a link problem, not a
+   node-health signal, and must not open the destination's breaker. *)
+let release_resource t ~rnode ~op call =
+  let net = network t.rt in
+  let up () = Net.Network.is_up net rnode in
+  match call () with
+  | Ok () -> ()
+  | Error _ when not (up ()) -> () (* volatile state died with the node *)
+  | Error _ ->
+      let action = owner t in
+      Sim.Metrics.incr (metrics t) "action.release_deferred";
+      Net.Network.spawn_on net t.coord
+        ~name:(Printf.sprintf "%s.release:%s@%s" t.coord action rnode)
+        (fun () ->
+          match
+            Net.Retry.run t.rt.rt_retry ~op
+              (Net.Retry.policy ~attempts:60 ~base:2.0 ~factor:1.5
+                 ~max_delay:8.0 ())
+              (fun () ->
+                if not (up ()) then Ok ()
+                else
+                  match call () with
+                  | Ok () -> Ok ()
+                  | Error _ when not (up ()) -> Ok ()
+                  | Error e -> Error (Net.Rpc.error_to_string e))
+          with
+          | Ok () -> ()
+          | Error e ->
+              tracef t "%s phase-2 loss at %s: %s" action rnode e;
+              Sim.Metrics.incr (metrics t) "action.phase2_losses")
+
 (* Abort: undo newest-first (strictly serial — each undo may depend on
    the effects of later-installed ones), then tell every participant and
    every resource, each stage as one parallel fan-out. *)
@@ -185,9 +245,9 @@ let abort t ~reason =
       (Sim.Join.all eng
          (List.map
             (fun (rnode, resource, _) () ->
-              ignore
-                (Resource_host.abort t.rt.rh ~from:t.coord ~node:rnode
-                   ~resource ~action:(owner t)))
+              release_resource t ~rnode ~op:"action.release_abort" (fun () ->
+                  Resource_host.abort t.rt.rh ~from:t.coord ~node:rnode
+                    ~resource ~action:(owner t)))
             (List.rev t.enlisted)));
     deactivate t;
     List.iter (fun post -> post ()) (List.rev t.post_abort_hooks)
@@ -322,15 +382,10 @@ let commit_top t =
             (Sim.Join.all eng
                (List.map
                   (fun (rnode, resource, _) () ->
-                    match
-                      Resource_host.commit t.rt.rh ~from:t.coord ~node:rnode
-                        ~resource ~action
-                    with
-                    | Ok () -> ()
-                    | Error e ->
-                        tracef t "%s phase-2 loss at %s/%s: %s" action rnode
-                          resource (Net.Rpc.error_to_string e);
-                        Sim.Metrics.incr (metrics t) "action.phase2_losses")
+                    release_resource t ~rnode ~op:"action.release_commit"
+                      (fun () ->
+                        Resource_host.commit t.rt.rh ~from:t.coord ~node:rnode
+                          ~resource ~action))
                   resources));
           List.iter (fun post -> post ()) (List.rev t.post_hooks);
           Ok ())
@@ -354,6 +409,7 @@ let run_body t body =
       abort t ~reason:(Printexc.to_string e);
       raise e
 
-let atomically rt ~node body = run_body (begin_top rt ~node) body
+let atomically ?deadline rt ~node body =
+  run_body (begin_top ?deadline rt ~node) body
 let atomically_nested parent body = run_body (begin_nested parent) body
 let atomically_nested_top parent body = run_body (begin_nested_top parent) body

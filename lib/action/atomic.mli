@@ -40,16 +40,28 @@ val rpc : runtime -> Net.Rpc.t
 val network : runtime -> Net.Network.t
 val engine : runtime -> Sim.Engine.t
 
-val begin_top : runtime -> node:Net.Network.node_id -> t
+val retry : runtime -> Net.Retry.t
+(** The world's shared retry engine (one breaker table per world). All
+    protocol-level retry loops — recovery probes, reintegration, cleanup,
+    flushes, router waits, group failover — go through it. *)
+
+val begin_top : ?deadline:float -> runtime -> node:Net.Network.node_id -> t
 (** Start a top-level action coordinated from [node]. Must run in a fiber
-    on [node]. *)
+    on [node]. [deadline] is a relative time budget for the whole
+    operation; nested actions inherit the remaining (absolute) deadline,
+    and retry loops run on the action's behalf stop backing off once it
+    passes (see {!Net.Retry.run}). *)
 
 val begin_nested : t -> t
-(** Start a nested action inside [t]. *)
+(** Start a nested action inside [t]. Inherits [t]'s deadline. *)
 
 val begin_nested_top : t -> t
 (** Start an independent top-level action from within [t] (same
-    coordinating node, fresh top-level identity). *)
+    coordinating node, fresh top-level identity). Inherits [t]'s deadline:
+    it serves the same user operation. *)
+
+val deadline : t -> float option
+(** The action's absolute-virtual-time deadline, if any. *)
 
 val id : t -> Action_id.t
 val node : t -> Net.Network.node_id
@@ -112,9 +124,14 @@ val abort : t -> reason:string -> unit
     and enlisted resources, release locks. Idempotent. *)
 
 val atomically :
-  runtime -> node:Net.Network.node_id -> (t -> 'a) -> ('a, string) result
+  ?deadline:float ->
+  runtime ->
+  node:Net.Network.node_id ->
+  (t -> 'a) ->
+  ('a, string) result
 (** [atomically rt ~node body] runs [body] in a fresh top-level action and
-    commits it; [Abort] (raised or during commit) yields [Error]. *)
+    commits it; [Abort] (raised or during commit) yields [Error].
+    [deadline] as in {!begin_top}. *)
 
 val atomically_nested : t -> (t -> 'a) -> ('a, string) result
 (** Same for a nested action of the given parent. *)

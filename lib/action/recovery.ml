@@ -1,3 +1,41 @@
+let error_str = Net.Rpc.error_to_string
+
+(* Cooperative termination: with the coordinator unreachable through the
+   whole retry budget, look for commit evidence among peer stores before
+   presuming abort. While this record reserves the object here, no later
+   action can have committed anywhere — its prepare would be refused by
+   this very reservation — so a peer state stamped by [action] proves the
+   decision was commit, and its absence on every reachable peer makes
+   presumed abort safe (a commit nobody holds was never acknowledged). *)
+let resolve_by_peers rt ~node ~action =
+  let sh = Atomic.store_host rt in
+  let net = Atomic.network rt in
+  let log = Store_host.log sh node in
+  match Store.Intent_log.prepared log ~action with
+  | None -> ()
+  | Some { Store.Intent_log.writes; _ } ->
+      let stamped_by_action peer uid =
+        match Store_host.read sh ~from:node ~store:peer uid with
+        | Ok (Some s) ->
+            String.equal
+              s.Store.Object_state.version.Store.Version.committed_by action
+        | Ok None | Error _ -> false
+      in
+      let committed =
+        List.exists
+          (fun (uid, _) ->
+            List.exists
+              (fun peer ->
+                (not (String.equal peer node))
+                && Net.Network.is_up net peer
+                && stamped_by_action peer uid)
+              (Store_host.nodes sh))
+          writes
+      in
+      if committed then
+        ignore (Store_host.commit sh ~from:node ~store:node ~action)
+      else Store.Intent_log.resolve log ~action
+
 let resolve_in_doubt rt ~node ?(retry_delay = 2.0) () =
   let sh = Atomic.store_host rt in
   let eng = Atomic.engine rt in
@@ -11,30 +49,39 @@ let resolve_in_doubt rt ~node ?(retry_delay = 2.0) () =
     match Store.Intent_log.prepared log ~action with
     | None -> ()
     | Some { Store.Intent_log.coordinator; _ } -> (
-        let rec ask () =
-          match Atomic.query_decision rt ~from:node ~coordinator ~action with
-          | Ok Atomic.D_commit ->
-              tracef "%s: in-doubt %s -> commit" node action;
-              (* Apply through the local commit path (idempotent). *)
-              (match
-                 Store_host.commit sh ~from:node ~store:node ~action
-               with
-              | Ok () -> ()
-              | Error _ ->
-                  (* Local call can only fail if we crashed again;
-                     the next recovery will retry. *)
-                  ())
-          | Ok (Atomic.D_abort | Atomic.D_unknown) ->
-              tracef "%s: in-doubt %s -> presumed abort" node action;
-              Store.Intent_log.resolve log ~action
-          | Ok Atomic.D_active ->
-              Sim.Engine.sleep eng retry_delay;
-              ask ()
-          | Error _ ->
-              Sim.Engine.sleep eng retry_delay;
-              ask ()
+        let outcome =
+          Net.Retry.run (Atomic.retry rt) ~dst:coordinator
+            ~op:"recovery.decision"
+            (Net.Retry.policy ~attempts:60 ~base:retry_delay ~factor:1.5
+               ~max_delay:8.0 ())
+            (fun () ->
+              match Atomic.query_decision rt ~from:node ~coordinator ~action with
+              | Ok Atomic.D_commit -> Ok `Commit
+              | Ok (Atomic.D_abort | Atomic.D_unknown) -> Ok `Abort
+              | Ok Atomic.D_active -> Error "coordinator still deciding"
+              | Error e -> Error (error_str e))
         in
-        ask ())
+        match outcome with
+        | Ok `Commit -> (
+            tracef "%s: in-doubt %s -> commit" node action;
+            (* Apply through the local commit path (idempotent). *)
+            match Store_host.commit sh ~from:node ~store:node ~action with
+            | Ok () -> ()
+            | Error _ ->
+                (* Local call can only fail if we crashed again;
+                   the next recovery will retry. *)
+                ())
+        | Ok `Abort ->
+            tracef "%s: in-doubt %s -> presumed abort" node action;
+            Store.Intent_log.resolve log ~action
+        | Error _ ->
+            (* Retry budget exhausted with the coordinator unreachable or
+               stuck deciding: settle from peer commit evidence, else
+               presumed abort (§9.5) rather than holding the prepared
+               write forever. *)
+            tracef "%s: in-doubt %s -> peer evidence (retry budget spent)"
+              node action;
+            resolve_by_peers rt ~node ~action)
   in
   let rec drain () =
     match Store.Intent_log.in_doubt log with
@@ -85,42 +132,45 @@ let break_stale_reservations rt ?(tries = 5) ?(retry_delay = 2.0) () =
                     (Net.Network.trace net)
                     ~now:(Sim.Engine.now eng) ~tag:"recovery" fmt
                 in
-                let rec settle n =
-                  match Store.Intent_log.prepared log ~action with
-                  | None -> () (* withdrawn through the normal path *)
-                  | Some _ -> (
-                      match
-                        Atomic.query_decision rt ~from:node ~coordinator
-                          ~action
-                      with
-                      | Ok Atomic.D_commit ->
-                          tracef "%s: blocked reservation %s -> commit" node
-                            action;
-                          ignore
-                            (Store_host.commit sh ~from:node ~store:node
-                               ~action)
-                      | Ok (Atomic.D_abort | Atomic.D_unknown) ->
-                          tracef "%s: blocked reservation %s -> presumed abort"
-                            node action;
-                          Store.Intent_log.resolve log ~action
-                      | Ok Atomic.D_active ->
-                          (* The cut healed and the action is still live:
-                             its own completion will withdraw. *)
-                          ()
-                      | Error _ ->
-                          if n = 0 then begin
-                            tracef
-                              "%s: reservation %s coordinator unreachable -> \
-                               presumed abort"
-                              node action;
-                            Store.Intent_log.resolve log ~action
-                          end
-                          else begin
-                            Sim.Engine.sleep eng retry_delay;
-                            settle (n - 1)
-                          end)
+                let outcome =
+                  Net.Retry.run (Atomic.retry rt) ~dst:coordinator
+                    ~op:"recovery.break_reservation"
+                    (Net.Retry.policy ~attempts:(tries + 1) ~base:retry_delay
+                       ~factor:1.5 ~max_delay:8.0 ())
+                    (fun () ->
+                      match Store.Intent_log.prepared log ~action with
+                      | None -> Ok `Withdrawn
+                      | Some _ -> (
+                          match
+                            Atomic.query_decision rt ~from:node ~coordinator
+                              ~action
+                          with
+                          | Ok Atomic.D_commit -> Ok `Commit
+                          | Ok (Atomic.D_abort | Atomic.D_unknown) -> Ok `Abort
+                          | Ok Atomic.D_active -> Ok `Live
+                          | Error e -> Error (error_str e)))
                 in
-                settle tries;
+                (match outcome with
+                | Ok `Withdrawn ->
+                    (* Withdrawn through the normal path meanwhile. *)
+                    ()
+                | Ok `Live ->
+                    (* The cut healed and the action is still live: its own
+                       completion will withdraw. *)
+                    ()
+                | Ok `Commit ->
+                    tracef "%s: blocked reservation %s -> commit" node action;
+                    ignore (Store_host.commit sh ~from:node ~store:node ~action)
+                | Ok `Abort ->
+                    tracef "%s: blocked reservation %s -> presumed abort" node
+                      action;
+                    Store.Intent_log.resolve log ~action
+                | Error _ ->
+                    tracef
+                      "%s: reservation %s coordinator unreachable -> peer \
+                       evidence, else presumed abort"
+                      node action;
+                    resolve_by_peers rt ~node ~action);
                 Hashtbl.remove probing key)
           end)
         blockers)
@@ -128,34 +178,39 @@ let break_stale_reservations rt ?(tries = 5) ?(retry_delay = 2.0) () =
 let guard_prepares rt =
   let sh = Atomic.store_host rt in
   let net = Atomic.network rt in
-  let eng = Atomic.engine rt in
   Store_host.set_prepare_hook sh (fun ~node ~action ~coordinator ->
       ignore
         (Net.Network.watch_crash net coordinator (fun () ->
              Net.Network.spawn_on net node
                ~name:(Printf.sprintf "%s.indoubt:%s" node action) (fun () ->
                  let log = Store_host.log sh node in
-                 let rec settle tries =
-                   match Store.Intent_log.prepared log ~action with
-                   | None -> () (* resolved through the normal path *)
-                   | Some _ -> (
-                       match
-                         Atomic.query_decision rt ~from:node ~coordinator ~action
-                       with
-                       | Ok Atomic.D_commit ->
-                           ignore
-                             (Store_host.commit sh ~from:node ~store:node ~action)
-                       | Ok (Atomic.D_abort | Atomic.D_unknown) ->
-                           Store.Intent_log.resolve log ~action
-                       | Ok Atomic.D_active | Error _ ->
-                           if tries = 0 then
-                             (* The coordinator never came back: presume
-                                abort rather than reserve the object
-                                forever. *)
-                             Store.Intent_log.resolve log ~action
-                           else begin
-                             Sim.Engine.sleep eng 5.0;
-                             settle (tries - 1)
-                           end)
+                 let outcome =
+                   Net.Retry.run (Atomic.retry rt) ~dst:coordinator
+                     ~op:"recovery.indoubt"
+                     (Net.Retry.policy ~attempts:65 ~base:5.0 ~factor:1.2
+                        ~max_delay:8.0 ())
+                     (fun () ->
+                       match Store.Intent_log.prepared log ~action with
+                       | None -> Ok `Resolved
+                       | Some _ -> (
+                           match
+                             Atomic.query_decision rt ~from:node ~coordinator
+                               ~action
+                           with
+                           | Ok Atomic.D_commit -> Ok `Commit
+                           | Ok (Atomic.D_abort | Atomic.D_unknown) ->
+                               Ok `Abort
+                           | Ok Atomic.D_active ->
+                               Error "coordinator still deciding"
+                           | Error e -> Error (error_str e)))
                  in
-                 settle 100))))
+                 match outcome with
+                 | Ok `Resolved -> () (* resolved through the normal path *)
+                 | Ok `Commit ->
+                     ignore (Store_host.commit sh ~from:node ~store:node ~action)
+                 | Ok `Abort -> Store.Intent_log.resolve log ~action
+                 | Error _ ->
+                     (* The coordinator never came back: settle from peer
+                        commit evidence, else presume abort rather than
+                        reserve the object forever. *)
+                     resolve_by_peers rt ~node ~action))))

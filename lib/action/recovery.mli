@@ -7,7 +7,11 @@
     - [D_commit] — apply the intended writes;
     - [D_abort] or [D_unknown] — presumed abort: discard them;
     - [D_active] — phase 1 still in progress: retry after a delay;
-    - coordinator unreachable — retry after a delay.
+    - coordinator unreachable — retry after a delay; when the whole
+      retry budget is spent, {e cooperative termination}: a reachable
+      peer store whose committed state is stamped by the action proves
+      the decision was commit (no later action can commit past this
+      node's own reservation), otherwise presumed abort.
 
     [attach] wires this procedure into the node's recovery hook; upper
     layers (the naming library's reintegration protocol) register their own

@@ -40,6 +40,9 @@ let create rpc_rt =
 
 let rpc t = t.rpc_rt
 
+let nodes t =
+  Hashtbl.fold (fun n _ acc -> n :: acc) t.hosts [] |> List.sort String.compare
+
 let host t node =
   match Hashtbl.find_opt t.hosts node with
   | Some h -> h

@@ -24,6 +24,9 @@ val add : t -> Net.Network.node_id -> unit
 
 val hosted : t -> Net.Network.node_id -> bool
 
+val nodes : t -> Net.Network.node_id list
+(** Every node with a store, sorted. *)
+
 val objects : t -> Net.Network.node_id -> Store.Object_store.t
 (** Direct (out-of-band) access to a node's object store; used for
     bootstrap and test assertions, never by protocol code. *)

@@ -230,6 +230,17 @@ let waiting t key =
   | Some e ->
       Queue.fold (fun n w -> if w.w_cancelled then n else n + 1) 0 e.queue
 
+let all_held t =
+  Hashtbl.fold
+    (fun key e acc ->
+      if e.held = [] then acc
+      else
+        ( key,
+          List.sort (fun (a, _) (b, _) -> String.compare a b) e.held )
+        :: acc)
+    t.entries []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let locked_keys t ~owner =
   Hashtbl.fold
     (fun key e acc -> if List.mem_assoc owner e.held then key :: acc else acc)

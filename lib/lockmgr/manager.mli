@@ -69,6 +69,10 @@ val holds : t -> owner:owner -> string -> Mode.t option
 val holders : t -> string -> (owner * Mode.t) list
 (** Current holders of [key], sorted by owner. *)
 
+val all_held : t -> (string * (owner * Mode.t) list) list
+(** Every key with at least one holder, with its holders — sorted both
+    ways. Quiescence audits assert this is empty after a world drains. *)
+
 val waiting : t -> string -> int
 (** Number of queued (unsatisfied) requests on [key]. *)
 

@@ -4,6 +4,7 @@ type t = {
   b_cache : Bind_cache.t option;
   b_deltas : Use_delta.t;
   b_flush_delay : float;
+  b_crash_hooked : (Net.Network.node_id, unit) Hashtbl.t;
 }
 
 let create ?cache ?(flush_delay = 5.0) b_router b_grt =
@@ -13,6 +14,7 @@ let create ?cache ?(flush_delay = 5.0) b_router b_grt =
     b_cache = cache;
     b_deltas = Use_delta.create ();
     b_flush_delay = flush_delay;
+    b_crash_hooked = Hashtbl.create 8;
   }
 
 let router t = t.b_router
@@ -242,23 +244,46 @@ let expand_credits credits =
 (* Flush one object's credits as a single merged Decrement action. The
    flush must not leak counters on transient lock refusals: a leaked
    counter of a live client poisons quiescence forever (the cleanup
-   daemon only repairs dead clients). Retry a few times before giving
-   up. *)
+   daemon only repairs dead clients). Retry through the shared policy
+   engine before giving up. *)
 let run_flush t ~client ~uid ~credits =
-  let eng = Action.Atomic.engine (art t) in
   let servers = expand_credits credits in
-  let rec attempt tries =
+  if servers = [] then true
+  else
     match
-      Action.Atomic.atomically (art t) ~node:client (fun act ->
-          decrement_db t ~client ~uid ~servers act)
+      Net.Retry.run
+        (Action.Atomic.retry (art t))
+        ~op:"bind.flush"
+        (Net.Retry.policy ~attempts:8 ~base:2.0 ~factor:1.5 ~max_delay:8.0 ())
+        (fun () ->
+          Action.Atomic.atomically (art t) ~node:client (fun act ->
+              decrement_db t ~client ~uid ~servers act))
     with
-    | Ok () -> Sim.Metrics.incr (metrics t) "bind.flushes"
-    | Error _ when tries > 1 ->
-        Sim.Engine.sleep eng 2.0;
-        attempt (tries - 1)
-    | Error _ -> Sim.Metrics.incr (metrics t) "bind.decrement_failed"
-  in
-  if servers <> [] then attempt 8
+    | Ok () ->
+        Sim.Metrics.incr (metrics t) "bind.flushes";
+        true
+    | Error _ ->
+        (* Give the credits back rather than dropping them: a dropped
+           credit of a live client poisons quiescence forever (cleanup
+           only repairs dead clients). The caller re-arms the flush. *)
+        Sim.Metrics.incr (metrics t) "bind.decrement_failed";
+        Use_delta.restore t.b_deltas ~client ~uid credits;
+        false
+
+(* The delta buffer is world-global but a client's credits are volatile
+   state of that client: when it crashes they must die with it. Dropping
+   them keeps the next incarnation sound — the orphaned counters are the
+   cleanup protocol's job, and decrementing them again after a cleanup
+   zero would corrupt the count. The drop also clears the
+   scheduled-flush flag, which the crashed flush fiber can no longer
+   clear itself (a stale flag would wedge all future flushes for the
+   recovered client). *)
+let hook_client_crash t ~client =
+  if not (Hashtbl.mem t.b_crash_hooked client) then begin
+    Hashtbl.add t.b_crash_hooked client ();
+    Net.Network.on_crash (netw t) client (fun () ->
+        Use_delta.drop_client t.b_deltas ~client)
+  end
 
 (* Arrange for the client's buffered credits to be flushed after the
    coalescing window. One one-shot fiber per client at a time; it drains
@@ -269,23 +294,56 @@ let run_flush t ~client ~uid ~credits =
    empty-check/flag-clear at the end race-free: there is no suspension
    point between them, so a credit arriving later always finds the flag
    down and schedules a fresh fiber. *)
-let schedule_flush t ~client =
+let rec schedule_flush t ~client =
+  hook_client_crash t ~client;
   if not (Use_delta.flush_scheduled t.b_deltas ~client) then begin
     Use_delta.set_flush_scheduled t.b_deltas ~client true;
     Net.Network.spawn_on (netw t) client ~name:(client ^ ".use-flush")
       (fun () ->
         Sim.Engine.sleep (Action.Atomic.engine (art t)) t.b_flush_delay;
-        let rec drain () =
-          match Use_delta.pending_uids t.b_deltas ~client with
-          | [] -> ()
-          | uid :: _ ->
-              let credits = Use_delta.take t.b_deltas ~client ~uid in
-              if credits <> [] then run_flush t ~client ~uid ~credits;
-              drain ()
+        let flush_one uid =
+          let credits = Use_delta.take t.b_deltas ~client ~uid in
+          credits = [] || run_flush t ~client ~uid ~credits
         in
-        drain ();
-        Use_delta.set_flush_scheduled t.b_deltas ~client false)
+        (* One pass over the distinct pending objects; a failed flush
+           restored its credits, so recursing on the raw buffer head
+           would spin — skip objects that already failed this pass. *)
+        let rec drain stuck =
+          match
+            List.find_opt
+              (fun u -> not (List.exists (Store.Uid.equal u) stuck))
+              (Use_delta.pending_uids t.b_deltas ~client)
+          with
+          | None -> ()
+          | Some uid -> drain (if flush_one uid then stuck else uid :: stuck)
+        in
+        drain [];
+        Use_delta.set_flush_scheduled t.b_deltas ~client false;
+        (* Anything restored by a failed flush waits out one more window. *)
+        if Use_delta.pending_uids t.b_deltas ~client <> [] then
+          schedule_flush t ~client)
   end
+
+(* Quiescence-pull: flush every live client's pending credits for [uid]
+   right now, without waiting out the coalescing window. Called on behalf
+   of an [Insert] blocked on use-list quiescence. Each flush runs as a
+   fresh fiber on its owning client (a credit must decrement its own
+   client's counters); crashed clients are skipped — their credits are
+   dropped by the crash hook and their counters belong to cleanup. *)
+let pull_credits t ~uid =
+  List.iter
+    (fun client ->
+      if Net.Network.is_up (netw t) client then begin
+        let credits = Use_delta.take t.b_deltas ~client ~uid in
+        if credits <> [] then begin
+          Sim.Metrics.incr (metrics t) "bind.flush_pulled";
+          Net.Network.spawn_on (netw t) client
+            ~name:(client ^ ".use-flush-pull") (fun () ->
+              if not (run_flush t ~client ~uid ~credits) then
+                schedule_flush t ~client)
+        end
+      end)
+    (Use_delta.clients_with t.b_deltas ~uid)
 
 (* The trailing Decrement of Figures 7/8, coalesced: credit the buffer
    and let the deferred flush — or the next bind's batch request, which

@@ -142,6 +142,12 @@ val bind :
 val deltas : t -> Use_delta.t
 (** The client-side decrement credit buffer (tests, diagnostics). *)
 
+val pull_credits : t -> uid:Store.Uid.t -> unit
+(** Quiescence-pull: flush every live client's pending credits for [uid]
+    immediately instead of waiting out the coalescing window. Called when
+    an [Insert] is blocked on use-list quiescence (reintegration); crashed
+    clients are skipped — their counters are the cleanup protocol's. *)
+
 val exclusion :
   t -> scheme:Scheme.t -> uid:Store.Uid.t ->
   Action.Atomic.t -> Net.Network.node_id list -> (unit, string) result

@@ -17,18 +17,26 @@ let sweep_now gvd art =
       in
       List.iter
         (fun client ->
+          (* A transient lock refusal must not leave the orphan for a whole
+             further sweep period: retry the repair a few times through the
+             shared policy engine. *)
           match
-            Action.Atomic.atomically art ~node (fun act ->
-                match Gvd.zero_client gvd ~act ~uid ~client with
-                | Ok (Gvd.Granted ()) -> ()
-                | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
-                    raise (Action.Atomic.Abort why)
-                | Ok (Gvd.Moved dest) ->
-                    (* Entry migrated to another shard since the snapshot;
-                       that shard's own daemon will sweep it. *)
-                    raise (Action.Atomic.Abort ("moved to " ^ dest))
-                | Error e ->
-                    raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
+            Net.Retry.run (Action.Atomic.retry art) ~op:"cleanup.zero"
+              (Net.Retry.policy ~attempts:3 ~base:1.0 ~factor:2.0
+                 ~max_delay:4.0 ())
+              (fun () ->
+                Action.Atomic.atomically art ~node (fun act ->
+                    match Gvd.zero_client gvd ~act ~uid ~client with
+                    | Ok (Gvd.Granted ()) -> ()
+                    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
+                        raise (Action.Atomic.Abort why)
+                    | Ok (Gvd.Moved dest) ->
+                        (* Entry migrated to another shard since the
+                           snapshot; that shard's own daemon will sweep
+                           it. *)
+                        raise (Action.Atomic.Abort ("moved to " ^ dest))
+                    | Error e ->
+                        raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))))
           with
           | Ok () ->
               incr removed;

@@ -1180,7 +1180,16 @@ let call_enlisted t ~act ep req =
          its write lock but found the object busy); enlist so they are
          released at action end. *)
       Action.Atomic.enlist act ~node:t.gvd_node ~resource ()
-  | Ok (Moved _) | Error _ -> ());
+  | Error _ ->
+      (* Indistinguishable cases: the request was lost (no effects) or
+         only the reply was (the handler ran and holds locks and staged
+         state for the action). Enlist conservatively so action end
+         releases whatever exists — but not [required]: the call failed
+         from the caller's view, so an unreachable database must not be
+         allowed to veto (or silently commit into) an action that
+         otherwise succeeded without it. *)
+      Action.Atomic.enlist act ~required:false ~node:t.gvd_node ~resource ()
+  | Ok (Moved _) -> ());
   result
 
 let register_direct t ~uid ~name ~impl ~sv ~st =
@@ -1316,3 +1325,11 @@ let snapshot_version t uid = (entry_exn t uid).e_version
 
 let all_uids t =
   Hashtbl.fold (fun _ e acc -> e.e_uid :: acc) t.entries [] |> List.sort Store.Uid.compare
+
+let residual_locks t = Lockmgr.Manager.all_held t.locks
+
+let residual_actions t =
+  let acts = Hashtbl.create 8 in
+  Hashtbl.iter (fun (a, _) _ -> Hashtbl.replace acts a ()) t.pending;
+  Hashtbl.iter (fun (a, _, _) _ -> Hashtbl.replace acts a ()) t.undo;
+  Hashtbl.fold (fun a () acc -> a :: acc) acts [] |> List.sort String.compare

@@ -339,3 +339,12 @@ val all_uids : t -> Store.Uid.t list
 val snapshot_version : t -> Store.Uid.t -> int
 (** The entry's committed snapshot version: bumped exactly once per
     committing action that touched the entry, never decremented. *)
+
+val residual_locks :
+  t -> (string * (Lockmgr.Manager.owner * Lockmgr.Mode.t) list) list
+(** Database lock-table keys still held by some action. A quiesced world
+    has released everything: audits assert this is empty. *)
+
+val residual_actions : t -> string list
+(** Actions that still have staged deltas or before-images on this shard
+    — empty once every action has completed (committed or aborted). *)

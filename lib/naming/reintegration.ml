@@ -77,7 +77,6 @@ let reintegrate_store_one t ~node uid =
           raise (Action.Atomic.Abort "latest committed state unreachable"))
 
 let reintegrate_store_now t ~node ?(retry_delay = 2.0) () =
-  let eng = Action.Atomic.engine (art t) in
   let uids =
     match Router.stored_on (Binder.router t) ~from:node node with
     | Ok uids -> uids
@@ -85,16 +84,17 @@ let reintegrate_store_now t ~node ?(retry_delay = 2.0) () =
   in
   List.iter
     (fun uid ->
-      let rec attempt tries =
-        if tries > 0 then
-          match reintegrate_store_one t ~node uid with
-          | Ok () ->
-              Sim.Metrics.incr (Net.Network.metrics (netw t)) "reintegrate.includes"
-          | Error _ ->
-              Sim.Engine.sleep eng retry_delay;
-              attempt (tries - 1)
-      in
-      attempt 20)
+      match
+        Net.Retry.run
+          (Action.Atomic.retry (art t))
+          ~op:"reintegrate.include"
+          (Net.Retry.policy ~attempts:20 ~base:retry_delay ~factor:1.5
+             ~max_delay:8.0 ())
+          (fun () -> reintegrate_store_one t ~node uid)
+      with
+      | Ok () ->
+          Sim.Metrics.incr (Net.Network.metrics (netw t)) "reintegrate.includes"
+      | Error _ -> ())
     uids
 
 let attach_store_node t ~node ?retry_delay () =
@@ -112,31 +112,45 @@ let reinsert_server_now t ~node ?(retry_delay = 2.0) () =
   List.iter
     (fun uid ->
       let started = Sim.Engine.now eng in
-      let rec attempt tries =
-        if tries = 0 then
-          Sim.Metrics.incr (Net.Network.metrics (netw t)) "reintegrate.insert_gave_up"
-        else
-          let r =
-            Action.Atomic.atomically (art t) ~node (fun act ->
-                match Router.insert r ~act ~uid node with
-                | Ok (Gvd.Granted ()) -> `Done
-                | Ok (Gvd.Busy _) | Ok (Gvd.Moved _) -> `Busy
-                | Ok (Gvd.Refused why) -> raise (Action.Atomic.Abort why)
-                | Error e -> raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
-          in
-          match r with
-          | Ok `Done ->
-              let elapsed = Sim.Engine.now eng -. started in
-              Sim.Metrics.observe
-                (Net.Network.metrics (netw t))
-                "reintegrate.insert_delay" elapsed;
-              tracef t "%s reinserted into Sv(%a) after %.2f" node Store.Uid.pp
-                uid elapsed
-          | Ok `Busy | Error _ ->
-              Sim.Engine.sleep eng retry_delay;
-              attempt (tries - 1)
+      let outcome =
+        Net.Retry.run
+          (Action.Atomic.retry (art t))
+          ~op:"reintegrate.insert"
+          (Net.Retry.policy ~attempts:60 ~base:retry_delay ~factor:1.3
+             ~max_delay:8.0 ())
+          (fun () ->
+            let res =
+              Action.Atomic.atomically (art t) ~node (fun act ->
+                  match Router.insert r ~act ~uid node with
+                  | Ok (Gvd.Granted ()) -> `Done
+                  | Ok (Gvd.Busy _) | Ok (Gvd.Moved _) -> `Busy
+                  | Ok (Gvd.Refused why) -> raise (Action.Atomic.Abort why)
+                  | Error e ->
+                      raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
+            in
+            match res with
+            | Ok `Done -> Ok ()
+            | Ok `Busy ->
+                (* Quiescence-pull: the Insert is blocked on use-list
+                   counters that may only be waiting out the coalescing
+                   window — flush those credits now instead of sleeping
+                   the window out. *)
+                Binder.pull_credits t ~uid;
+                Error "object not quiescent"
+            | Error e -> Error e)
       in
-      attempt 200)
+      match outcome with
+      | Ok () ->
+          let elapsed = Sim.Engine.now eng -. started in
+          Sim.Metrics.observe
+            (Net.Network.metrics (netw t))
+            "reintegrate.insert_delay" elapsed;
+          tracef t "%s reinserted into Sv(%a) after %.2f" node Store.Uid.pp uid
+            elapsed
+      | Error _ ->
+          Sim.Metrics.incr
+            (Net.Network.metrics (netw t))
+            "reintegrate.insert_gave_up")
     uids
 
 let attach_server_node t ~node ?retry_delay () =

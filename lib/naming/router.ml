@@ -69,27 +69,48 @@ let owner_gvd t uid =
 (* Shard a uid-keyed operation: run [call] against the owning instance,
    follow [Moved] hints, and absorb the migration window. The wrappers
    below never surface [Moved] to callers — an unresolvable bounce
-   (exhausted retries, hint at an unknown node) degrades to [Refused]. *)
+   (exhausted retries, hint at an unknown node) degrades to [Refused].
+   Moved hints are chased immediately (the destination is named in the
+   hint — no point backing off); only the migration in-flight window
+   waits, through the shared retry policy. *)
 let dispatch t ~uid (call : Gvd.t -> ('a Gvd.reply, Net.Rpc.error) result) =
   let m = metrics t in
-  let rec go g tries =
+  let bounces = ref bounce_tries in
+  let rec chase g =
     match call g with
     | Ok (Gvd.Moved dest) ->
         Sim.Metrics.incr m "router.bounces";
-        if tries <= 0 then Ok (Gvd.Refused "shard map unstable")
+        decr bounces;
+        if !bounces < 0 then `Done (Ok (Gvd.Refused "shard map unstable"))
         else (
           match gvd_for t dest with
-          | Some g' -> go g' (tries - 1)
-          | None -> Ok (Gvd.Refused ("moved to unknown shard " ^ dest)))
-    | Ok (Gvd.Refused "unknown object") when t.rt_migrating && tries > 0 ->
-        (* The entry may be in flight between shards: pause and re-route
-           from the current map. *)
-        Sim.Metrics.incr m "router.retry_waits";
-        Sim.Engine.sleep t.rt_eng migration_pause;
-        go (owner_gvd t uid) (tries - 1)
-    | r -> r
+          | Some g' -> chase g'
+          | None -> `Done (Ok (Gvd.Refused ("moved to unknown shard " ^ dest))))
+    | Ok (Gvd.Refused "unknown object") as r when t.rt_migrating ->
+        (* The entry may be in flight between shards: back off and
+           re-route from the current map. *)
+        `Wait r
+    | r -> `Done r
   in
-  go (owner_gvd t uid) bounce_tries
+  let last = ref None in
+  match
+    Net.Retry.run (Action.Atomic.retry t.rt_art) ~op:"router.dispatch"
+      (Net.Retry.policy ~attempts:(bounce_tries + 1) ~base:migration_pause
+         ~factor:1.5 ~max_delay:2.0 ())
+      (fun () ->
+        match chase (owner_gvd t uid) with
+        | `Done r -> Ok r
+        | `Wait r ->
+            last := Some r;
+            Sim.Metrics.incr m "router.retry_waits";
+            Error "entry in flight between shards")
+  with
+  | Ok r -> r
+  | Error _ -> (
+      (* Waited out the whole window: surface the shard's last answer. *)
+      match !last with
+      | Some r -> r
+      | None -> Ok (Gvd.Refused "unknown object"))
 
 (* -- uid-keyed database operations, shard-dispatched -- *)
 
@@ -240,30 +261,30 @@ let all_uids t =
    fiber (RPC to the source; in-process install at the destination). *)
 let migrate_one t ~from ~uid ~src ~dest_gvd =
   let m = metrics t in
-  let rec attempt tries =
-    if tries = 0 then false
-    else
-      match Gvd.handoff_out src ~from ~uid ~dest:(Gvd.node dest_gvd) with
-      | Ok (Gvd.Granted ho) ->
-          Gvd.accept_handoff dest_gvd ho;
-          Sim.Metrics.incr m "router.migrations";
-          true
-      | Ok (Gvd.Busy _) ->
-          Sim.Engine.sleep t.rt_eng 1.0;
-          attempt (tries - 1)
-      | Ok (Gvd.Moved dest) -> (
-          (* Someone already moved it (concurrent rebalance); chase. *)
-          match gvd_for t dest with
-          | Some g when g != dest_gvd ->
-              ignore (Gvd.handoff_out g ~from ~uid ~dest:(Gvd.node dest_gvd));
-              attempt (tries - 1)
-          | _ -> true)
-      | Ok (Gvd.Refused _) -> false
-      | Error _ ->
-          Sim.Engine.sleep t.rt_eng 1.0;
-          attempt (tries - 1)
+  let rec try_once g chases =
+    match Gvd.handoff_out g ~from ~uid ~dest:(Gvd.node dest_gvd) with
+    | Ok (Gvd.Granted ho) ->
+        Gvd.accept_handoff dest_gvd ho;
+        Sim.Metrics.incr m "router.migrations";
+        Ok true
+    | Ok (Gvd.Busy why) -> Error ("busy: " ^ why)
+    | Ok (Gvd.Moved dest) -> (
+        (* Someone already moved it (concurrent rebalance); chase. *)
+        match gvd_for t dest with
+        | Some g' when g' != dest_gvd ->
+            if chases > 0 then try_once g' (chases - 1)
+            else Error "chasing moved entry"
+        | _ -> Ok true)
+    | Ok (Gvd.Refused _) -> Ok false
+    | Error e -> Error (Net.Rpc.error_to_string e)
   in
-  attempt 60
+  match
+    Net.Retry.run (Action.Atomic.retry t.rt_art) ~op:"router.migrate"
+      (Net.Retry.policy ~attempts:60 ~base:1.0 ~factor:1.2 ~max_delay:4.0 ())
+      (fun () -> try_once src 4)
+  with
+  | Ok granted -> granted
+  | Error _ -> false
 
 let rebalance t ~from nodes =
   let nodes = List.sort_uniq String.compare nodes in

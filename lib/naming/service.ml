@@ -33,10 +33,12 @@ let bind_cache t = Binder.cache t.w_binder
 let metrics t = Net.Network.metrics t.w_net
 let trace t = Net.Network.trace t.w_net
 let uid_supply t = t.w_sup
+let topology t = t.w_topology
 
 let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     ?(durable_naming = false) ?(cleanup_period = 0.0) ?(extra_impls = [])
-    ?bind_cache_lease ?(naming_service_time = 0.0) topology =
+    ?bind_cache_lease ?(naming_service_time = 0.0) ?(use_flush_delay = 5.0)
+    topology =
   let eng = Sim.Engine.create ?seed () in
   let net = Net.Network.create ?latency eng in
   let rpc = Net.Rpc.create net in
@@ -80,7 +82,7 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       (fun lease -> Bind_cache.create ~lease (Net.Network.metrics net))
       bind_cache_lease
   in
-  let bdr = Binder.create ?cache router grt in
+  let bdr = Binder.create ?cache ~flush_delay:use_flush_delay router grt in
   List.iter
     (fun n -> Reintegration.attach_store_node bdr ~node:n ())
     topology.store_nodes;

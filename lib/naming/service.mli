@@ -34,6 +34,7 @@ val create :
   ?extra_impls:Replica.Object_impl.t list ->
   ?bind_cache_lease:float ->
   ?naming_service_time:float ->
+  ?use_flush_delay:float ->
   topology ->
   t
 (** Build a world. Stock object implementations (counter, account,
@@ -52,7 +53,10 @@ val create :
     of bind results with that lease duration (see {!Bind_cache}).
     [naming_service_time] (default 0.0) models the per-operation CPU cost
     of each naming shard (see {!Gvd.install}); both defaults reproduce
-    the seed behaviour exactly. *)
+    the seed behaviour exactly. [use_flush_delay] (default 5.0) is the
+    use-list decrement coalescing window handed to {!Binder.create}; a
+    blocked [Insert] pulls pending credits early regardless (see
+    {!Binder.pull_credits}). *)
 
 (* Substrate access *)
 
@@ -71,6 +75,9 @@ val bind_cache : t -> Bind_cache.t option
 val metrics : t -> Sim.Metrics.t
 val trace : t -> Sim.Trace.t
 val uid_supply : t -> Store.Uid.supply
+
+val topology : t -> topology
+(** The topology the world was created from. *)
 
 val create_object :
   t ->

@@ -69,6 +69,19 @@ let pending_uids t ~client =
 
 let is_empty t = t.queue = []
 
+let clients_with t ~uid =
+  List.filter_map
+    (fun (c, u) -> if Store.Uid.equal u uid then Some c else None)
+    t.queue
+
+let drop_client t ~client =
+  List.iter
+    (fun (c, u) ->
+      if String.equal c client then Hashtbl.remove t.buf (key c u))
+    t.queue;
+  t.queue <- List.filter (fun (c, _) -> not (String.equal c client)) t.queue;
+  Hashtbl.remove t.scheduled client
+
 let flush_scheduled t ~client = Hashtbl.mem t.scheduled client
 
 let set_flush_scheduled t ~client v =

@@ -54,5 +54,17 @@ val pending_uids : t -> client:Net.Network.node_id -> Store.Uid.t list
 
 val is_empty : t -> bool
 
+val clients_with : t -> uid:Store.Uid.t -> Net.Network.node_id list
+(** Clients holding credits for [uid], oldest entry first. Used by the
+    quiescence-pull: an [Insert] blocked on use-list counters flushes
+    these eagerly instead of waiting out the coalescing window. *)
+
+val drop_client : t -> client:Net.Network.node_id -> unit
+(** Forget every credit and the scheduled-flush flag of [client]. Called
+    from the client's crash hook: the counters its credits would have
+    decremented are now orphans for the cleanup protocol, and a stale
+    scheduled flag would wedge all flushing for the client's next
+    incarnation. *)
+
 val flush_scheduled : t -> client:Net.Network.node_id -> bool
 val set_flush_scheduled : t -> client:Net.Network.node_id -> bool -> unit

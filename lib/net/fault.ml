@@ -12,6 +12,31 @@ let crash_for net ~at ~duration id =
   crash_at net ~at id;
   recover_at net ~at:(at +. duration) id
 
+let at_time net ~at f =
+  let eng = Network.engine net in
+  let delay = at -. Sim.Engine.now eng in
+  Sim.Engine.schedule eng ~delay f
+
+let partition_for net ~at ~duration a b =
+  at_time net ~at (fun () -> Network.set_partitioned net a b true);
+  at_time net ~at:(at +. duration) (fun () ->
+      Network.set_partitioned net a b false)
+
+let cut_oneway_for net ~at ~duration ~src ~dst =
+  at_time net ~at (fun () -> Network.set_oneway_cut net ~src ~dst true);
+  at_time net ~at:(at +. duration) (fun () ->
+      Network.set_oneway_cut net ~src ~dst false)
+
+let link_faults_for net ~at ~duration ?drop ?dup ?reorder ?spike_prob ?spike
+    ~src ~dst () =
+  at_time net ~at (fun () ->
+      Network.set_link_fault net ?drop ?dup ?reorder ?spike_prob ?spike ~src
+        ~dst ());
+  at_time net ~at:(at +. duration) (fun () ->
+      Network.clear_link_fault net ~src ~dst)
+
+let heal_at net ~at = at_time net ~at (fun () -> Network.clear_all_faults net)
+
 let churn net ~rng ~mttf ~mttr ?(until = infinity) id =
   let eng = Network.engine net in
   Sim.Engine.spawn eng ~name:(id ^ ".churn") (fun () ->

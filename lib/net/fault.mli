@@ -1,8 +1,10 @@
-(** Failure injection: deterministic and stochastic crash schedules.
+(** Failure injection: deterministic and stochastic crash schedules, plus
+    scheduled message-level faults (drop/dup/reorder/delay-spike windows and
+    one-way partitions).
 
-    Experiments drive node failures through this module so that every
-    crash appears in the trace and the schedule is reproducible from the
-    engine seed. *)
+    Experiments drive node and message failures through this module so that
+    every injected fault appears in the trace (tags ["net"] / ["fault"])
+    and the schedule is reproducible from the engine seed. *)
 
 val crash_at : Network.t -> at:float -> Network.node_id -> unit
 (** Crash the node at absolute virtual time [at] (no-op if already down
@@ -13,6 +15,47 @@ val recover_at : Network.t -> at:float -> Network.node_id -> unit
 
 val crash_for : Network.t -> at:float -> duration:float -> Network.node_id -> unit
 (** Crash at [at], recover at [at +. duration]. *)
+
+val partition_for :
+  Network.t ->
+  at:float ->
+  duration:float ->
+  Network.node_id ->
+  Network.node_id ->
+  unit
+(** Symmetric partition between the pair for the window
+    [\[at, at +. duration\]]. *)
+
+val cut_oneway_for :
+  Network.t ->
+  at:float ->
+  duration:float ->
+  src:Network.node_id ->
+  dst:Network.node_id ->
+  unit
+(** Asymmetric partition: block [src]->[dst] delivery only, for the given
+    window. The reverse direction stays healthy. *)
+
+val link_faults_for :
+  Network.t ->
+  at:float ->
+  duration:float ->
+  ?drop:float ->
+  ?dup:float ->
+  ?reorder:float ->
+  ?spike_prob:float ->
+  ?spike:float ->
+  src:Network.node_id ->
+  dst:Network.node_id ->
+  unit ->
+  unit
+(** Install the given message-fault rule (see {!Network.set_link_fault}) on
+    the directed link for the window, then clear it. A one-way cut on the
+    same link is preserved across the clear. *)
+
+val heal_at : Network.t -> at:float -> unit
+(** Schedule {!Network.clear_all_faults} at time [at] — the heal step
+    before a chaos schedule quiesces. *)
 
 val churn :
   Network.t ->

@@ -15,30 +15,59 @@ type node = {
       (* per-source last FIFO delivery time *)
 }
 
+(* Directed per-link fault rule. Absent entry = healthy link: the lookup
+   miss is the fast path and performs no RNG draws, which keeps fault-free
+   worlds byte-identical to builds without the fault plane. *)
+type link_fault = {
+  mutable f_drop : float; (* P(message silently dropped) *)
+  mutable f_dup : float; (* P(second copy delivered later) *)
+  mutable f_reorder : float; (* P(delivery delayed past later sends) *)
+  mutable f_spike_p : float; (* P(latency spike added) *)
+  mutable f_spike : float; (* spike magnitude, time units *)
+  mutable f_cut : bool; (* one-way partition src->dst *)
+}
+
 type t = {
   eng : Sim.Engine.t;
   nodes : (node_id, node) Hashtbl.t;
   latency : Sim.Rng.t -> float;
   detect_delay : float;
   net_rng : Sim.Rng.t;
+  fault_rng : Sim.Rng.t;
   net_trace : Sim.Trace.t;
   net_metrics : Sim.Metrics.t;
   mutable partitions : (node_id * node_id) list;
+  faults : (node_id * node_id, link_fault) Hashtbl.t;
+  mutable faults_ever : bool;
 }
 
 let default_latency rng = Sim.Rng.uniform rng 0.5 1.5
 
+(* Derive an independent stream from [base] without advancing it: copy,
+   draw the copy once, and spread with the label hash. Deterministic from
+   the engine seed, zero perturbation of [base]'s own stream. *)
+let derive_stream base label =
+  let b = Sim.Rng.int64 (Sim.Rng.copy base) in
+  let h = Int64.of_int (Hashtbl.hash label) in
+  Sim.Rng.create (Int64.logxor b (Int64.mul h 0x9E3779B97F4A7C15L))
+
 let create ?(latency = default_latency) ?(detect_delay = 1.0) eng =
+  let net_rng = Sim.Rng.split (Sim.Engine.rng eng) in
   {
     eng;
     nodes = Hashtbl.create 16;
     latency;
     detect_delay;
-    net_rng = Sim.Rng.split (Sim.Engine.rng eng);
+    net_rng;
+    fault_rng = derive_stream net_rng "fault";
     net_trace = Sim.Trace.create ();
     net_metrics = Sim.Metrics.create ();
     partitions = [];
+    faults = Hashtbl.create 8;
+    faults_ever = false;
   }
+
+let derive_rng t label = derive_stream t.net_rng label
 
 let engine t = t.eng
 let trace t = t.net_trace
@@ -126,30 +155,160 @@ let set_partitioned t a b flag =
 
 let partitioned t a b = List.mem (pair a b) t.partitions
 
-let reachable t src dst = (node t dst).up && not (partitioned t src dst)
+(* -- Message-level fault plane ----------------------------------------- *)
+
+let find_fault t ~src ~dst = Hashtbl.find_opt t.faults (src, dst)
+
+let ensure_fault t ~src ~dst =
+  match find_fault t ~src ~dst with
+  | Some fl -> fl
+  | None ->
+      let fl =
+        {
+          f_drop = 0.0;
+          f_dup = 0.0;
+          f_reorder = 0.0;
+          f_spike_p = 0.0;
+          f_spike = 0.0;
+          f_cut = false;
+        }
+      in
+      Hashtbl.add t.faults (src, dst) fl;
+      t.faults_ever <- true;
+      fl
+
+let fault_blank fl =
+  fl.f_drop = 0.0 && fl.f_dup = 0.0 && fl.f_reorder = 0.0
+  && fl.f_spike_p = 0.0 && not fl.f_cut
+
+let drop_if_blank t ~src ~dst fl =
+  if fault_blank fl then Hashtbl.remove t.faults (src, dst)
+
+let set_link_fault t ?(drop = 0.0) ?(dup = 0.0) ?(reorder = 0.0)
+    ?(spike_prob = 0.0) ?(spike = 0.0) ~src ~dst () =
+  let fl = ensure_fault t ~src ~dst in
+  fl.f_drop <- drop;
+  fl.f_dup <- dup;
+  fl.f_reorder <- reorder;
+  fl.f_spike_p <- spike_prob;
+  fl.f_spike <- spike;
+  record t "fault" "link %s->%s drop=%.2f dup=%.2f reorder=%.2f spike=%.2f@p%.2f"
+    src dst drop dup reorder spike spike_prob;
+  drop_if_blank t ~src ~dst fl
+
+let clear_link_fault t ~src ~dst =
+  match find_fault t ~src ~dst with
+  | None -> ()
+  | Some fl ->
+      fl.f_drop <- 0.0;
+      fl.f_dup <- 0.0;
+      fl.f_reorder <- 0.0;
+      fl.f_spike_p <- 0.0;
+      fl.f_spike <- 0.0;
+      record t "fault" "link %s->%s healed" src dst;
+      drop_if_blank t ~src ~dst fl
+
+let set_oneway_cut t ~src ~dst flag =
+  (match find_fault t ~src ~dst with
+  | None when not flag -> ()
+  | _ ->
+      let fl = ensure_fault t ~src ~dst in
+      if fl.f_cut <> flag then
+        record t "fault" "oneway %s->%s %s" src dst
+          (if flag then "cut" else "restored");
+      fl.f_cut <- flag;
+      drop_if_blank t ~src ~dst fl);
+  ()
+
+let oneway_cut t ~src ~dst =
+  match find_fault t ~src ~dst with Some fl -> fl.f_cut | None -> false
+
+let clear_all_faults t =
+  if Hashtbl.length t.faults > 0 then begin
+    Hashtbl.reset t.faults;
+    record t "fault" "all message faults cleared"
+  end
+
+let faults_active t = Hashtbl.length t.faults > 0
+let faults_ever t = t.faults_ever
+
+let reachable t src dst =
+  (node t dst).up
+  && (not (partitioned t src dst))
+  && not (oneway_cut t ~src ~dst)
 
 let sample_latency t = t.latency t.net_rng
 
 (* Delivery: the message is "in the wire" for one latency sample; at
    delivery time it runs on the destination only if the destination is up
-   and the pair is unpartitioned at that moment. The destination may have
-   crashed and recovered while the message was in flight — it is then
-   delivered to the new incarnation, as a real network would. *)
+   and the pair is unpartitioned (and the directed link not cut) at that
+   moment. The destination may have crashed and recovered while the message
+   was in flight — it is then delivered to the new incarnation, as a real
+   network would. *)
 let deliver t ~src ~dst ~delay f =
   ignore src;
   Sim.Engine.schedule t.eng ~delay (fun () ->
       let n = node t dst in
       if n.up && not (partitioned t src dst) then
-        Sim.Engine.spawn t.eng ~group:n.grp ~name:(src ^ "->" ^ dst) f
+        if oneway_cut t ~src ~dst then begin
+          record t "fault" "cut drop %s->%s (one-way partition)" src dst;
+          Sim.Metrics.incr t.net_metrics "fault.cut_dropped"
+        end
+        else Sim.Engine.spawn t.eng ~group:n.grp ~name:(src ^ "->" ^ dst) f
       else begin
         record t "net" "drop %s->%s (dst down or partitioned)" src dst;
         Sim.Metrics.incr t.net_metrics "net.dropped"
       end)
 
+(* Apply per-link message faults. Invariant: every [send] consumes exactly
+   one [net_rng] latency draw whether or not a rule is installed, so
+   installing a fault on one link never shifts the latency stream observed
+   by other links. All fault decisions draw from the independent
+   [fault_rng] stream. *)
 let send t ~src ~dst f =
   Sim.Metrics.incr t.net_metrics "net.msgs";
-  deliver t ~src ~dst ~delay:(sample_latency t) f
+  let delay = sample_latency t in
+  match find_fault t ~src ~dst with
+  | None -> deliver t ~src ~dst ~delay f
+  | Some fl ->
+      if fl.f_drop > 0.0 && Sim.Rng.bool t.fault_rng fl.f_drop then begin
+        record t "fault" "drop %s->%s (injected)" src dst;
+        Sim.Metrics.incr t.net_metrics "fault.drop"
+      end
+      else begin
+        let delay =
+          if fl.f_spike_p > 0.0 && Sim.Rng.bool t.fault_rng fl.f_spike_p
+          then begin
+            record t "fault" "delay %s->%s +%.2f" src dst fl.f_spike;
+            Sim.Metrics.incr t.net_metrics "fault.delay";
+            delay +. fl.f_spike
+          end
+          else delay
+        in
+        let delay =
+          if fl.f_reorder > 0.0 && Sim.Rng.bool t.fault_rng fl.f_reorder
+          then begin
+            let extra = Sim.Rng.uniform t.fault_rng 1.0 3.0 in
+            record t "fault" "reorder %s->%s (held %.2f, later sends overtake)"
+              src dst extra;
+            Sim.Metrics.incr t.net_metrics "fault.reorder";
+            delay +. extra
+          end
+          else delay
+        in
+        if fl.f_dup > 0.0 && Sim.Rng.bool t.fault_rng fl.f_dup then begin
+          record t "fault" "dup %s->%s" src dst;
+          Sim.Metrics.incr t.net_metrics "fault.dup";
+          deliver t ~src ~dst
+            ~delay:(delay +. Sim.Rng.uniform t.fault_rng 0.1 1.0)
+            f
+        end;
+        deliver t ~src ~dst ~delay f
+      end
 
+(* FIFO sends model the sequencer's reliable ordered channel: drop, dup and
+   reorder would violate its contract (PROTOCOLS §11), so only delay spikes
+   and cuts apply here. *)
 let send_fifo t ~src ~dst f =
   Sim.Metrics.incr t.net_metrics "net.msgs";
   let n = node t dst in
@@ -162,7 +321,17 @@ let send_fifo t ~src ~dst f =
         r
   in
   let now = Sim.Engine.now t.eng in
-  let arrival = Float.max (now +. sample_latency t) (!last +. 1e-6) in
+  let lat = sample_latency t in
+  let lat =
+    match find_fault t ~src ~dst with
+    | Some fl when fl.f_spike_p > 0.0 && Sim.Rng.bool t.fault_rng fl.f_spike_p
+      ->
+        record t "fault" "delay %s->%s +%.2f (fifo)" src dst fl.f_spike;
+        Sim.Metrics.incr t.net_metrics "fault.delay";
+        lat +. fl.f_spike
+    | _ -> lat
+  in
+  let arrival = Float.max (now +. lat) (!last +. 1e-6) in
   last := arrival;
   deliver t ~src ~dst ~delay:(arrival -. now) f
 

@@ -94,7 +94,71 @@ val partitioned : t -> node_id -> node_id -> bool
 (** Whether the pair is currently partitioned. *)
 
 val reachable : t -> node_id -> node_id -> bool
-(** [reachable t src dst]: [dst] is up and not partitioned from [src]. *)
+(** [reachable t src dst]: [dst] is up, not partitioned from [src], and the
+    directed link [src]->[dst] is not one-way cut. *)
+
+(** {2 Message-level fault plane}
+
+    Directed per-link fault rules: drop, duplicate, reorder (delivery held
+    past later sends), latency spikes, and one-way cuts. Links with no rule
+    installed take the exact pre-fault code path with no extra RNG draws,
+    so fault-free worlds are byte-identical. Fault decisions draw from a
+    stream derived from (but independent of) the latency stream, making
+    every injected fault reproducible from the engine seed. Injections are
+    recorded in the trace under tag ["fault"] and counted as
+    [fault.drop] / [fault.dup] / [fault.reorder] / [fault.delay] /
+    [fault.cut_dropped] metrics.
+
+    {!send_fifo} channels (the sequencer multicast) are reliable-ordered by
+    contract: only delay spikes and cuts apply to them. *)
+
+val set_link_fault :
+  t ->
+  ?drop:float ->
+  ?dup:float ->
+  ?reorder:float ->
+  ?spike_prob:float ->
+  ?spike:float ->
+  src:node_id ->
+  dst:node_id ->
+  unit ->
+  unit
+(** Install (or overwrite) the message-fault rule for the directed link
+    [src]->[dst]. [drop], [dup], [reorder] and [spike_prob] are per-message
+    probabilities; [spike] is the extra latency added when a spike fires.
+    Omitted fields default to 0 (off); a rule with all fields off is
+    removed. A one-way cut set via {!set_oneway_cut} is preserved. *)
+
+val clear_link_fault : t -> src:node_id -> dst:node_id -> unit
+(** Remove drop/dup/reorder/spike injection from the directed link,
+    preserving any one-way cut. *)
+
+val set_oneway_cut : t -> src:node_id -> dst:node_id -> bool -> unit
+(** [set_oneway_cut t ~src ~dst true] blocks delivery in the [src]->[dst]
+    direction only — the asymmetric partition of the chaos harness.
+    Messages in flight when the cut lands are dropped at delivery time,
+    like symmetric partitions. *)
+
+val oneway_cut : t -> src:node_id -> dst:node_id -> bool
+(** Whether the directed link is currently cut. *)
+
+val clear_all_faults : t -> unit
+(** Remove every link fault rule and one-way cut (the heal step of a chaos
+    schedule). Symmetric partitions are not affected. *)
+
+val faults_active : t -> bool
+(** Whether any link fault rule (including one-way cuts) is installed. *)
+
+val faults_ever : t -> bool
+(** Whether any fault rule was ever installed in this network's lifetime.
+    The RPC layer uses this to switch on duplicate suppression without
+    taxing fault-free worlds. *)
+
+val derive_rng : t -> string -> Sim.Rng.t
+(** [derive_rng t label] is an independent RNG stream deterministically
+    derived from the network's seed and [label], without advancing any
+    existing stream. Derive at construction time: the derivation reads the
+    latency stream's current state. *)
 
 val sample_latency : t -> float
 (** Draw one latency sample from the network's model. *)

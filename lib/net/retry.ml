@@ -1,0 +1,154 @@
+(* Unified retry/backoff policy engine. Every protocol-level retry loop in
+   the system (recovery probes, reintegration, cleanup repairs, use-delta
+   flushes, router migration waits, group invocation failover) routes
+   through [run], so attempt bounds, backoff shape, deadline budgets and
+   per-destination breaker state are defined in exactly one place. *)
+
+type policy = {
+  attempts : int;
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+  budget : float option;
+}
+
+let policy ?(attempts = 5) ?(base = 1.0) ?(factor = 2.0) ?(max_delay = 16.0)
+    ?(jitter = 0.1) ?budget () =
+  if attempts < 1 then invalid_arg "Retry.policy: attempts < 1";
+  { attempts; base; factor; max_delay; jitter; budget }
+
+let default = policy ()
+
+type breaker = {
+  mutable consecutive : int;
+  mutable open_until : float;
+  mutable cooldown : float;
+}
+
+type t = {
+  net : Network.t;
+  rng : Sim.Rng.t;
+  breakers : (Network.node_id, breaker) Hashtbl.t;
+}
+
+let breaker_threshold = 3
+let breaker_cooldown = 8.0
+let breaker_max_cooldown = 64.0
+
+let create net =
+  {
+    net;
+    (* Derived stream: jitter is seed-deterministic and draws nothing from
+       the latency stream, so fault-free worlds that never sleep a backoff
+       are unperturbed. *)
+    rng = Network.derive_rng net "retry";
+    breakers = Hashtbl.create 8;
+  }
+
+let network t = t.net
+
+let breaker t dst =
+  match Hashtbl.find_opt t.breakers dst with
+  | Some b -> b
+  | None ->
+      let b =
+        { consecutive = 0; open_until = neg_infinity; cooldown = breaker_cooldown }
+      in
+      Hashtbl.add t.breakers dst b;
+      b
+
+let breaker_open t dst =
+  match Hashtbl.find_opt t.breakers dst with
+  | None -> false
+  | Some b -> Sim.Engine.now (Network.engine t.net) < b.open_until
+
+let run t ?dst ?deadline_at ~op (p : policy) body =
+  let eng = Network.engine t.net in
+  let m = Network.metrics t.net in
+  let now () = Sim.Engine.now eng in
+  let deadline =
+    Float.min
+      (match p.budget with None -> infinity | Some b -> now () +. b)
+      (match deadline_at with None -> infinity | Some d -> d)
+  in
+  let backoff k =
+    let d = Float.min p.max_delay (p.base *. (p.factor ** float_of_int (k - 1))) in
+    if p.jitter > 0.0 then
+      d *. (1.0 +. (p.jitter *. Sim.Rng.uniform t.rng (-1.0) 1.0))
+    else d
+  in
+  (* Shed the attempt without sending anything when the failure detector
+     reports the destination down or its breaker is open. The shed still
+     consumes an attempt and backs off, so budgets are unchanged — the call
+     is just cheaper than sending into a known-dead node. *)
+  let shed_reason dstid =
+    if not (Network.is_up t.net dstid) then Some "detector reports down"
+    else if breaker_open t dstid then Some "breaker open"
+    else None
+  in
+  let note_failure () =
+    match dst with
+    | None -> ()
+    | Some dstid ->
+        let b = breaker t dstid in
+        b.consecutive <- b.consecutive + 1;
+        if b.consecutive >= breaker_threshold && now () >= b.open_until then begin
+          (* Threshold crossed while closed/half-open: (re)open with an
+             escalating cooldown. A half-open probe that fails lands here
+             and doubles the cooldown again. *)
+          b.open_until <- now () +. b.cooldown;
+          b.cooldown <- Float.min breaker_max_cooldown (b.cooldown *. 2.0);
+          Sim.Metrics.incr m "retry.breaker_opens";
+          Sim.Trace.recordf (Network.trace t.net) ~now:(now ()) ~tag:"retry"
+            "breaker open dst=%s op=%s (cooldown %.1f)" dstid op b.cooldown
+        end
+  in
+  let note_success () =
+    match dst with
+    | None -> ()
+    | Some dstid ->
+        let b = breaker t dstid in
+        b.consecutive <- 0;
+        b.cooldown <- breaker_cooldown;
+        b.open_until <- neg_infinity
+  in
+  let rec attempt k =
+    let outcome =
+      match dst with
+      | Some dstid -> (
+          match shed_reason dstid with
+          | Some why ->
+              Sim.Metrics.incr m "retry.sheds";
+              Sim.Trace.recordf (Network.trace t.net) ~now:(now ())
+                ~tag:"retry" "shed dst=%s op=%s (%s)" dstid op why;
+              Error ("shed: " ^ why)
+          | None -> body ())
+      | None -> body ()
+    in
+    match outcome with
+    | Ok v ->
+        note_success ();
+        Ok v
+    | Error why ->
+        note_failure ();
+        if k >= p.attempts then begin
+          Sim.Metrics.incr m "retry.giveups";
+          Error why
+        end
+        else begin
+          let d = backoff k in
+          if now () +. d >= deadline then begin
+            Sim.Metrics.incr m "retry.deadline_exhausted";
+            Error why
+          end
+          else begin
+            Sim.Metrics.incr m "retry.retries";
+            Sim.Metrics.incr m ("retry.op." ^ op);
+            Sim.Metrics.observe m "retry.backoff" d;
+            Sim.Engine.sleep eng d;
+            attempt (k + 1)
+          end
+        end
+  in
+  attempt 1

@@ -31,12 +31,72 @@ type t = {
   net : Network.t;
   services : (Network.node_id * string, raw_handler) Hashtbl.t;
   default_timeout : float;
+  mutable next_req : int;
+  seen : (string, unit) Hashtbl.t;
+  dedup_hooked : (Network.node_id, unit) Hashtbl.t;
 }
 
 let create ?(default_timeout = 60.0) net =
-  { net; services = Hashtbl.create 64; default_timeout }
+  {
+    net;
+    services = Hashtbl.create 64;
+    default_timeout;
+    next_req = 0;
+    seen = Hashtbl.create 64;
+    dedup_hooked = Hashtbl.create 8;
+  }
 
 let network t = t.net
+
+(* At-most-once request guard. The fault plane can deliver a request twice
+   (dup injection); replaying a non-idempotent handler — staging a second
+   Increment in gvd.bind_batch, double-applying a merged Decrement — would
+   corrupt counters. Each request carries a fresh id; the destination keeps
+   a volatile seen-table (cleared when it crashes, like any in-memory dedup
+   cache) and drops replays, counted as [rpc.dup_suppressed]. Activated
+   only once a world installs message faults ([Network.faults_ever]), so
+   fault-free worlds allocate and check nothing. *)
+let dedup_key ~dst ~from rid =
+  String.concat "\x00" [ dst; from; string_of_int rid ]
+
+let hook_dedup_clear t dst =
+  if not (Hashtbl.mem t.dedup_hooked dst) then begin
+    Hashtbl.add t.dedup_hooked dst ();
+    Network.on_crash t.net dst (fun () ->
+        let prefix = dst ^ "\x00" in
+        let plen = String.length prefix in
+        let doomed =
+          Hashtbl.fold
+            (fun k () acc ->
+              if String.length k >= plen && String.sub k 0 plen = prefix then
+                k :: acc
+              else acc)
+            t.seen []
+        in
+        List.iter (Hashtbl.remove t.seen) doomed)
+  end
+
+(* Wrap a request-delivery thunk with the duplicate guard. Returns the
+   thunk unchanged in fault-free worlds. *)
+let guard_duplicate t ~from ~dst thunk =
+  if not (Network.faults_ever t.net) then thunk
+  else begin
+    hook_dedup_clear t dst;
+    let rid = t.next_req in
+    t.next_req <- rid + 1;
+    let key = dedup_key ~dst ~from rid in
+    fun () ->
+      if Hashtbl.mem t.seen key then begin
+        Sim.Metrics.incr (Network.metrics t.net) "rpc.dup_suppressed";
+        Sim.Trace.recordf (Network.trace t.net)
+          ~now:(Sim.Engine.now (Network.engine t.net))
+          ~tag:"rpc" "dup suppressed %s->%s" from dst
+      end
+      else begin
+        Hashtbl.add t.seen key ();
+        thunk ()
+      end
+  end
 
 let serve t ~node ep h =
   let raw payload ~reply =
@@ -83,21 +143,22 @@ let call t ~from ~dst ?timeout ep req =
         resume (Ok r)
       in
       watch_ref := Some (Network.watch_crash t.net dst (fun () -> finish (Error Crashed)));
-      Network.send t.net ~src:from ~dst (fun () ->
-          match Hashtbl.find_opt t.services (dst, ep.ep_name) with
-          | None ->
-              Network.send t.net ~src:dst ~dst:from (fun () ->
-                  finish (Error No_service))
-          | Some raw ->
-              raw (ep.inject_req req) ~reply:(fun resp_payload ->
-                  Network.send t.net ~src:dst ~dst:from (fun () ->
-                      match ep.project_resp resp_payload with
-                      | Some resp -> finish (Ok resp)
-                      | None ->
-                          failwith
-                            (Printf.sprintf
-                               "Rpc.call: response type mismatch on %s"
-                               ep.ep_name))))
+      Network.send t.net ~src:from ~dst
+        (guard_duplicate t ~from ~dst (fun () ->
+             match Hashtbl.find_opt t.services (dst, ep.ep_name) with
+             | None ->
+                 Network.send t.net ~src:dst ~dst:from (fun () ->
+                     finish (Error No_service))
+             | Some raw ->
+                 raw (ep.inject_req req) ~reply:(fun resp_payload ->
+                     Network.send t.net ~src:dst ~dst:from (fun () ->
+                         match ep.project_resp resp_payload with
+                         | Some resp -> finish (Ok resp)
+                         | None ->
+                             failwith
+                               (Printf.sprintf
+                                  "Rpc.call: response type mismatch on %s"
+                                  ep.ep_name)))))
     in
     let dt = match timeout with Some dt -> dt | None -> t.default_timeout in
     let outcome =
@@ -129,7 +190,8 @@ let call_all t ~from ?timeout ep reqs =
 let notify t ~from ~dst ep req =
   Sim.Metrics.incr (Network.metrics t.net) "rpc.notifies";
   if Network.reachable t.net from dst then
-    Network.send t.net ~src:from ~dst (fun () ->
-        match Hashtbl.find_opt t.services (dst, ep.ep_name) with
-        | None -> ()
-        | Some raw -> raw (ep.inject_req req) ~reply:(fun _ -> ()))
+    Network.send t.net ~src:from ~dst
+      (guard_duplicate t ~from ~dst (fun () ->
+           match Hashtbl.find_opt t.services (dst, ep.ep_name) with
+           | None -> ()
+           | Some raw -> raw (ep.inject_req req) ~reply:(fun _ -> ())))

@@ -196,53 +196,54 @@ let rpc_invoke rt g ~act ~write ~serial ~op server =
   | Error e -> Error (Unavailable (Net.Rpc.error_to_string e))
 
 (* Coordinator-cohort: find the coordinator (it may have moved after a
-   failover), with a bounded probe-retry loop while election settles. *)
+   failover), retrying through the shared policy while election settles. *)
 let find_coordinator rt g =
-  let rec probe attempts =
-    if attempts = 0 then None
-    else begin
-      (* Probe every member at once; pick the first (in member order)
-         claiming the coordinator role, as the serial scan did. *)
-      let candidate =
-        Sim.Join.all (eng rt)
-          (List.map
-             (fun m () ->
-               match
-                 Server.role_of rt.srv ~from:g.g_client ~server:m ~uid:g.g_uid
-               with
-               | Ok (Some Server.Coordinator) -> Some m
-               | Ok _ | Error _ -> None)
-             g.g_members)
-        |> List.find_map Fun.id
-      in
-      match candidate with
-      | Some m -> Some m
-      | None ->
-          Sim.Engine.sleep (eng rt) 2.0;
-          probe (attempts - 1)
-    end
+  (* Probe every member at once; pick the first (in member order)
+     claiming the coordinator role, as the serial scan did. *)
+  let probe () =
+    Sim.Join.all (eng rt)
+      (List.map
+         (fun m () ->
+           match
+             Server.role_of rt.srv ~from:g.g_client ~server:m ~uid:g.g_uid
+           with
+           | Ok (Some Server.Coordinator) -> Some m
+           | Ok _ | Error _ -> None)
+         g.g_members)
+    |> List.find_map Fun.id
   in
-  probe 10
+  match
+    Net.Retry.run (Action.Atomic.retry (art rt)) ~op:"group.find_coordinator"
+      (Net.Retry.policy ~attempts:10 ~base:2.0 ~factor:1.2 ~max_delay:4.0 ())
+      (fun () ->
+        match probe () with
+        | Some m -> Ok m
+        | None -> Error "no member claims the coordinator role")
+  with
+  | Ok m -> Some m
+  | Error _ -> None
 
 let cc_invoke rt g ~act ~write ~serial ~op =
-  let rec go attempts =
-    if attempts = 0 then Error (Unavailable "no coordinator found")
-    else
-      match find_coordinator rt g with
-      | None -> Error (Unavailable "no coordinator found")
-      | Some coordinator -> (
-          match rpc_invoke rt g ~act ~write ~serial ~op coordinator with
-          | Ok r -> Ok r
-          | Error Lock_refused -> Error Lock_refused
-          | Error Staged_lost -> Error Staged_lost
-          | Error (Unavailable _) ->
-              (* Coordinator died mid-call: wait for the election, retry the
-                 same serial (the dedup table makes this exactly-once). *)
-              Sim.Metrics.incr (metrics rt) "group.cc_failovers";
-              Sim.Engine.sleep (eng rt) 2.0;
-              go (attempts - 1))
-  in
-  go 5
+  match
+    Net.Retry.run (Action.Atomic.retry (art rt))
+      ?deadline_at:(Action.Atomic.deadline act) ~op:"group.cc_invoke"
+      (Net.Retry.policy ~attempts:5 ~base:2.0 ~factor:1.5 ~max_delay:8.0 ())
+      (fun () ->
+        match find_coordinator rt g with
+        | None -> Ok (Error (Unavailable "no coordinator found"))
+        | Some coordinator -> (
+            match rpc_invoke rt g ~act ~write ~serial ~op coordinator with
+            | Ok r -> Ok (Ok r)
+            | Error (Unavailable why) ->
+                (* Coordinator died mid-call: wait for the election, retry
+                   the same serial (the dedup table makes this
+                   exactly-once). *)
+                Sim.Metrics.incr (metrics rt) "group.cc_failovers";
+                Error why
+            | Error e -> Ok (Error e)))
+  with
+  | Ok r -> r
+  | Error why -> Error (Unavailable ("no coordinator answered: " ^ why))
 
 (* --- active replication: ordered multicast, first reply wins --- *)
 
@@ -293,15 +294,37 @@ let mc_invoke rt g ~act ~write ~serial ~op =
   end
 
 let invoke rt g ~act ?(write = true) op =
-  let serial = fresh_serial rt in
   Sim.Metrics.incr (metrics rt) "group.invocations";
-  match g.g_policy with
-  | Policy.Single_copy_passive -> (
-      match g.g_members with
-      | [ server ] -> rpc_invoke rt g ~act ~write ~serial ~op server
-      | _ -> Error (Unavailable "single-copy group has no unique server"))
-  | Policy.Coordinator_cohort _ -> cc_invoke rt g ~act ~write ~serial ~op
-  | Policy.Active _ -> mc_invoke rt g ~act ~write ~serial ~op
+  let attempt () =
+    (* A fresh serial per attempt: a [Locked] refusal never executed the
+       op, so the retry is a brand-new invocation to the dedup table. *)
+    let serial = fresh_serial rt in
+    match g.g_policy with
+    | Policy.Single_copy_passive -> (
+        match g.g_members with
+        | [ server ] -> rpc_invoke rt g ~act ~write ~serial ~op server
+        | _ -> Error (Unavailable "single-copy group has no unique server"))
+    | Policy.Coordinator_cohort _ -> cc_invoke rt g ~act ~write ~serial ~op
+    | Policy.Active _ -> mc_invoke rt g ~act ~write ~serial ~op
+  in
+  (* Lock refusals under contention are transient — the holder commits
+     and releases within a bounded action — so back off and retry rather
+     than bouncing the whole bind. No [~dst]: a lock refusal says nothing
+     about the node's health, and must not trip the breaker. *)
+  match
+    Net.Retry.run (Action.Atomic.retry (art rt))
+      ?deadline_at:(Action.Atomic.deadline act) ~op:"group.invoke"
+      (Net.Retry.policy ~attempts:6 ~base:1.0 ~factor:2.0 ~max_delay:8.0 ())
+      (fun () ->
+        match attempt () with
+        | Ok r -> Ok (Ok r)
+        | Error Lock_refused ->
+            Sim.Metrics.incr (metrics rt) "group.lock_retries";
+            Error "lock refused"
+        | Error e -> Ok (Error e))
+  with
+  | Ok r -> r
+  | Error _ -> Error Lock_refused
 
 let commit_view rt g ~act =
   let action = Action.Atomic.owner act in
@@ -324,15 +347,13 @@ let commit_view rt g ~act =
   (* A replica that answered the invocation exists (or existed); live
      replicas that are merely behind the ordered stream catch up within a
      few latencies, so retry briefly before giving up. *)
-  let rec rounds n =
-    match try_members (live_members rt g) with
-    | Some view -> Ok view
-    | None when n > 0 ->
-        Sim.Engine.sleep (eng rt) 2.0;
-        rounds (n - 1)
-    | None -> Error "no functioning replica holds the action's state"
-  in
-  rounds 5
+  Net.Retry.run (Action.Atomic.retry (art rt))
+    ?deadline_at:(Action.Atomic.deadline act) ~op:"group.commit_view"
+    (Net.Retry.policy ~attempts:6 ~base:2.0 ~factor:1.2 ~max_delay:4.0 ())
+    (fun () ->
+      match try_members (live_members rt g) with
+      | Some view -> Ok view
+      | None -> Error "no functioning replica holds the action's state")
 
 let passivate rt g ~from =
   ignore

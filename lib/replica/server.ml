@@ -526,21 +526,23 @@ let make_instance t node impl uid state role members =
   }
 
 let do_activate t node { a_uid; a_impl; a_stores; a_role; a_members } =
+  (* Idempotent path: refresh role and membership (re-binding, role
+     assignment after group formation, or a change in the degree of
+     replication). *)
+  let refresh inst =
+    let was = inst.i_role in
+    (if a_role = Coordinator then assume_coordinator t inst
+     else inst.i_role <- a_role);
+    inst.i_members <- a_members;
+    (if a_role = Cohort && was <> Cohort then
+       match a_members with
+       | coordinator :: _ when not (String.equal coordinator node) ->
+           arrange_promotion_chain t node a_uid coordinator
+       | _ -> ());
+    Activated inst.i_version
+  in
   match find_instance t node a_uid with
-  | Some inst ->
-      (* Idempotent; refresh role and membership (re-binding, role
-         assignment after group formation, or a change in the degree of
-         replication). *)
-      let was = inst.i_role in
-      (if a_role = Coordinator then assume_coordinator t inst
-       else inst.i_role <- a_role);
-      inst.i_members <- a_members;
-      (if a_role = Cohort && was <> Cohort then
-         match a_members with
-         | coordinator :: _ when not (String.equal coordinator node) ->
-             arrange_promotion_chain t node a_uid coordinator
-         | _ -> ());
-      Activated inst.i_version
+  | Some inst -> refresh inst
   | None -> (
       match Hashtbl.find_opt t.impls a_impl with
       | None -> Activation_failed ("unknown implementation " ^ a_impl)
@@ -559,9 +561,17 @@ let do_activate t node { a_uid; a_impl; a_stores; a_role; a_members } =
                       | Ok None | Error _ -> None))
                 None a_stores
           in
-          match state with
-          | None -> Activation_failed "no reachable object store holds the state"
-          | Some state ->
+          match (state, find_instance t node a_uid) with
+          | _, Some inst ->
+              (* The store read yielded; a concurrent activation installed
+                 the instance first. Installing ours would silently drop
+                 its applied-invocation table and lock state (every racing
+                 binder of a busy object would wipe the others), so defer
+                 to the winner. *)
+              Sim.Metrics.incr (metrics t) "server.activation_races";
+              refresh inst
+          | None, None -> Activation_failed "no reachable object store holds the state"
+          | Some state, None ->
               let inst = make_instance t node impl a_uid state a_role a_members in
               install_instance t node inst;
               if a_role = Cohort then begin
@@ -699,6 +709,21 @@ let local_instances t ~node =
   |> List.sort Store.Uid.compare
 
 let instance_exists t ~node ~uid = find_instance t node uid <> None
+
+let instance_residue t ~node =
+  Hashtbl.fold
+    (fun _ inst acc ->
+      let holders =
+        List.map fst (holders_snapshot inst) |> List.sort String.compare
+      in
+      let staged =
+        Hashtbl.fold (fun a _ acc -> a :: acc) inst.i_staged []
+        |> List.sort String.compare
+      in
+      if holders = [] && staged = [] then acc
+      else (inst.i_uid, holders, staged) :: acc)
+    (node_instances t node) []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Store.Uid.compare a b)
 
 let instance_payload t ~node ~uid =
   Option.map (fun i -> i.i_committed) (find_instance t node uid)

@@ -174,6 +174,15 @@ val local_instances : runtime -> node:Net.Network.node_id -> Store.Uid.t list
 
 val instance_exists : runtime -> node:Net.Network.node_id -> uid:Store.Uid.t -> bool
 
+val instance_residue :
+  runtime ->
+  node:Net.Network.node_id ->
+  (Store.Uid.t * string list * string list) list
+(** Instances on [node] that are not quiescent: each with the actions
+    still holding its instance lock and the actions with staged
+    (uncommitted) state. Empty once every action has completed — audits
+    assert exactly that after a world drains. *)
+
 val instance_payload :
   runtime -> node:Net.Network.node_id -> uid:Store.Uid.t -> string option
 (** Committed payload of a local instance, bypassing the network. *)

@@ -12,6 +12,8 @@ type t = {
   mutable fiber_error : exn option;
   mutable processed : int;
   mutable suspended : int;
+  mutable suspend_id : int;
+  suspended_tbl : (int, string * group) Hashtbl.t;
   mutable detect_deadlock : bool;
 }
 
@@ -34,6 +36,8 @@ let create ?(seed = 1L) () =
     fiber_error = None;
     processed = 0;
     suspended = 0;
+    suspend_id = 0;
+    suspended_tbl = Hashtbl.create 64;
     detect_deadlock = false;
   }
 
@@ -99,11 +103,16 @@ let spawn t ?group ?(name = "fiber") f =
                 Some
                   (fun (k : (a, unit) continuation) ->
                     t.suspended <- t.suspended + 1;
+                    let sid = t.suspend_id in
+                    t.suspend_id <- t.suspend_id + 1;
+                    Hashtbl.replace t.suspended_tbl sid (name, fg);
                     let fired = ref false in
                     let resume (r : (a, exn) result) =
-                      if (not !fired) && fg.alive then begin
+                      if not fg.alive then Hashtbl.remove t.suspended_tbl sid
+                      else if not !fired then begin
                         fired := true;
                         t.suspended <- t.suspended - 1;
+                        Hashtbl.remove t.suspended_tbl sid;
                         push t ~delay:0.0 (fun () ->
                             if fg.alive then begin
                               current_group := fg;
@@ -174,3 +183,17 @@ let run ?(until = infinity) ?(max_steps = max_int) t =
   loop 0
 
 let processed_events t = t.processed
+
+let leaked_fibers t =
+  (* Prune registry entries whose group died: those fibers vanished with a
+     crash, which is fail-silent semantics, not a leak. What remains — a
+     suspension in a live group after the queue has drained — waits for a
+     wakeup that can no longer come. *)
+  let dead =
+    Hashtbl.fold
+      (fun sid (_, fg) acc -> if fg.alive then acc else sid :: acc)
+      t.suspended_tbl []
+  in
+  List.iter (Hashtbl.remove t.suspended_tbl) dead;
+  Hashtbl.fold (fun _ (nm, _) acc -> nm :: acc) t.suspended_tbl []
+  |> List.sort String.compare

@@ -104,3 +104,11 @@ val run : ?until:float -> ?max_steps:int -> t -> unit
 
 val processed_events : t -> int
 (** Number of events processed so far; useful for budget assertions. *)
+
+val leaked_fibers : t -> string list
+(** Names of fibers currently suspended whose group is still alive, sorted.
+    Meaningful after {!run} has drained the queue: a live-group suspension
+    with no pending event waits for a wakeup that cannot come — a lost
+    resume, an ivar nobody will fill, a lock nobody will release. Entries
+    belonging to killed groups are pruned (crash is fail-silent by design,
+    not a leak). *)

@@ -28,6 +28,81 @@ let mutual_consistency w uid =
   in
   check None states
 
+(* --- consolidated post-chaos audit --- *)
+
+let chaos w =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let net = Service.network w in
+  let topo = Service.topology w in
+  let uid_str uid = Format.asprintf "%a" Store.Uid.pp uid in
+  (* Per-shard, per-object invariants: mutual consistency of StA and
+     use-list quiescence (a non-empty counter after quiesce + cleanup is
+     an orphan the protocol failed to repair, or a live client's credit
+     that never flushed). *)
+  List.iter
+    (fun g ->
+      List.iter
+        (fun uid ->
+          (match mutual_consistency w uid with
+          | Ok () -> ()
+          | Error why -> add "%s: %s" (uid_str uid) why);
+          if not (Gvd.quiescent g uid) then begin
+            let counters =
+              List.concat_map
+                (fun (node, ul) ->
+                  List.map
+                    (fun (client, n) ->
+                      Printf.sprintf "%s@%s=%d" client node n)
+                    (Use_list.clients ul))
+                (Gvd.current_uses g uid)
+            in
+            add "%s: use-list counters not quiescent (%s)" (uid_str uid)
+              (String.concat ", " counters)
+          end)
+        (Gvd.all_uids g);
+      (match Gvd.residual_locks g with
+      | [] -> ()
+      | held ->
+          add "shard %s: residual database locks on %s" (Gvd.node g)
+            (String.concat ", " (List.map fst held)));
+      match Gvd.residual_actions g with
+      | [] -> ()
+      | acts ->
+          add "shard %s: residual staged state of actions %s" (Gvd.node g)
+            (String.concat ", " acts))
+    (Router.gvds (Service.router w));
+  (* 2PC reservations: every intent-log entry must have resolved. *)
+  List.iter
+    (fun node ->
+      if Net.Network.is_up net node then
+        match
+          Store.Intent_log.in_doubt
+            (Action.Store_host.log (Service.store_host w) node)
+        with
+        | [] -> ()
+        | acts ->
+            add "store %s: unresolved reservations of %s" node
+              (String.concat ", " acts))
+    topo.Service.store_nodes;
+  (* Server instances: no held instance locks, no staged invocations. *)
+  List.iter
+    (fun node ->
+      if Net.Network.is_up net node then
+        List.iter
+          (fun (uid, holders, staged) ->
+            add "server %s: instance %s residue (locks: %s; staged: %s)"
+              node (uid_str uid)
+              (String.concat ", " holders)
+              (String.concat ", " staged))
+          (Replica.Server.instance_residue (Service.server_runtime w) ~node))
+    topo.Service.server_nodes;
+  (* A drained engine must hold no suspended fiber of a live node. *)
+  (match Sim.Engine.leaked_fibers (Service.engine w) with
+  | [] -> ()
+  | fibers -> add "leaked fibers: %s" (String.concat ", " fibers));
+  List.rev !violations
+
 type stress_report = {
   sr_attempts : int;
   sr_commits : int;

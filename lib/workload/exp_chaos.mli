@@ -1,0 +1,45 @@
+(** Deterministic chaos harness (experiment [tab-chaos]).
+
+    Composes crash churn, symmetric and one-way partitions, and
+    message-level link faults (drop/duplicate/reorder/delay-spike) into a
+    randomized, seed-deterministic schedule over bind/commit workloads
+    with a mid-run naming-shard rebalance, then heals every fault,
+    drains, runs the post-heal janitor passes (in-doubt re-resolution,
+    cleanup sweeps) and checks the consolidated {!Audit.chaos} invariants
+    plus commit-accounting bounds and snapshot-version monotonicity.
+
+    Every run is a pure function of its seed: a failing seed replays the
+    whole world bit-for-bit, and the offending schedule is greedily
+    minimized (event dropping) before being reported. *)
+
+type fault_event
+
+val pp_event : Format.formatter -> fault_event -> unit
+
+val gen_events : seed:int64 -> fault_event list
+(** The schedule for [seed] — pure, stable across runs. *)
+
+type outcome = {
+  oc_violations : string list;  (** empty means the world quiesced clean *)
+  oc_commits : int;
+  oc_retries : int;  (** [retry.retries] counter *)
+  oc_faults : int;  (** injected message faults (sum of [fault.*]) *)
+}
+
+val run_world : seed:int64 -> events:fault_event list -> outcome
+(** One full run: build the world from [seed], inject [events], drive the
+    workload to quiescence, audit. Deterministic in [(seed, events)]. *)
+
+val check_seed : int64 -> outcome * fault_event list option
+(** Run [gen_events] for the seed; on violation, also the minimized
+    schedule ([None] when the run was clean). *)
+
+val default_seeds : int64 list
+(** The eight seeds the CI smoke job replays. *)
+
+val run_check : ?seeds:int64 list -> unit -> Table.t * bool
+(** The experiment table plus an all-clean flag (for CLI exit codes).
+    Failing seeds are detailed in the table notes: seed, minimized
+    schedule, violations. *)
+
+val run : ?seeds:int64 list -> unit -> Table.t

@@ -44,8 +44,12 @@ let run_config ~seed ~scheme ~clients =
           done))
     client_nodes;
   Service.run w;
+  (* Retried server/database acquisitions are extra protocol rounds a
+     bind actually paid; fold them into the per-bind rounds figure. *)
+  let binds = float_of_int (8 * clients) in
+  let retries = Sim.Metrics.counter m "retry.op.group.invoke" in
   ( Sim.Metrics.mean m "exp.bind_latency",
-    Sim.Metrics.mean m "bind.naming_rounds",
+    Sim.Metrics.mean m "bind.naming_rounds" +. (float_of_int retries /. binds),
     Sim.Metrics.counter m "lock.waited",
     Sim.Metrics.counter m "exp.bind_failures" )
 
@@ -76,7 +80,7 @@ let run ?(seed = 131L) () =
         "clients";
         "scheme";
         "bind latency mean";
-        "rpc rounds/bind";
+        "rpc rounds/bind (incl. retries)";
         "db lock waits";
         "bind failures";
       ]
@@ -89,6 +93,9 @@ let run ?(seed = 131L) () =
         "lock; with snapshot reads and the single-round batched bind the";
         "Increment becomes a Delta-mode append, so their latency now also";
         "stays near-flat and a bind costs one RPC round (column 4) against";
-        "three for scheme A's GetServer + GetView (+ impl lookup).";
+        "three for scheme A's GetServer + GetView (+ impl lookup). Server";
+        "acquisitions refused under contention go through Net.Retry backoff";
+        "instead of failing the bind; each retry counts as an extra round";
+        "in column 4.";
       ]
     rows

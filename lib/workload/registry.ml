@@ -121,6 +121,12 @@ let all =
       synopsis = "naming tier sharded over N nodes; lease cache; online rebalance";
       runner = (fun () -> Exp_shard_scaling.run ());
     };
+    {
+      id = "tab-chaos";
+      paper_artefact = "§2.3 safety obligations (validation)";
+      synopsis = "seeded fault-injection schedules + consolidated invariant audit";
+      runner = (fun () -> Exp_chaos.run ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -297,6 +297,26 @@ let prop_snapshot_version_monotone =
       monotone := !monotone && Gvd.snapshot_version (Service.gvd w) uid >= !last;
       !monotone)
 
+(* ------------------------------------------------------------------ *)
+(* The headline robustness property: any seed's generated fault schedule,
+   applied to the chaos world and quiesced, passes the consolidated
+   audit. Each instance is a full nemesis run, so the count is small; a
+   failing instance reports the offending chaos seed for replay. *)
+
+let prop_chaos_schedules_audit_clean =
+  QCheck.Test.make ~name:"random chaos schedules audit clean" ~count:4
+    QCheck.(int_bound 1_000_000)
+    (fun n ->
+      let seed = Int64.of_int ((n * 2654435761) lor 1) in
+      let events = Workload.Exp_chaos.gen_events ~seed in
+      let o = Workload.Exp_chaos.run_world ~seed ~events in
+      match o.Workload.Exp_chaos.oc_violations with
+      | [] -> true
+      | vs ->
+          QCheck.Test.fail_reportf
+            "chaos seed %Ld: %s@.replay: repro chaos --seeds %Ld" seed
+            (String.concat "; " vs) seed)
+
 let suite =
   [
     ( "properties",
@@ -306,5 +326,6 @@ let suite =
         Test_util.qcheck prop_active_replicas_identical;
         Test_util.qcheck prop_scheme_soup_quiescent;
         Test_util.qcheck prop_snapshot_version_monotone;
+        Test_util.qcheck prop_chaos_schedules_audit_clean;
       ] );
   ]
