@@ -302,6 +302,46 @@ let bench_batched_vs_serial () =
       done);
   Service.run w
 
+(* The same five-commit copy-back episode both ways, back to back: delta
+   shipping on, then off. The "small" subject writes a counter (payload
+   is op-sized, deltas buy little); the "large" subject makes small
+   writes to a kvmap preloaded with ~1.5 KB of entries, where the delta
+   path ships a few dozen op bytes per store instead of the whole
+   payload. The spread within each subject is what delta shipping buys
+   on the copy-back hot path. *)
+let bench_delta_vs_full ~impl ~initial ~op () =
+  let open Naming in
+  let one delta =
+    let w =
+      Service.create ~seed:5L ~delta_shipping:delta
+        {
+          Service.gvd_node = "ns";
+          gvd_nodes = [];
+          server_nodes = [ "alpha" ];
+          store_nodes = [ "beta1"; "beta2" ];
+          client_nodes = [ "c1" ];
+        }
+    in
+    let uid =
+      Service.create_object w ~name:"obj" ~impl ?initial ~sv:[ "alpha" ]
+        ~st:[ "beta1"; "beta2" ] ()
+    in
+    Service.spawn_client w "c1" (fun () ->
+        for i = 1 to 5 do
+          ignore
+            (Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+               ~policy:Replica.Policy.Single_copy_passive ~uid
+               (fun act group -> Service.invoke w group ~act (op i)))
+        done);
+    Service.run w
+  in
+  one true;
+  one false
+
+let delta_large_preload =
+  String.concat ";"
+    (List.init 40 (fun i -> Printf.sprintf "key%02d=%032d" i i))
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -334,6 +374,15 @@ let micro_tests =
         (Staged.stage bench_router_binds_sharded);
       Test.make ~name:"cache.5-repeat-binds"
         (Staged.stage bench_cached_repeat_binds);
+      Test.make ~name:"commit.delta-vs-full-small"
+        (Staged.stage
+           (bench_delta_vs_full ~impl:"counter" ~initial:None ~op:(fun i ->
+                Printf.sprintf "add %d" i)));
+      Test.make ~name:"commit.delta-vs-full-large"
+        (Staged.stage
+           (bench_delta_vs_full ~impl:"kvmap"
+              ~initial:(Some delta_large_preload) ~op:(fun i ->
+                Printf.sprintf "put hot v%d" i)));
     ]
 
 (* Run the micro suite; print the human table and return the per-subject

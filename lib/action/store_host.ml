@@ -1,13 +1,22 @@
 type host = { h_objects : Store.Object_store.t; h_log : Store.Intent_log.t }
 
 type read_req = Store.Uid.t
+
+type delta = {
+  d_impl : string;
+  d_base : int;
+  d_steps : (Store.Version.t * string list) list; (* oldest first, contiguous *)
+}
+
+type write = Full of Store.Object_state.t | Delta of delta
+
 type prepare_req = {
   pr_action : string;
   pr_coordinator : string;
-  pr_writes : (Store.Uid.t * Store.Object_state.t) list;
+  pr_writes : (Store.Uid.t * write) list;
 }
 
-type vote = Vote_yes | Vote_stale
+type vote = Vote_yes | Vote_stale | Vote_delta_miss of int
 
 type t = {
   rpc_rt : Net.Rpc.t;
@@ -18,6 +27,13 @@ type t = {
   mutable reservation_hook :
     (node:Net.Network.node_id -> blockers:(string * string) list -> unit)
     option;
+  (* Folds one operation over a payload under a named implementation;
+     [None] refuses (unknown implementation, or the op failed to apply).
+     Installed by the world-assembly layer from the object-implementation
+     registry: stores sit below the replica layer and cannot reach the
+     registry themselves. Unset means every delta prepare misses. *)
+  mutable delta_applier :
+    (impl:string -> payload:string -> op:string -> string option) option;
   ep_read : (read_req, Store.Object_state.t option) Net.Rpc.endpoint;
   ep_prepare : (prepare_req, vote) Net.Rpc.endpoint;
   ep_commit : (string, unit) Net.Rpc.endpoint;
@@ -31,6 +47,7 @@ let create rpc_rt =
     hosts = Hashtbl.create 16;
     prepare_hook = None;
     reservation_hook = None;
+    delta_applier = None;
     ep_read = Net.Rpc.endpoint "store.read";
     ep_prepare = Net.Rpc.endpoint "store.prepare";
     ep_commit = Net.Rpc.endpoint "store.commit";
@@ -64,6 +81,76 @@ let apply_commit h action =
         writes);
   Store.Intent_log.resolve h.h_log ~action
 
+(* Resolve a wire write to the full state the intent log will stage.
+
+   A [Full] write passes through. A [Delta] folds its op suffix over the
+   store's committed payload — but only when the suffix's base version is
+   exactly what the store holds (a lower base would re-apply history, a
+   higher one would skip it) and every step is present, contiguous, and
+   applies cleanly. Anything else is a {e delta miss}, answered with the
+   store's committed counter so the coordinator can reseed its vector and
+   ship full state. The resolved state is staged like any full write:
+   phase 2, in-doubt resolution and recovery replay see no difference.
+
+   Re-delivery safety: a duplicate delta prepare before the commit
+   re-folds over the unchanged committed payload to the identical staged
+   state ({!Store.Intent_log.prepare} replaces); one arriving after the
+   commit finds the store already at the delta's target version and
+   resolves to the store's own state — the delta counterpart of the full
+   path's same-version replay acceptance. *)
+let resolve_write t h = function
+  | uid, Full state -> Ok (uid, state, `Full)
+  | uid, Delta d -> (
+      let current = Store.Object_store.read h.h_objects uid in
+      let committed_counter =
+        match current with
+        | Some e -> e.Store.Object_state.version.Store.Version.counter
+        | None -> -1
+      in
+      let target =
+        match List.rev d.d_steps with
+        | (v, _) :: _ -> Some v
+        | [] -> None
+      in
+      let contiguous =
+        let rec check prev = function
+          | [] -> true
+          | ((v : Store.Version.t), ops) :: rest ->
+              ops <> []
+              && (match prev with
+                 | None -> v.counter = d.d_base + 1
+                 | Some p -> Store.Version.follows v p)
+              && check (Some v) rest
+        in
+        check None d.d_steps
+      in
+      match (current, target) with
+      | Some existing, Some target
+        when Store.Version.equal existing.Store.Object_state.version target ->
+          Ok (uid, existing, `Delta)
+      | Some existing, Some _
+        when committed_counter = d.d_base && contiguous -> (
+          match t.delta_applier with
+          | None -> Error (uid, committed_counter)
+          | Some apply -> (
+              let folded =
+                List.fold_left
+                  (fun acc (_, ops) ->
+                    Option.bind acc (fun payload ->
+                        List.fold_left
+                          (fun acc op ->
+                            Option.bind acc (fun payload ->
+                                apply ~impl:d.d_impl ~payload ~op))
+                          (Some payload) ops))
+                  (Some existing.Store.Object_state.payload)
+                  d.d_steps
+              in
+              match (folded, target) with
+              | Some payload, Some version ->
+                  Ok (uid, Store.Object_state.make ~payload ~version, `Delta)
+              | _ -> Error (uid, committed_counter)))
+      | _ -> Error (uid, committed_counter))
+
 let add t node =
   if Hashtbl.mem t.hosts node then
     invalid_arg (Printf.sprintf "Store_host.add: %s already hosted" node);
@@ -72,30 +159,54 @@ let add t node =
   Net.Rpc.serve t.rpc_rt ~node t.ep_read (fun uid ->
       Store.Object_store.read h.h_objects uid);
   Net.Rpc.serve t.rpc_rt ~node t.ep_prepare (fun { pr_action; pr_coordinator; pr_writes } ->
+      let netw = Net.Rpc.network t.rpc_rt in
+      let resolved, misses =
+        List.fold_left
+          (fun (resolved, misses) w ->
+            match resolve_write t h w with
+            | Ok r -> (r :: resolved, misses)
+            | Error m -> (resolved, m :: misses))
+          ([], []) pr_writes
+      in
+      let resolved = List.rev resolved and misses = List.rev misses in
+      match misses with
+      | (uid, counter) :: _ ->
+          Sim.Metrics.incr (Net.Network.metrics netw) "store.delta_misses";
+          Sim.Trace.recordf (Net.Network.trace netw)
+            ~now:(Sim.Engine.now (Net.Network.engine netw)) ~tag:"store"
+            "%s: %s delta miss on %s (store at %d)" node pr_action
+            (Store.Uid.to_string uid) counter;
+          Vote_delta_miss counter
+      | [] ->
       (* Backward validation: each write must be the direct successor of
          the committed state (or recreate the same version during a
          recovery replay). A gap or a sibling version means the writer
-         activated from a stale state. *)
-      let valid (uid, state) =
-        match Store.Object_store.read h.h_objects uid with
-        | None -> true
-        | Some existing ->
-            let incoming = state.Store.Object_state.version.Store.Version.counter in
-            let current = existing.Store.Object_state.version.Store.Version.counter in
-            incoming = current + 1 || incoming = current && Store.Object_state.equal state existing
+         activated from a stale state. Delta-resolved writes already
+         proved succession (their op chain starts at the committed
+         counter), including multi-step chains a full write could not
+         validate. *)
+      let valid (uid, state, origin) =
+        match origin with
+        | `Delta -> true
+        | `Full -> (
+            match Store.Object_store.read h.h_objects uid with
+            | None -> true
+            | Some existing ->
+                let incoming = state.Store.Object_state.version.Store.Version.counter in
+                let current = existing.Store.Object_state.version.Store.Version.counter in
+                incoming = current + 1 || incoming = current && Store.Object_state.equal state existing)
       in
       (* A pending prepare of another action is a write reservation:
          admitting a second writer for the same object would let two
          version-(n+1) siblings both commit (the apply order, not the
          validation, would then pick the survivor). *)
-      let reserved (uid, _) =
+      let reserved (uid, _, _) =
         List.exists
           (fun a -> not (String.equal a pr_action))
           (Store.Intent_log.pending_writers h.h_log uid)
       in
-      let netw = Net.Rpc.network t.rpc_rt in
       List.iter
-        (fun ((uid, state) as w) ->
+        (fun ((uid, state, _) as w) ->
           if not (valid w) then
             Sim.Trace.recordf (Net.Network.trace netw)
               ~now:(Sim.Engine.now (Net.Network.engine netw)) ~tag:"store"
@@ -114,11 +225,12 @@ let add t node =
                     (fun a -> not (String.equal a pr_action))
                     (Store.Intent_log.pending_writers h.h_log uid)))
               (Store.Uid.to_string uid))
-        pr_writes;
-      if List.for_all valid pr_writes && not (List.exists reserved pr_writes)
+        resolved;
+      if List.for_all valid resolved && not (List.exists reserved resolved)
       then begin
         Store.Intent_log.prepare h.h_log ~action:pr_action
-          ~coordinator:pr_coordinator pr_writes;
+          ~coordinator:pr_coordinator
+          (List.map (fun (uid, state, _) -> (uid, state)) resolved);
         (match t.prepare_hook with
         | Some hook ->
             hook ~node ~action:pr_action ~coordinator:pr_coordinator
@@ -137,7 +249,7 @@ let add t node =
             let blockers =
               List.sort_uniq compare
                 (List.concat_map
-                   (fun (uid, _) ->
+                   (fun (uid, _, _) ->
                      List.filter_map
                        (fun a ->
                          if String.equal a pr_action then None
@@ -147,7 +259,7 @@ let add t node =
                                (a, coordinator))
                              (Store.Intent_log.prepared h.h_log ~action:a))
                        (Store.Intent_log.pending_writers h.h_log uid))
-                   pr_writes)
+                   resolved)
             in
             if blockers <> [] then hook ~node ~blockers);
         Vote_stale
@@ -167,18 +279,37 @@ let seed t node uid state = Store.Object_store.write (host t node).h_objects uid
 
 let read t ~from ~store uid = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_read uid
 
+let full_writes writes = List.map (fun (uid, state) -> (uid, Full state)) writes
+
 let prepare t ~from ~store ~action ~coordinator writes =
   Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_prepare
-    { pr_action = action; pr_coordinator = coordinator; pr_writes = writes }
+    {
+      pr_action = action;
+      pr_coordinator = coordinator;
+      pr_writes = full_writes writes;
+    }
 
 let commit t ~from ~store ~action = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_commit action
 
 let abort t ~from ~store ~action = Net.Rpc.call t.rpc_rt ~from ~dst:store t.ep_abort action
 
 let prepare_all t ~from ~stores ~action ~coordinator writes =
-  let req = { pr_action = action; pr_coordinator = coordinator; pr_writes = writes } in
+  let req =
+    {
+      pr_action = action;
+      pr_coordinator = coordinator;
+      pr_writes = full_writes writes;
+    }
+  in
   Net.Rpc.call_all t.rpc_rt ~from t.ep_prepare
     (List.map (fun store -> (store, req)) stores)
+
+let prepare_each t ~from ~action ~coordinator writes =
+  Net.Rpc.call_all t.rpc_rt ~from t.ep_prepare
+    (List.map
+       (fun (store, ws) ->
+         (store, { pr_action = action; pr_coordinator = coordinator; pr_writes = ws }))
+       writes)
 
 let commit_all t ~from ~stores ~action =
   Net.Rpc.call_all t.rpc_rt ~from t.ep_commit
@@ -193,6 +324,7 @@ let decision t ~from ~coordinator ~action =
 
 let set_prepare_hook t hook = t.prepare_hook <- Some hook
 let set_reservation_hook t hook = t.reservation_hook <- Some hook
+let set_delta_applier t applier = t.delta_applier <- Some applier
 
 let record_decision t ~node ~action d =
   Store.Intent_log.record_decision (host t node).h_log ~action d

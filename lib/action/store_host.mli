@@ -48,13 +48,38 @@ val read :
   (Store.Object_state.t option, Net.Rpc.error) result
 (** Read the committed state of an object from a store node. *)
 
+type delta = {
+  d_impl : string;  (** implementation folding the ops *)
+  d_base : int;
+      (** committed counter the suffix starts above: the store must hold
+          exactly this version for the delta to apply *)
+  d_steps : (Store.Version.t * string list) list;
+      (** the op suffix, oldest first; contiguous versions
+          [d_base+1 ..], each with the ops that produced it *)
+}
+(** A delta write: the operation suffix [(d_base, target]] of an object's
+    committed history, shipped in place of the full state when the
+    coordinator knows the store already holds version [d_base] (see
+    {!Replica.Oplog}). The store folds the ops over its committed payload
+    {e at prepare time} and stages the resulting full state, so phase 2,
+    in-doubt resolution and recovery replay are identical to the
+    full-state path. *)
+
+type write = Full of Store.Object_state.t | Delta of delta
+
 (** A participant's phase-1 vote. [Vote_stale] is backward validation:
     the incoming state's version is not the direct successor of what the
     store holds, meaning the writer worked from a stale activation (e.g.
     two clients activated disjoint replica sets during churn — the
     split-brain the Arjuna lock store prevents physically). The action
-    must abort; excluding the store would be wrong, it is healthy. *)
-type vote = Vote_yes | Vote_stale
+    must abort; excluding the store would be wrong, it is healthy.
+
+    [Vote_delta_miss c] refuses a delta whose base does not match the
+    store's committed counter [c] ([-1] when the store holds nothing), or
+    that the store cannot fold (no applier, unknown implementation, an op
+    that fails). Nothing was staged; the coordinator reseeds its
+    acknowledged-version vector from [c] and retries with full state. *)
+type vote = Vote_yes | Vote_stale | Vote_delta_miss of int
 
 val prepare :
   t ->
@@ -64,8 +89,8 @@ val prepare :
   coordinator:Net.Network.node_id ->
   (Store.Uid.t * Store.Object_state.t) list ->
   (vote, Net.Rpc.error) result
-(** Phase-1 write: validate versions and record intentions durably on
-    [store]; [Ok Vote_yes] is a yes-vote. *)
+(** Phase-1 write of full states: validate versions and record intentions
+    durably on [store]; [Ok Vote_yes] is a yes-vote. *)
 
 val commit :
   t ->
@@ -97,6 +122,17 @@ val prepare_all :
     votes come back in store order. The commit-time state copy (§2.3(3))
     issues this one parallel write to all of [StA] instead of a chain of
     blocking calls, so its latency is one round-trip, not [|St|] of them. *)
+
+val prepare_each :
+  t ->
+  from:Net.Network.node_id ->
+  action:string ->
+  coordinator:Net.Network.node_id ->
+  (Net.Network.node_id * (Store.Uid.t * write) list) list ->
+  (Net.Network.node_id * (vote, Net.Rpc.error) result) list
+(** Like {!prepare_all} but with a per-store write list, so the copy-back
+    can ship a delta to stores whose acknowledged version it knows and
+    full state to the rest — still one concurrent scatter. *)
 
 val commit_all :
   t ->
@@ -140,6 +176,14 @@ val set_reservation_hook :
     reservations on the objects. [blockers] lists each blocking action
     with its coordinator. {!Recovery.break_stale_reservations} uses it to
     resolve reservations whose coordinator has been partitioned away. *)
+
+val set_delta_applier :
+  t -> (impl:string -> payload:string -> op:string -> string option) -> unit
+(** Install the operation folder delta prepares resolve with ([None]
+    refuses the op and misses the delta). Stores sit below the
+    object-implementation registry, so the world-assembly layer injects
+    this; a runtime without one answers every delta with
+    [Vote_delta_miss]. *)
 
 val record_decision :
   t -> node:Net.Network.node_id -> action:string -> Store.Intent_log.decision -> unit

@@ -107,5 +107,8 @@ let add_store t ~server_rt ~from ~uid node =
                   ignore
                     (Action.Store_host.abort sh ~from ~store:node
                        ~action:(Action.Atomic.owner act)))
-          | Ok Action.Store_host.Vote_stale | Error _ ->
+          | Ok
+              ( Action.Store_host.Vote_stale
+              | Action.Store_host.Vote_delta_miss _ )
+          | Error _ ->
               raise (Administrative (Unavailable ("cannot copy state to " ^ node)))))

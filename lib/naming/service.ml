@@ -38,7 +38,7 @@ let topology t = t.w_topology
 let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     ?(durable_naming = false) ?(cleanup_period = 0.0) ?(extra_impls = [])
     ?bind_cache_lease ?(naming_service_time = 0.0) ?(use_flush_delay = 5.0)
-    topology =
+    ?(delta_shipping = false) topology =
   let eng = Sim.Engine.create ?seed () in
   let net = Net.Network.create ?latency eng in
   let rpc = Net.Rpc.create net in
@@ -49,6 +49,17 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   List.iter (Replica.Object_impl.register impls)
     (Replica.Object_impl.stock_all @ extra_impls);
   let srv = Replica.Server.create art impls in
+  Replica.Server.set_delta_shipping srv delta_shipping;
+  (* Stores sit below the implementation registry, so the op folder delta
+     prepares resolve with is injected here. Installed regardless of the
+     flag: it only ever runs for delta prepares, which only a
+     delta-shipping copy-back emits. *)
+  Action.Store_host.set_delta_applier sh (fun ~impl ~payload ~op ->
+      match Hashtbl.find_opt impls impl with
+      | None -> None
+      | Some i -> (
+          try Some (fst (i.Replica.Object_impl.apply payload op))
+          with _ -> None));
   (* The primary naming node first, then the extra shards in declaration
      order — the shard-map node set. *)
   let naming_nodes =
@@ -71,6 +82,14 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   Action.Recovery.guard_prepares art;
   Action.Recovery.break_stale_reservations art ();
   List.iter (fun n -> Replica.Server.install_host srv n) topology.server_nodes;
+  (* The acknowledged-version vector is client-volatile state: entries of
+     a crashed client die with it (a recovered incarnation starts from
+     full-state shipping, the safe default). *)
+  List.iter
+    (fun c ->
+      Net.Network.on_crash net c (fun () ->
+          Replica.Oplog.drop_client (Replica.Server.oplog srv) c))
+    topology.client_nodes;
   let grt = Replica.Group.create srv ~sequencer:topology.gvd_node in
   let router =
     Router.create ~lock_timeout ~use_exclude_write ~durable:durable_naming

@@ -35,6 +35,7 @@ val create :
   ?bind_cache_lease:float ->
   ?naming_service_time:float ->
   ?use_flush_delay:float ->
+  ?delta_shipping:bool ->
   topology ->
   t
 (** Build a world. Stock object implementations (counter, account,
@@ -48,6 +49,12 @@ val create :
     {!Gvd.install}). Recovery hooks
     (2PC resolution, then store reintegration, then server reinsertion)
     are attached to every node per its capabilities.
+
+    [delta_shipping] (default false) turns on op-log delta replication
+    for the commit copy-back ({!Replica.Server.set_delta_shipping},
+    {!Replica.Oplog}): stores the coordinator knows to be exactly one log
+    suffix behind receive the operations, not the whole state. The
+    default runs the seed's full-state copy byte-identically.
 
     [bind_cache_lease] (default off) enables the client-side lease cache
     of bind results with that lease duration (see {!Bind_cache}).

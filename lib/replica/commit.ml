@@ -1,5 +1,6 @@
 let attach rt act group ?current_stores ?note_version ~exclude () =
-  let art = Server.atomic_runtime (Group.server_runtime rt) in
+  let srv = Group.server_runtime rt in
+  let art = Server.atomic_runtime srv in
   let sh = Action.Atomic.store_host art in
   let eng = Action.Atomic.engine art in
   let metrics = Net.Network.metrics (Action.Atomic.network art) in
@@ -21,18 +22,117 @@ let attach rt act group ?current_stores ?note_version ~exclude () =
           | Ok current_st -> (
           let client = Action.Atomic.node act in
           let action = Action.Atomic.owner act in
-          let state =
+          let uid = group.Group.g_uid in
+          let full_state =
             Store.Object_state.make ~payload:view.Server.cv_payload
               ~version:view.Server.cv_version
           in
+          let target = view.Server.cv_version.Store.Version.counter in
+          let delta_on = Server.delta_shipping srv in
+          let olog = Server.oplog srv in
+          (* Golden shadow for the audit: whatever mix of deltas and full
+             states the stores end up applying, their committed bytes for
+             this version must equal this payload. *)
+          if delta_on then
+            Oplog.record_golden olog ~uid ~version:view.Server.cv_version
+              ~payload:view.Server.cv_payload;
+          (* Per-store delta-vs-full decision: ship the op suffix
+             [(v_store, v_commit]] iff the acknowledged-version vector
+             knows where the store stands and the commit view's chain
+             covers the whole gap. A store never heard from, a vector
+             entry at the target already (impossible for a fresh version,
+             conservative anyway), or a truncated chain all fall back to
+             the full state. *)
+          let choose store =
+            if not delta_on then Action.Store_host.Full full_state
+            else
+              let fallback () =
+                Sim.Metrics.incr metrics "commit.delta_fallbacks";
+                Action.Store_host.Full full_state
+              in
+              match Oplog.last_acked olog ~client ~store ~uid with
+              | Some base when base < target -> (
+                  match
+                    Oplog.suffix_of view.Server.cv_delta ~base ~upto:target
+                  with
+                  | Some steps ->
+                      Action.Store_host.Delta
+                        {
+                          Action.Store_host.d_impl = group.Group.g_impl;
+                          d_base = base;
+                          d_steps = steps;
+                        }
+                  | None -> fallback ())
+              | _ -> fallback ()
+          in
+          let writes = List.map (fun store -> (store, choose store)) current_st in
+          let write_bytes = function
+            | Action.Store_host.Full s -> Store.Object_state.bytes s
+            | Action.Store_host.Delta d ->
+                List.fold_left
+                  (fun acc (_, ops) ->
+                    List.fold_left
+                      (fun acc op -> acc + String.length op)
+                      acc ops)
+                  0 d.Action.Store_host.d_steps
+          in
+          let charge w =
+            Sim.Metrics.incr metrics "commit.bytes_shipped" ~by:(write_bytes w)
+          in
+          List.iter (fun (_, w) -> charge w) writes;
           (* The paper's parallel write to all of StA: one concurrent
              prepare per store, votes gathered in store order. Latency is
              the slowest round-trip, not the sum. *)
           let scattered = Sim.Engine.now eng in
           let votes =
-            Action.Store_host.prepare_all sh ~from:client ~stores:current_st
-              ~action ~coordinator:client
-              [ (group.Group.g_uid, state) ]
+            Action.Store_host.prepare_each sh ~from:client ~action
+              ~coordinator:client
+              (List.map (fun (s, w) -> (s, [ (uid, w) ])) writes)
+          in
+          if delta_on then
+            List.iter
+              (fun (store, vote) ->
+                match (List.assoc_opt store writes, vote) with
+                | ( Some (Action.Store_host.Delta _),
+                    Ok (Action.Store_host.Vote_yes | Action.Store_host.Vote_stale)
+                  ) ->
+                    Sim.Metrics.incr metrics "commit.delta_hits"
+                | _ -> ())
+              votes;
+          let ok, stale, missed, unreachable =
+            List.fold_left
+              (fun (ok, stale, missed, unreachable) (store, vote) ->
+                match vote with
+                | Ok Action.Store_host.Vote_yes ->
+                    (store :: ok, stale, missed, unreachable)
+                | Ok Action.Store_host.Vote_stale ->
+                    (ok, store :: stale, missed, unreachable)
+                | Ok (Action.Store_host.Vote_delta_miss counter) ->
+                    (ok, stale, (store, counter) :: missed, unreachable)
+                | Error _ -> (ok, stale, missed, store :: unreachable))
+              ([], [], [], []) votes
+          in
+          (* A delta miss means the vector was wrong about that store
+             (recovered with an older state, or our last commit's
+             acknowledgement never arrived). Nothing was staged there:
+             reseed the vector from the counter the store reported and
+             retry those stores — and only those — with full state. *)
+          let retry_votes =
+            match missed with
+            | [] -> []
+            | missed ->
+                List.iter
+                  (fun (store, counter) ->
+                    Oplog.note_acked olog ~client ~store ~uid counter;
+                    Sim.Metrics.incr metrics "commit.delta_fallbacks";
+                    charge (Action.Store_host.Full full_state))
+                  missed;
+                Action.Store_host.prepare_each sh ~from:client ~action
+                  ~coordinator:client
+                  (List.map
+                     (fun (store, _) ->
+                       (store, [ (uid, Action.Store_host.Full full_state) ]))
+                     missed)
           in
           Sim.Metrics.observe metrics "commit.fanout"
             (Sim.Engine.now eng -. scattered);
@@ -40,12 +140,13 @@ let attach rt act group ?current_stores ?note_version ~exclude () =
             List.fold_left
               (fun (ok, stale, unreachable) (store, vote) ->
                 match vote with
-                | Ok Action.Store_host.Vote_yes ->
-                    (store :: ok, stale, unreachable)
-                | Ok Action.Store_host.Vote_stale ->
+                | Ok Action.Store_host.Vote_yes -> (store :: ok, stale, unreachable)
+                | Ok
+                    ( Action.Store_host.Vote_stale
+                    | Action.Store_host.Vote_delta_miss _ ) ->
                     (ok, store :: stale, unreachable)
                 | Error _ -> (ok, stale, store :: unreachable))
-              ([], [], []) votes
+              (ok, stale, unreachable) retry_votes
           in
           let ok = List.rev ok and failed = List.rev unreachable in
           (* Any early abort from here on must withdraw the prepare
@@ -107,13 +208,30 @@ let attach rt act group ?current_stores ?note_version ~exclude () =
                   (* One phase-2 participant for the whole store set: its
                      commit/abort scatters to every prepared store
                      concurrently instead of registering |St| serially
-                     notified participants. *)
+                     notified participants. A store's commit
+                     acknowledgement is what advances the acknowledged-
+                     version vector: only then is the store known to hold
+                     [target], so only then may the next copy ship it a
+                     delta based there. A lost acknowledgement clears the
+                     entry instead — the store may or may not have
+                     applied, and the next copy must not presume. *)
                   Action.Atomic.add_participant act ~name:"st-copy"
                     ~prepare:(fun () -> true)
                     ~commit:(fun () ->
-                      ignore
-                        (Action.Store_host.commit_all sh ~from:client
-                           ~stores:ok ~action))
+                      let results =
+                        Action.Store_host.commit_all sh ~from:client
+                          ~stores:ok ~action
+                      in
+                      if delta_on then
+                        List.iter
+                          (fun (store, r) ->
+                            match r with
+                            | Ok () ->
+                                Oplog.note_acked olog ~client ~store ~uid
+                                  target
+                            | Error _ ->
+                                Oplog.forget_ack olog ~client ~store ~uid)
+                          results)
                     ~abort:(fun () ->
                       ignore
                         (Action.Store_host.abort_all sh ~from:client

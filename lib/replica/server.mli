@@ -32,6 +32,21 @@ val create : Action.Atomic.runtime -> (string, Object_impl.t) Hashtbl.t -> runti
 
 val atomic_runtime : runtime -> Action.Atomic.runtime
 
+val oplog : runtime -> Oplog.t
+(** The per-object operation logs, acknowledged-version vector and golden
+    shadow this runtime maintains for delta state shipping. *)
+
+val delta_shipping : runtime -> bool
+
+val set_delta_shipping : runtime -> bool -> unit
+(** Enable op-log delta replication (default off). Off, the runtime
+    records nothing and commit views carry no chains, so worlds run
+    byte-identically to the pre-oplog behaviour; on, instance commits
+    append their op provenance to {!oplog} before releasing locks,
+    checkpoints carry staged ops and the retained log, and
+    {!Commit.attach} ships per-store log suffixes instead of full states
+    wherever the acknowledged-version vector allows. *)
+
 val set_eager_checkpoints : runtime -> bool -> unit
 (** Coordinator-cohort checkpointing policy: [true] (default) checkpoints
     after every invocation, so a failover continues the client's action
@@ -103,6 +118,12 @@ type commit_view = {
   cv_payload : string;
   cv_version : Store.Version.t;
   cv_dirty : bool;  (** the action staged a write *)
+  cv_delta : (Store.Version.t * string list) list;
+      (** the replica's retained op chain (oldest first), ending with the
+          ops of the dirty write at [cv_version]; empty unless delta
+          shipping is on and the write's provenance is fully known. The
+          copy-back cuts per-store suffixes [(v_store, cv_version]] out
+          of it ({!Oplog.suffix_of}). *)
 }
 
 val commit_view :

@@ -11,3 +11,5 @@ let newer_than a b = Version.newer_than a.version b.version
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>%a %S@]" Version.pp t.version t.payload
+
+let bytes t = String.length t.payload

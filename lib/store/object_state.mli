@@ -20,3 +20,7 @@ val newer_than : t -> t -> bool
 (** Compare versions. *)
 
 val pp : Format.formatter -> t -> unit
+
+val bytes : t -> int
+(** Payload size in bytes — what a full-state copy of this state ships
+    over the wire (the [commit.bytes_shipped] accounting unit). *)

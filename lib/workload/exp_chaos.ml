@@ -5,12 +5,21 @@ open Naming
    bind/commit/rebalance workloads, quiesce, and run the consolidated
    {!Audit.chaos}. Every schedule is a pure function of its seed, so any
    violation replays from the printed seed alone; on failure the schedule
-   is greedily minimized (event dropping) before being printed.
+   is greedily minimized — events dropped, then surviving events weakened
+   by halving their fault durations — before being printed.
 
-   Soundness choices: the naming nodes never crash (§3.1's availability
-   assumption — relaxing it is tab-ns-outage's job); servers and stores
-   recover; crashed clients STAY down, so the cleanup protocol may sweep
-   their orphaned counters without racing a recovered incarnation. *)
+   Both variants run with op-log delta shipping enabled: the copy-back
+   mixes delta and full-state prepares under the fault plane, and
+   Audit.chaos additionally holds every store's committed bytes to the
+   golden full-state shadow.
+
+   Soundness choices: in the classic variant the naming nodes never crash
+   (§3.1's availability assumption); the durable-ns variant runs the
+   world with durable naming, where a crashed shard recovers its
+   committed entry images from the database, so naming nodes join the
+   crash pool — the audit is unchanged. Servers and stores recover;
+   crashed clients STAY down, so the cleanup protocol may sweep their
+   orphaned counters without racing a recovered incarnation. *)
 
 let naming = [ "ns"; "ns2" ]
 let servers = [ "s1"; "s2"; "s3" ]
@@ -55,7 +64,7 @@ let pp_event ppf = function
 (* The schedule is drawn from its own stream (decoupled from the world's
    engine seed streams) so that dropping an event during shrinking never
    perturbs the world's latency draws. *)
-let gen_events ~seed =
+let gen_events ?(durable = false) ~seed () =
   let rng = Sim.Rng.create (Int64.logxor seed 0x6E656D65736973L) in
   let distinct_pair pool =
     let a = Sim.Rng.pick rng pool in
@@ -84,7 +93,14 @@ let gen_events ~seed =
       let duration = Sim.Rng.uniform rng 8.0 28.0 in
       match Sim.Rng.int rng 100 with
       | k when k < 25 ->
-          let node = Sim.Rng.pick rng (servers @ stores @ clients) in
+          (* Crashing a naming shard is only sound when its entries are
+             durable (the database restore of {!Gvd.install} ~durable);
+             the classic variant keeps the paper's availability
+             assumption and leaves naming out of the pool. *)
+          let pool =
+            servers @ stores @ clients @ (if durable then naming else [])
+          in
+          let node = Sim.Rng.pick rng pool in
           let node =
             (* Keep at least two clients alive so the workload and the
                accounting bound stay meaningful. *)
@@ -136,9 +152,9 @@ type outcome = {
   oc_faults : int;
 }
 
-let run_world ~seed ~events =
+let run_world ?(durable = false) ~seed ~events () =
   let w =
-    Service.create ~seed
+    Service.create ~seed ~durable_naming:durable ~delta_shipping:true
       {
         Service.gvd_node = "ns";
         gvd_nodes = [ "ns2" ];
@@ -259,7 +275,7 @@ let run_world ~seed ~events =
   Net.Fault.heal_at net ~at:heal_time;
   List.iter
     (fun node -> Net.Fault.recover_at net ~at:(heal_time +. 1.0) node)
-    (servers @ stores);
+    (servers @ stores @ (if durable then naming else []));
   Service.run w;
   (* Post-heal janitor passes, each drained to quiescence: participants
      whose phase-2 message was severed re-pull the decision (cooperative
@@ -328,68 +344,117 @@ let run_world ~seed ~events =
         ];
   }
 
-(* Greedy event-dropping shrinker: repeatedly drop any single event whose
-   removal keeps the run failing, until no drop does. Each probe replays
-   the same world seed, so the minimized schedule is still reproducible. *)
-let shrink ~seed events =
-  let failing evs = (run_world ~seed ~events:evs).oc_violations <> [] in
-  let rec pass evs =
+(* Greedy two-pass shrinker. Pass one drops any single event whose
+   removal keeps the run failing; pass two weakens the survivors by
+   halving a fault's duration (windowed link faults shrink their whole
+   window), floored so a probe never degenerates below a ~2s fault.
+   Client crashes are permanent and carry no meaningful duration, so
+   they are never weakened. The passes alternate to a fixpoint: a
+   shorter fault may make an event droppable and vice versa. Each probe
+   replays the same world seed, so the minimized schedule is still
+   reproducible. *)
+let weaken = function
+  | Crash { node; _ } when is_client node -> None
+  | Crash { node; at; duration } when duration >= 4.0 ->
+      Some (Crash { node; at; duration = duration /. 2.0 })
+  | Partition { a; b; at; duration } when duration >= 4.0 ->
+      Some (Partition { a; b; at; duration = duration /. 2.0 })
+  | Oneway { src; dst; at; duration } when duration >= 4.0 ->
+      Some (Oneway { src; dst; at; duration = duration /. 2.0 })
+  | Link ({ duration; _ } as l) when duration >= 4.0 ->
+      Some (Link { l with duration = duration /. 2.0 })
+  | _ -> None
+
+let shrink ?(durable = false) ~seed events =
+  let failing evs =
+    (run_world ~durable ~seed ~events:evs ()).oc_violations <> []
+  in
+  let rec drop_pass evs =
     let rec try_drop i =
       if i >= List.length evs then None
       else
         let evs' = List.filteri (fun j _ -> j <> i) evs in
         if failing evs' then Some evs' else try_drop (i + 1)
     in
-    match try_drop 0 with Some evs' -> pass evs' | None -> evs
+    match try_drop 0 with Some evs' -> drop_pass evs' | None -> evs
   in
-  pass events
+  let rec weaken_pass evs =
+    let rec try_weaken i =
+      if i >= List.length evs then None
+      else
+        match weaken (List.nth evs i) with
+        | None -> try_weaken (i + 1)
+        | Some e' ->
+            let evs' = List.mapi (fun j e -> if j = i then e' else e) evs in
+            if failing evs' then Some evs' else try_weaken (i + 1)
+    in
+    match try_weaken 0 with Some evs' -> weaken_pass evs' | None -> evs
+  in
+  let rec fix evs =
+    let evs' = weaken_pass (drop_pass evs) in
+    if evs' = evs then evs else fix evs'
+  in
+  fix events
 
-let check_seed seed =
-  let events = gen_events ~seed in
-  let o = run_world ~seed ~events in
-  if o.oc_violations = [] then (o, None) else (o, Some (shrink ~seed events))
+let check_seed ?(durable = false) seed =
+  let events = gen_events ~durable ~seed () in
+  let o = run_world ~durable ~seed ~events () in
+  if o.oc_violations = [] then (o, None)
+  else (o, Some (shrink ~durable ~seed events))
 
 let default_seeds = [ 11L; 23L; 37L; 41L; 53L; 67L; 79L; 97L ]
 
 let run_check ?(seeds = default_seeds) () =
   let failures = ref [] in
   let rows =
-    List.map
+    List.concat_map
       (fun seed ->
-        let events = gen_events ~seed in
-        let o, shrunk = check_seed seed in
-        (match shrunk with
-        | None -> ()
-        | Some min_events ->
-            failures := (seed, min_events, o.oc_violations) :: !failures);
-        [
-          Int64.to_string seed;
-          Table.cell_i (List.length events);
-          Table.cell_i o.oc_commits;
-          Table.cell_i o.oc_retries;
-          Table.cell_i o.oc_faults;
-          Table.cell_i (List.length o.oc_violations);
-          (if o.oc_violations = [] then "ok" else "FAIL");
-        ])
+        List.map
+          (fun (durable, world) ->
+            let events = gen_events ~durable ~seed () in
+            let o, shrunk = check_seed ~durable seed in
+            (match shrunk with
+            | None -> ()
+            | Some min_events ->
+                failures :=
+                  (world, seed, min_events, o.oc_violations) :: !failures);
+            [
+              Int64.to_string seed;
+              world;
+              Table.cell_i (List.length events);
+              Table.cell_i o.oc_commits;
+              Table.cell_i o.oc_retries;
+              Table.cell_i o.oc_faults;
+              Table.cell_i (List.length o.oc_violations);
+              (if o.oc_violations = [] then "ok" else "FAIL");
+            ])
+          [ (false, "classic"); (true, "durable-ns") ])
       seeds
   in
   let base_notes =
     [
       "Seed-deterministic nemesis schedules (crashes, partitions, one-way";
       "cuts, lossy/duplicating/reordering links) over randomized";
-      "bind/commit workloads with a mid-run shard rebalance; naming nodes";
-      "never crash, servers/stores heal, crashed clients stay down for the";
-      "cleanup protocol. After quiescence, Audit.chaos checks StA mutual";
-      "consistency, snapshot-version monotonicity, use-list quiescence,";
-      "residual locks/reservations and leaked fibers, plus commit";
-      "accounting bounds. Any seed replays the full run bit-for-bit.";
+      "bind/commit workloads with a mid-run shard rebalance; delta";
+      "shipping is ON, so copy-backs mix op-log deltas with full-state";
+      "fallbacks under the fault plane. The classic world never crashes";
+      "naming; the durable-ns world runs durable naming and adds the";
+      "naming shards to the crash pool. Servers/stores heal, crashed";
+      "clients stay down for the cleanup protocol. After quiescence,";
+      "Audit.chaos checks StA mutual consistency, byte-equality of every";
+      "store against the full-state golden shadow, snapshot-version";
+      "monotonicity, use-list quiescence, residual locks/reservations and";
+      "leaked fibers, plus commit accounting bounds. Failing schedules";
+      "shrink by event dropping, then by halving fault durations. Any";
+      "seed replays the full run bit-for-bit.";
     ]
   in
   let failure_notes =
     List.concat_map
-      (fun (seed, min_events, viols) ->
-        (Printf.sprintf "seed %Ld FAILED; replay: repro chaos --seeds %Ld"
-           seed seed
+      (fun (world, seed, min_events, viols) ->
+        (Printf.sprintf
+           "seed %Ld (%s) FAILED; replay: repro chaos --seeds %Ld" seed world
+           seed
         :: "minimized fault schedule:"
         :: List.map
              (fun e -> Format.asprintf "  - %a" pp_event e)
@@ -401,6 +466,7 @@ let run_check ?(seeds = default_seeds) () =
       ~columns:
         [
           "seed";
+          "world";
           "events";
           "commits";
           "retries";

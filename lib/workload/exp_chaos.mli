@@ -8,16 +8,29 @@
     cleanup sweeps) and checks the consolidated {!Audit.chaos} invariants
     plus commit-accounting bounds and snapshot-version monotonicity.
 
+    Delta shipping ({!Service.create}'s [delta_shipping]) is enabled in
+    every chaos world, so commit copy-backs mix op-log delta prepares
+    with full-state fallbacks under the fault plane, and the audit's
+    golden-shadow byte-equality check is live.
+
+    Two world variants run per seed: {e classic} (naming nodes never
+    crash — the paper's §3.1 availability assumption) and {e durable-ns}
+    (durable naming; the naming shards join the crash pool and recover
+    their committed entries from the database).
+
     Every run is a pure function of its seed: a failing seed replays the
     whole world bit-for-bit, and the offending schedule is greedily
-    minimized (event dropping) before being reported. *)
+    minimized — first by dropping events, then by halving the fault
+    durations of the survivors — before being reported. *)
 
 type fault_event
 
 val pp_event : Format.formatter -> fault_event -> unit
 
-val gen_events : seed:int64 -> fault_event list
-(** The schedule for [seed] — pure, stable across runs. *)
+val gen_events : ?durable:bool -> seed:int64 -> unit -> fault_event list
+(** The schedule for [seed] — pure, stable across runs. [durable]
+    (default false) admits naming nodes into the crash pool; only sound
+    for worlds built with durable naming. *)
 
 type outcome = {
   oc_violations : string list;  (** empty means the world quiesced clean *)
@@ -26,20 +39,23 @@ type outcome = {
   oc_faults : int;  (** injected message faults (sum of [fault.*]) *)
 }
 
-val run_world : seed:int64 -> events:fault_event list -> outcome
-(** One full run: build the world from [seed], inject [events], drive the
-    workload to quiescence, audit. Deterministic in [(seed, events)]. *)
+val run_world :
+  ?durable:bool -> seed:int64 -> events:fault_event list -> unit -> outcome
+(** One full run: build the world from [seed] (durable naming iff
+    [durable]), inject [events], drive the workload to quiescence,
+    audit. Deterministic in [(durable, seed, events)]. *)
 
-val check_seed : int64 -> outcome * fault_event list option
-(** Run [gen_events] for the seed; on violation, also the minimized
-    schedule ([None] when the run was clean). *)
+val check_seed : ?durable:bool -> int64 -> outcome * fault_event list option
+(** Run [gen_events] for the seed in the chosen variant; on violation,
+    also the minimized schedule ([None] when the run was clean). *)
 
 val default_seeds : int64 list
 (** The eight seeds the CI smoke job replays. *)
 
 val run_check : ?seeds:int64 list -> unit -> Table.t * bool
-(** The experiment table plus an all-clean flag (for CLI exit codes).
-    Failing seeds are detailed in the table notes: seed, minimized
+(** The experiment table plus an all-clean flag (for CLI exit codes);
+    every seed runs both the classic and the durable-ns variant. Failing
+    runs are detailed in the table notes: world, seed, minimized
     schedule, violations. *)
 
 val run : ?seeds:int64 list -> unit -> Table.t

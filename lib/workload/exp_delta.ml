@@ -1,0 +1,138 @@
+open Naming
+
+(* tab-delta: op-log delta replication vs full-state copy-back.
+
+   The same single-client episode — a preload, then [writes] small
+   mutations, each its own committed action — runs four times: a small
+   object (counter) and a large one (a kvmap preloaded with enough
+   entries to dwarf any single op), each with delta shipping off and on.
+   The measured quantity is [commit.bytes_shipped]: the payload bytes
+   the copy-back put on the wire toward the object stores. Full-state
+   shipping pays the whole object per store per commit; delta shipping
+   pays the op suffix, so its advantage grows with object size and is
+   the headline ≥2x reduction for small writes to large objects. *)
+
+let writes = 8
+let stores = [ "t1"; "t2" ]
+
+let large_preload =
+  (* ~1.5 KB of committed payload before the measured writes. *)
+  String.concat ";"
+    (List.init 40 (fun i -> Printf.sprintf "key%02d=%032d" i i))
+
+type sample = {
+  s_commits : int;
+  s_bytes : int;
+  s_hits : int;
+  s_fallbacks : int;
+}
+
+let episode ~delta ~impl ~initial ~op =
+  let w =
+    Service.create ~seed:5L ~delta_shipping:delta
+      {
+        Service.gvd_node = "ns";
+        gvd_nodes = [];
+        server_nodes = [ "alpha" ];
+        store_nodes = stores;
+        client_nodes = [ "c1" ];
+      }
+  in
+  let uid =
+    Service.create_object w ~name:"obj" ~impl ?initial ~sv:[ "alpha" ]
+      ~st:stores ()
+  in
+  Service.run ~until:1.0 w;
+  let commits = ref 0 in
+  Service.spawn_client w "c1" (fun () ->
+      for i = 1 to writes do
+        match
+          Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+            ~policy:Replica.Policy.Single_copy_passive ~uid (fun act group ->
+              ignore (Service.invoke w group ~act (op i)))
+        with
+        | Ok () -> incr commits
+        | Error _ -> ()
+      done);
+  Service.run w;
+  let m = Service.metrics w in
+  {
+    s_commits = !commits;
+    s_bytes = Sim.Metrics.counter m "commit.bytes_shipped";
+    s_hits = Sim.Metrics.counter m "commit.delta_hits";
+    s_fallbacks = Sim.Metrics.counter m "commit.delta_fallbacks";
+  }
+
+let subjects =
+  [
+    ("counter (small)", "counter", None, fun i -> Printf.sprintf "add %d" i);
+    ( "kvmap ~1.5KB (large)",
+      "kvmap",
+      Some large_preload,
+      fun i -> Printf.sprintf "put hot v%d" i );
+  ]
+
+(* The large-object reduction factor, for programmatic checks: bytes
+   shipped by the full-state episode over bytes shipped by the
+   delta-shipping episode. *)
+let large_object_reduction () =
+  let _, impl, initial, op = List.nth subjects 1 in
+  let full = episode ~delta:false ~impl ~initial ~op in
+  let shipped = episode ~delta:true ~impl ~initial ~op in
+  float_of_int full.s_bytes /. float_of_int (max 1 shipped.s_bytes)
+
+let run () =
+  let rows =
+    List.concat_map
+      (fun (label, impl, initial, op) ->
+        let full = episode ~delta:false ~impl ~initial ~op in
+        let shipped = episode ~delta:true ~impl ~initial ~op in
+        let row mode s reduction =
+          [
+            label;
+            mode;
+            Table.cell_i s.s_commits;
+            Table.cell_i s.s_bytes;
+            Table.cell_i s.s_hits;
+            Table.cell_i s.s_fallbacks;
+            reduction;
+          ]
+        in
+        [
+          row "full-state" full "1.00x";
+          row "delta" shipped
+            (Printf.sprintf "%.2fx"
+               (float_of_int full.s_bytes
+               /. float_of_int (max 1 shipped.s_bytes)));
+        ])
+      subjects
+  in
+  Table.make
+    ~title:
+      "tab-delta: op-log delta shipping vs full-state commit copy-back"
+    ~columns:
+      [
+        "object";
+        "shipping";
+        "commits";
+        "bytes shipped";
+        "delta hits";
+        "fallbacks";
+        "reduction";
+      ]
+    ~notes:
+      [
+        "One client, 8 committed small writes to a 2-store StA. Full-state";
+        "copy-back ships the whole payload per store per commit; delta";
+        "shipping consults the per-store acknowledged-version vector and";
+        "ships the op-log suffix (v_store, v_commit], falling back to full";
+        "state when the vector is cold (the first commit) or the log";
+        "suffix is unavailable. The small counter actually pays more (its";
+        "ops outweigh its op-sized payload) — the mechanism targets large";
+        "objects; the preloaded kvmap ships a few dozen op bytes instead";
+        "of ~1.5 KB per store, the >=2x headline reduction.";
+        "Correctness under the same mechanism is exercised by tab-chaos";
+        "(delta shipping is on in every chaos world) and the oplog test";
+        "suite's byte-equality property.";
+      ]
+    rows

@@ -1,0 +1,15 @@
+(** Experiment [tab-delta]: op-log delta replication vs full-state
+    commit copy-back.
+
+    Runs the same single-client small-write episode against a small
+    (counter) and a large (preloaded kvmap) object, with delta shipping
+    off and on, and tabulates [commit.bytes_shipped], delta hits and
+    fallbacks. The large-object row is the headline: small writes ship
+    operation bytes instead of the whole payload. *)
+
+val large_object_reduction : unit -> float
+(** Bytes shipped by the full-state episode divided by bytes shipped by
+    the delta episode, for the large object. The test suite asserts this
+    is at least 2.0. *)
+
+val run : unit -> Table.t

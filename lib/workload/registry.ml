@@ -122,6 +122,12 @@ let all =
       runner = (fun () -> Exp_shard_scaling.run ());
     };
     {
+      id = "tab-delta";
+      paper_artefact = "§2.3(3) (optimised)";
+      synopsis = "op-log delta shipping vs full-state commit copy-back";
+      runner = (fun () -> Exp_delta.run ());
+    };
+    {
       id = "tab-chaos";
       paper_artefact = "§2.3 safety obligations (validation)";
       synopsis = "seeded fault-injection schedules + consolidated invariant audit";

@@ -293,17 +293,17 @@ let test_chaos_schedule_deterministic () =
     String.concat "; "
       (List.map (Format.asprintf "%a" Workload.Exp_chaos.pp_event) events)
   in
-  let a = Workload.Exp_chaos.gen_events ~seed:99L in
-  let b = Workload.Exp_chaos.gen_events ~seed:99L in
-  let c = Workload.Exp_chaos.gen_events ~seed:100L in
+  let a = Workload.Exp_chaos.gen_events ~seed:99L () in
+  let b = Workload.Exp_chaos.gen_events ~seed:99L () in
+  let c = Workload.Exp_chaos.gen_events ~seed:100L () in
   Alcotest.(check string) "same seed, same schedule" (show a) (show b);
   check_bool "different seed, different schedule" true (show a <> show c)
 
 let test_chaos_outcome_replayable () =
   let seed = 53L in
-  let events = Workload.Exp_chaos.gen_events ~seed in
-  let o1 = Workload.Exp_chaos.run_world ~seed ~events in
-  let o2 = Workload.Exp_chaos.run_world ~seed ~events in
+  let events = Workload.Exp_chaos.gen_events ~seed () in
+  let o1 = Workload.Exp_chaos.run_world ~seed ~events () in
+  let o2 = Workload.Exp_chaos.run_world ~seed ~events () in
   check_int "same commits" o1.Workload.Exp_chaos.oc_commits
     o2.Workload.Exp_chaos.oc_commits;
   check_int "same retries" o1.Workload.Exp_chaos.oc_retries

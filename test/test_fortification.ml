@@ -54,6 +54,8 @@ let test_prepare_validates_successor () =
         with
         | Ok Action.Store_host.Vote_yes -> votes := (action, "yes") :: !votes
         | Ok Action.Store_host.Vote_stale -> votes := (action, "stale") :: !votes
+        | Ok (Action.Store_host.Vote_delta_miss _) ->
+            votes := (action, "miss") :: !votes
         | Error _ -> votes := (action, "error") :: !votes
       in
       try_prepare "succ" 4;
@@ -90,6 +92,7 @@ let test_reservation_released_by_abort () =
       with
       | Ok Action.Store_host.Vote_yes -> second := "yes"
       | Ok Action.Store_host.Vote_stale -> second := "stale"
+      | Ok (Action.Store_host.Vote_delta_miss _) -> second := "miss"
       | Error _ -> second := "error");
   Service.run w;
   check_string "reservation freed" "yes" !second

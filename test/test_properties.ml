@@ -305,16 +305,17 @@ let prop_snapshot_version_monotone =
 
 let prop_chaos_schedules_audit_clean =
   QCheck.Test.make ~name:"random chaos schedules audit clean" ~count:4
-    QCheck.(int_bound 1_000_000)
-    (fun n ->
+    QCheck.(pair (int_bound 1_000_000) bool)
+    (fun (n, durable) ->
       let seed = Int64.of_int ((n * 2654435761) lor 1) in
-      let events = Workload.Exp_chaos.gen_events ~seed in
-      let o = Workload.Exp_chaos.run_world ~seed ~events in
+      let events = Workload.Exp_chaos.gen_events ~durable ~seed () in
+      let o = Workload.Exp_chaos.run_world ~durable ~seed ~events () in
       match o.Workload.Exp_chaos.oc_violations with
       | [] -> true
       | vs ->
           QCheck.Test.fail_reportf
-            "chaos seed %Ld: %s@.replay: repro chaos --seeds %Ld" seed
+            "chaos seed %Ld (%s): %s@.replay: repro chaos --seeds %Ld" seed
+            (if durable then "durable-ns" else "classic")
             (String.concat "; " vs) seed)
 
 let suite =

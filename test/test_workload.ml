@@ -30,13 +30,13 @@ let test_table_cells () =
 
 let test_registry_complete () =
   let ids = Workload.Registry.ids () in
-  check_int "twenty experiments" 20 (List.length ids);
+  check_int "twenty-one experiments" 21 (List.length ids);
   List.iter
     (fun id ->
       check_bool (id ^ " found") true (Workload.Registry.find id <> None))
     [
       "fig1-divergence"; "fig5-general"; "tab-schemes"; "tab-hybrid";
-      "tab-shard-scaling"; "tab-chaos";
+      "tab-shard-scaling"; "tab-delta"; "tab-chaos";
     ];
   check_bool "unknown rejected" true (Workload.Registry.find "nope" = None)
 
