@@ -342,6 +342,72 @@ let delta_large_preload =
   String.concat ";"
     (List.init 40 (fun i -> Printf.sprintf "key%02d=%032d" i i))
 
+(* The same five-commit write episode both ways, back to back: the
+   optimistic validated-snapshot commit, then the classic locked GetView
+   re-read. Scheme B binds are snapshot reads, so the commit-time
+   naming-tier work is the entire spread within this subject. *)
+let bench_optimistic_vs_locked () =
+  let open Naming in
+  let one optimistic =
+    let w =
+      Service.create ~seed:5L ~optimistic_commit:optimistic
+        {
+          Service.gvd_node = "ns";
+          gvd_nodes = [];
+          server_nodes = [ "alpha" ];
+          store_nodes = [ "beta1"; "beta2" ];
+          client_nodes = [ "c1" ];
+        }
+    in
+    let uid =
+      Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+        ~st:[ "beta1"; "beta2" ] ()
+    in
+    Service.spawn_client w "c1" (fun () ->
+        for i = 1 to 5 do
+          ignore
+            (Service.with_bound w ~client:"c1" ~scheme:Scheme.Independent
+               ~policy:Replica.Policy.Single_copy_passive ~uid
+               (fun act group ->
+                 Service.invoke w group ~act (Printf.sprintf "add %d" i)))
+        done);
+    Service.run w
+  in
+  one true;
+  one false
+
+(* The same five scheme-A bind/commit cycles both ways, back to back:
+   the three serial naming reads scattered as one Join round, then the
+   serial GetServer → Increment → GetView sequence. *)
+let bench_schemea_pipelined () =
+  let open Naming in
+  let one pipelined =
+    let w =
+      Service.create ~seed:5L ~pipelined_binds:pipelined
+        {
+          Service.gvd_node = "ns";
+          gvd_nodes = [];
+          server_nodes = [ "alpha" ];
+          store_nodes = [ "beta1"; "beta2" ];
+          client_nodes = [ "c1" ];
+        }
+    in
+    let uid =
+      Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
+        ~st:[ "beta1"; "beta2" ] ()
+    in
+    Service.spawn_client w "c1" (fun () ->
+        for _ = 1 to 5 do
+          ignore
+            (Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+               ~policy:Replica.Policy.Single_copy_passive ~uid
+               (fun act group -> Service.invoke w group ~act "incr"))
+        done);
+    Service.run w
+  in
+  one true;
+  one false
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -383,6 +449,10 @@ let micro_tests =
            (bench_delta_vs_full ~impl:"kvmap"
               ~initial:(Some delta_large_preload) ~op:(fun i ->
                 Printf.sprintf "put hot v%d" i)));
+      Test.make ~name:"commit.optimistic-vs-locked"
+        (Staged.stage bench_optimistic_vs_locked);
+      Test.make ~name:"bind.schemeA-pipelined"
+        (Staged.stage bench_schemea_pipelined);
     ]
 
 (* Run the micro suite; print the human table and return the per-subject

@@ -16,7 +16,16 @@ type prepare_req = {
   pr_writes : (Store.Uid.t * write) list;
 }
 
-type vote = Vote_yes | Vote_stale | Vote_delta_miss of int
+(* A yes vote piggybacks, per prepared object, the committed counter the
+   store held when it staged the write (-1 = nothing yet): coordinators
+   fold these levels into a shared per-(store,object) floor so even a
+   client that never committed here before can base its next copy-back on
+   a delta. The counter is pre-stage — the post-commit level is learned
+   from the phase-2 acknowledgement as before. *)
+type vote =
+  | Vote_yes of (Store.Uid.t * int) list
+  | Vote_stale
+  | Vote_delta_miss of int
 
 type t = {
   rpc_rt : Net.Rpc.t;
@@ -236,6 +245,14 @@ let add t node =
             hook ~node ~action:pr_action ~coordinator:pr_coordinator
         | None -> ());
         Vote_yes
+          (List.map
+             (fun (uid, _, _) ->
+               ( uid,
+                 match Store.Object_store.read h.h_objects uid with
+                 | Some e ->
+                     e.Store.Object_state.version.Store.Version.counter
+                 | None -> -1 ))
+             resolved)
       end
       else begin
         (* If the refusal came from another action's write reservation,

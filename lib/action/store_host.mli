@@ -67,7 +67,13 @@ type delta = {
 
 type write = Full of Store.Object_state.t | Delta of delta
 
-(** A participant's phase-1 vote. [Vote_stale] is backward validation:
+(** A participant's phase-1 vote. [Vote_yes levels] carries, per prepared
+    object, the committed counter the store held when it staged the write
+    ([-1] = nothing yet): coordinators fold these levels into the shared
+    per-(store,object) floor ({!Replica.Oplog.note_store}), so even a
+    first-contact writer can base its next copy-back on a delta.
+
+    [Vote_stale] is backward validation:
     the incoming state's version is not the direct successor of what the
     store holds, meaning the writer worked from a stale activation (e.g.
     two clients activated disjoint replica sets during churn — the
@@ -79,7 +85,10 @@ type write = Full of Store.Object_state.t | Delta of delta
     that the store cannot fold (no applier, unknown implementation, an op
     that fails). Nothing was staged; the coordinator reseeds its
     acknowledged-version vector from [c] and retries with full state. *)
-type vote = Vote_yes | Vote_stale | Vote_delta_miss of int
+type vote =
+  | Vote_yes of (Store.Uid.t * int) list
+  | Vote_stale
+  | Vote_delta_miss of int
 
 val prepare :
   t ->
@@ -90,7 +99,7 @@ val prepare :
   (Store.Uid.t * Store.Object_state.t) list ->
   (vote, Net.Rpc.error) result
 (** Phase-1 write of full states: validate versions and record intentions
-    durably on [store]; [Ok Vote_yes] is a yes-vote. *)
+    durably on [store]; [Ok (Vote_yes _)] is a yes-vote. *)
 
 val commit :
   t ->

@@ -78,6 +78,21 @@ let rec service e =
         service e
       end
 
+(* Validate-under-mode query: would [owner] get [mode] on [key] right now,
+   without installing anything? True when a covering lock is already held,
+   or when the request is compatible with every other holder and no earlier
+   waiter is queued (the same fairness rule [try_acquire] applies). Pure:
+   the lock table is unchanged, so a caller can probe before mutating any
+   state the grant would protect. *)
+let available t ~owner ~mode key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> true
+  | Some e -> (
+      match held_mode e owner with
+      | Some held when Mode.covers held mode -> true
+      | Some _ -> grantable e ~owner ~mode
+      | None -> Queue.is_empty e.queue && grantable e ~owner ~mode)
+
 let try_acquire t ~owner ~mode key =
   let e = entry t key in
   match held_mode e owner with

@@ -41,6 +41,15 @@ val acquire :
 val try_acquire : t -> owner:owner -> mode:Mode.t -> string -> bool
 (** Non-blocking acquire; [false] if it would have to wait. *)
 
+val available : t -> owner:owner -> mode:Mode.t -> string -> bool
+(** Validate-under-mode query: [true] iff an immediate grant of [mode] to
+    [owner] on [key] would succeed — a covering lock is already held, or
+    the request is compatible with every other holder (promotion rule) and,
+    for a fresh request, no earlier waiter is queued. Never mutates the
+    lock table: callers probe before touching state the grant would
+    protect (the optimistic commit validation peeks here before staging
+    its version note). *)
+
 val promote : t -> owner:owner -> to_mode:Mode.t -> string -> bool
 (** [promote t ~owner ~to_mode key] upgrades [owner]'s lock on [key]
     without waiting: [true] iff [owner] holds a lock and [to_mode] is

@@ -96,7 +96,7 @@ let add_store t ~server_rt ~from ~uid node =
               ~action:(Action.Atomic.owner act) ~coordinator:from
               [ (uid, state) ]
           with
-          | Ok Action.Store_host.Vote_yes ->
+          | Ok (Action.Store_host.Vote_yes _) ->
               Action.Atomic.add_participant act ~name:("admin-copy:" ^ node)
                 ~prepare:(fun () -> true)
                 ~commit:(fun () ->

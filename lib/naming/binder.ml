@@ -4,16 +4,26 @@ type t = {
   b_cache : Bind_cache.t option;
   b_deltas : Use_delta.t;
   b_flush_delay : float;
+  b_optimistic : bool;
+      (* commit-time GetView via lock-free snapshot + prepare-round
+         validation instead of the locked re-read (default off: off-path
+         worlds are byte-identical to the pre-optimistic tree) *)
+  b_pipelined : bool;
+      (* scheme A's three naming reads as one Sim.Join scatter (default
+         off, same byte-identity contract) *)
   b_crash_hooked : (Net.Network.node_id, unit) Hashtbl.t;
 }
 
-let create ?cache ?(flush_delay = 5.0) b_router b_grt =
+let create ?cache ?(flush_delay = 5.0) ?(optimistic_commit = false)
+    ?(pipelined_binds = false) b_router b_grt =
   {
     b_router;
     b_grt;
     b_cache = cache;
     b_deltas = Use_delta.create ();
     b_flush_delay = flush_delay;
+    b_optimistic = optimistic_commit;
+    b_pipelined = pipelined_binds;
     b_crash_hooked = Hashtbl.create 8;
   }
 
@@ -22,6 +32,8 @@ let gvd t = Router.primary t.b_router
 let cache t = t.b_cache
 let group_runtime t = t.b_grt
 let deltas t = t.b_deltas
+let optimistic_commit t = t.b_optimistic
+let pipelined_binds t = t.b_pipelined
 
 type binding = {
   bd_uid : Store.Uid.t;
@@ -99,16 +111,25 @@ let exclusion t ~scheme ~uid act failed =
       | Error why -> Error why)
 
 let attach_commit t ~scheme ~act ~uid group =
-  (* Commit processing re-reads StA under the action's read lock: the
-     bind-time view can be outdated by a recovered store's Include under
-     the independent/nested-top-level schemes (§4.2.1(ii)'s elided
+  (* Commit processing re-reads StA at commit time: the bind-time view
+     can be outdated by a recovered store's Include under the
+     independent/nested-top-level schemes (§4.2.1(ii)'s elided
      enhancement), and the copy-back must target the current members.
-     This read stays LOCKED under every scheme — unlike the bind-time
-     view it fences concurrent Includes: held to action end, it keeps a
-     recovering store from being re-admitted (with a state at the old
-     version fence) between the copy-back's target choice and its
-     commit, which would leave St members at different versions. The
-     lock-free snapshot path serves bind-time reads only. *)
+     The Include fence that read provides — a recovering store must not
+     be re-admitted (with a state at the old version fence) between the
+     copy-back's target choice and its commit, or St members end up at
+     different versions — comes in two flavours:
+
+     - classic (default): a LOCKED GetView, the read lock held from
+       commit start to action end, blocking the Include outright;
+     - optimistic ([optimistic_commit]): a lock-free snapshot of
+       (St, revision) when commit processing starts, re-validated under
+       the write fence inside the prepare round — an interleaved
+       membership change is detected as a revision conflict and the
+       copy-back retries against fresh St ({!Replica.Commit.attach}).
+
+     The bind-time snapshot path is unrelated: it serves reads only and
+     provides no fence under any flavour. *)
   let current_stores act' =
     match Router.get_view t.b_router ~act:act' uid with
     | Ok (Gvd.Granted st) -> Ok st
@@ -123,9 +144,34 @@ let attach_commit t ~scheme ~act ~uid group =
     | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
     | Error e -> Error (Net.Rpc.error_to_string e)
   in
-  Replica.Commit.attach t.b_grt act group ~current_stores ~note_version
-    ~exclude:(fun act' failed -> exclusion t ~scheme ~uid act' failed)
-    ()
+  let exclude act' failed = exclusion t ~scheme ~uid act' failed in
+  if not t.b_optimistic then
+    Replica.Commit.attach t.b_grt act group ~current_stores ~note_version
+      ~exclude ()
+  else begin
+    let client = Action.Atomic.node act in
+    let snapshot_stores () =
+      match Router.get_view_commit t.b_router ~from:client uid with
+      | Ok (Gvd.Granted (st, rev)) -> Ok (st, rev)
+      | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+      | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
+      | Error e -> Error (Net.Rpc.error_to_string e)
+    in
+    let validate act' ~version ~rev =
+      match Router.validate_view t.b_router ~act:act' ~uid ~version ~rev with
+      | Ok (Gvd.Granted true) -> `Validated
+      | Ok (Gvd.Granted false) -> `Conflict
+      | Ok (Gvd.Refused _) | Ok (Gvd.Busy _) ->
+          (* The write fence is held by a membership change in flight
+             right now — morally the same as a revision conflict: retry
+             against the St that change is about to commit. *)
+          `Conflict
+      | Ok (Gvd.Moved dest) -> `Failed ("wrong shard: " ^ dest)
+      | Error e -> `Failed (Net.Rpc.error_to_string e)
+    in
+    Replica.Commit.attach t.b_grt act group ~current_stores ~note_version
+      ~snapshot_stores ~validate ~exclude ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Activation with futile-bind accounting *)
@@ -146,65 +192,118 @@ let activate_counted t ~client ~uid ~impl ~policy ~servers ~stores =
 (* ------------------------------------------------------------------ *)
 (* Figure 6: standard nested actions *)
 
+(* Figure 6's three serial naming reads: impl_of outside the nested
+   action, then GetServer and GetView inside it (their read locks pass to
+   [act] on nested commit and are held to top-level completion — the
+   exclusion fence). The serial shape is the paper's; nothing about the
+   locks NEEDS it: the three reads touch three independently locked
+   pieces (the name table, [sv:], [st:]), none reads another's output,
+   and lock acquisition order between distinct keys carries no deadlock
+   obligation here because every bind asks for them in [Read] mode. So
+   under [pipelined_binds] the same three requests leave as one
+   {!Sim.Join} scatter — each lands exactly as its serial twin would
+   (same lock mode, same owning action, same enlistment), only
+   concurrently, collapsing three round-trips into one. Failures are
+   carried back as values ([`Abort]): a Join task must never raise. *)
+let standard_reads t ~act ~client uid =
+  let read_sv nested =
+    match Router.get_server t.b_router ~act:nested uid with
+    | Ok (Gvd.Granted view) -> Ok view.Gvd.sv_servers
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  let read_st nested =
+    match Router.get_view t.b_router ~act:nested uid with
+    | Ok (Gvd.Granted st) -> Ok st
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  if not t.b_pipelined then
+    match impl_of t ~from:client uid with
+    | Error e -> Error e
+    | Ok impl -> (
+        let reads =
+          Action.Atomic.atomically_nested act (fun nested ->
+              let sv =
+                match read_sv nested with
+                | Ok sv -> sv
+                | Error why -> raise (Action.Atomic.Abort why)
+              in
+              let st =
+                match read_st nested with
+                | Ok st -> st
+                | Error why -> raise (Action.Atomic.Abort why)
+              in
+              (sv, st))
+        in
+        match reads with
+        | Error why -> Error (Name_refused why)
+        | Ok (sv, st) -> Ok (impl, sv, st))
+  else
+    let joined =
+      Action.Atomic.atomically_nested act (fun nested ->
+          let results =
+            Sim.Join.all
+              (Action.Atomic.engine (art t))
+              [
+                (fun () -> `Impl (impl_of t ~from:client uid));
+                (fun () -> `Sv (read_sv nested));
+                (fun () -> `St (read_st nested));
+              ]
+          in
+          let impl = ref None and sv = ref None and st = ref None in
+          List.iter
+            (function
+              | `Impl r -> impl := Some r
+              | `Sv r -> sv := Some r
+              | `St r -> st := Some r)
+            results;
+          match (!impl, !sv, !st) with
+          | Some (Ok impl), Some (Ok sv), Some (Ok st) -> `Bound (impl, sv, st)
+          | Some (Error e), _, _ -> `Name_error e
+          | _, Some (Error why), _ | _, _, Some (Error why) ->
+              (* Abort from the nested fiber, not a Join task: the grants
+                 the other reads DID get are released by the abort. *)
+              raise (Action.Atomic.Abort why)
+          | _ -> raise (Action.Atomic.Abort "pipelined bind: missing read"))
+    in
+    match joined with
+    | Error why -> Error (Name_refused why)
+    | Ok (`Name_error e) -> Error e
+    | Ok (`Bound (impl, sv, st)) -> Ok (impl, sv, st)
+
 let bind_standard t ~act ~uid ~policy =
   let client = Action.Atomic.node act in
-  match impl_of t ~from:client uid with
+  match standard_reads t ~act ~client uid with
   | Error e -> Error e
-  | Ok impl -> (
-      (* Database reads as a nested action of the client action: its read
-         locks pass to [act] on nested commit and are held to top-level
-         completion, exactly as in Figure 6. *)
-      let reads =
-        Action.Atomic.atomically_nested act (fun nested ->
-            let sv =
-              match Router.get_server t.b_router ~act:nested uid with
-              | Ok (Gvd.Granted view) -> view.Gvd.sv_servers
-              | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
-                  raise (Action.Atomic.Abort why)
-              | Ok (Gvd.Moved dest) ->
-                  raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
-              | Error e ->
-                  raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
-            in
-            let st =
-              match Router.get_view t.b_router ~act:nested uid with
-              | Ok (Gvd.Granted st) -> st
-              | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
-                  raise (Action.Atomic.Abort why)
-              | Ok (Gvd.Moved dest) ->
-                  raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
-              | Error e ->
-                  raise (Action.Atomic.Abort (Net.Rpc.error_to_string e))
-            in
-            (sv, st))
-      in
-      match reads with
-      | Error why -> Error (Name_refused why)
-      | Ok (sv, st) -> (
-          (* Static Sv: pick the first k entries, dead or not ("the hard
-             way", §4.1.2). *)
-          let chosen = take (Replica.Policy.replicas policy) sv in
-          if chosen = [] then Error (No_server "SvA is empty")
-          else
-            match
-              activate_counted t ~client ~uid ~impl ~policy ~servers:chosen
-                ~stores:st
-            with
-            | Error e -> Error e
-            | Ok group ->
-                attach_commit t ~scheme:Scheme.Standard ~act ~uid group;
-                (* impl_of + GetServer + GetView: three sequential naming
-                   rounds, as in Figure 6. *)
-                Sim.Metrics.observe (metrics t) "bind.naming_rounds" 3.0;
-                Ok
-                  {
-                    bd_uid = uid;
-                    bd_scheme = Scheme.Standard;
-                    bd_group = group;
-                    bd_servers = group.Replica.Group.g_members;
-                    bd_stores = st;
-                    bd_version = 0;
-                  }))
+  | Ok (impl, sv, st) -> (
+      (* Static Sv: pick the first k entries, dead or not ("the hard
+         way", §4.1.2). *)
+      let chosen = take (Replica.Policy.replicas policy) sv in
+      if chosen = [] then Error (No_server "SvA is empty")
+      else
+        match
+          activate_counted t ~client ~uid ~impl ~policy ~servers:chosen
+            ~stores:st
+        with
+        | Error e -> Error e
+        | Ok group ->
+            attach_commit t ~scheme:Scheme.Standard ~act ~uid group;
+            (* impl_of + GetServer + GetView: three serial naming rounds
+               as in Figure 6, or one scattered round when pipelined. *)
+            Sim.Metrics.observe (metrics t) "bind.naming_rounds"
+              (Scheme.naming_rounds ~pipelined:t.b_pipelined Scheme.Standard);
+            Ok
+              {
+                bd_uid = uid;
+                bd_scheme = Scheme.Standard;
+                bd_group = group;
+                bd_servers = group.Replica.Group.g_members;
+                bd_stores = st;
+                bd_version = 0;
+              })
 
 (* ------------------------------------------------------------------ *)
 (* Figures 7 and 8: use lists, removal of dead servers *)

@@ -34,7 +34,9 @@
 
     The [bind.naming_rounds] distribution records the bind-time naming
     RPC rounds per fresh bind: 3 for scheme A (impl_of + GetServer +
-    GetView), exactly 1 for schemes B/C, 0 on a cache hit.
+    GetView), 1 for scheme A under [pipelined_binds] (the same three
+    requests as one {!Sim.Join} scatter), exactly 1 for schemes B/C, 0
+    on a cache hit.
 
     The commit-time [Exclude] follows the scheme as well: under
     [Standard] it runs inside the client action by promoting the held read
@@ -47,8 +49,8 @@ type t
 (** Binder runtime. *)
 
 val create :
-  ?cache:Bind_cache.t -> ?flush_delay:float -> Router.t ->
-  Replica.Group.runtime -> t
+  ?cache:Bind_cache.t -> ?flush_delay:float -> ?optimistic_commit:bool ->
+  ?pipelined_binds:bool -> Router.t -> Replica.Group.runtime -> t
 (** [create router grt] binds through the sharded naming tier. [cache]
     (default none) enables the lease-based client cache: a fresh entry
     lets {!bind} skip every bind-time naming RPC and activate straight
@@ -59,9 +61,22 @@ val create :
 
     [flush_delay] (default 5.0) is the coalescing window: how long
     credited [Decrement]s wait for a cancelling rebind before the flush
-    fiber sends them. *)
+    fiber sends them.
+
+    [optimistic_commit] (default false) replaces the commit-time locked
+    [GetView] re-read with a lock-free (St, revision) snapshot validated
+    inside the prepare round — an interleaved Include/Exclude shows up as
+    a revision conflict and the copy-back retries against fresh [St],
+    bounded, then falls back to the locked read (see
+    {!Replica.Commit.attach}). [pipelined_binds] (default false)
+    scatters scheme A's three serial naming reads as one {!Sim.Join}
+    round. Both off: bind and commit behaviour is byte-identical to the
+    pre-optimistic tree. *)
 
 val router : t -> Router.t
+
+val optimistic_commit : t -> bool
+val pipelined_binds : t -> bool
 
 val gvd : t -> Gvd.t
 (** The primary shard (compatibility handle for single-shard worlds). *)

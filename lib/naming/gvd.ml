@@ -36,6 +36,15 @@ type st_image = {
       (* latest committed version of the object: the fence that keeps a
          recovering store from re-joining StA with a rewound state when
          every holder of the newest state happens to be down *)
+  im_st_rev : int;
+      (* monotone counter of committed St-membership changes (Include,
+         Exclude, retirement), bumped by [install_snapshot] only when the
+         member list itself changed. The optimistic commit path validates
+         against this — not [e_version], which also counts commuting
+         use-list traffic and every writer's own version note, so
+         validating against it would conflict on every concurrent bind.
+         Living inside the image, it rides mirrors, handoffs and resyncs
+         for free. *)
 }
 
 type image = { im_server : sv_image; im_state : st_image }
@@ -86,6 +95,20 @@ type excl_req = {
 type read_req = { r_uid : Store.Uid.t; r_action : string }
 
 type note_req = { n_uid : Store.Uid.t; n_action : string; n_version : Store.Version.t }
+
+(* The optimistic commit's combined validate-and-note: one request carries
+   both the version note the classic path sends ([vv_version]) and the St
+   revision the committing client's lock-free snapshot read observed
+   ([vv_rev]). The handler re-checks the revision under the note's own
+   write-fence lock, so a Granted-[true] reply means "no Include/Exclude
+   committed since your snapshot AND the fence now holds to your action's
+   end" — in a single RPC round. *)
+type validate_req = {
+  vv_uid : Store.Uid.t;
+  vv_action : string;
+  vv_version : Store.Version.t;
+  vv_rev : int;
+}
 
 (* The single-round bind request (schemes B/C): GetServer + Remove(dead)
    + Increment + GetView collapsed into one database operation, with the
@@ -183,6 +206,8 @@ type t = {
   ep_batch : (batch_req, batch_view reply) Net.Rpc.endpoint;
   ep_view_snap : (Store.Uid.t, (Net.Network.node_id list * int) reply) Net.Rpc.endpoint;
   ep_server_snap : (Store.Uid.t, (server_view * int) reply) Net.Rpc.endpoint;
+  ep_view_commit : (Store.Uid.t, (Net.Network.node_id list * int) reply) Net.Rpc.endpoint;
+  ep_validate : (validate_req, bool reply) Net.Rpc.endpoint;
   ep_exclude : (excl_req, unit reply) Net.Rpc.endpoint;
   ep_include : (op_req, Store.Version.t reply) Net.Rpc.endpoint;
   ep_retire_sv : (op_req, unit reply) Net.Rpc.endpoint;
@@ -394,7 +419,12 @@ let h_register t { rg_uid; rg_name; rg_impl; rg_sv; rg_st } =
           im_uses = List.map (fun n -> (n, Use_list.empty)) rg_sv;
         };
       im_state =
-        { im_st = rg_st; im_st_home = rg_st; im_version = Store.Version.initial };
+        {
+          im_st = rg_st;
+          im_st_home = rg_st;
+          im_version = Store.Version.initial;
+          im_st_rev = 0;
+        };
     }
   in
   Hashtbl.replace t.entries (Store.Uid.serial rg_uid)
@@ -511,6 +541,14 @@ let h_get_view t { r_uid; r_action } =
   match entry_opt t r_uid with
   | None -> absent t r_uid
   | Some e ->
+      (* A locked GetView that finds the St entry unavailable is about to
+         queue: count it, so experiments can attribute naming-tier lock
+         waits to this path specifically (the probe is pure). *)
+      if
+        not
+          (Lockmgr.Manager.available t.locks ~owner:r_action
+             ~mode:Lockmgr.Mode.Read (st_key r_uid))
+      then Sim.Metrics.incr (metrics t) "gvd.view_lock_waits";
       with_lock t ~action:r_action ~mode:Lockmgr.Mode.Read (st_key r_uid)
         (fun () ->
           Sim.Metrics.incr (metrics t) "gvd.get_view";
@@ -530,6 +568,18 @@ let h_get_view_snapshot t uid =
       Sim.Metrics.incr (metrics t) "gvd.get_view";
       Sim.Metrics.incr (metrics t) "gvd.snapshot_reads";
       Granted (e.e_snap.im_state.im_st, e.e_version)
+
+(* The optimistic commit's St read: the committed member list plus the St
+   revision to validate against at prepare time. Lock-free like the other
+   snapshot reads — the fence the classic locked GetView provided is
+   re-established (or the staleness detected) by [h_validate_view]. *)
+let h_get_view_commit t uid =
+  match entry_opt t uid with
+  | None -> absent t uid
+  | Some e ->
+      Sim.Metrics.incr (metrics t) "gvd.get_view";
+      Sim.Metrics.incr (metrics t) "gvd.snapshot_reads";
+      Granted (e.e_snap.im_state.im_st, e.e_snap.im_state.im_st_rev)
 
 let h_get_server_snapshot t uid =
   match entry_opt t uid with
@@ -867,6 +917,76 @@ let h_note_version t { n_uid; n_action; n_version } =
         Granted ()
       end
 
+(* The optimistic commit's validate-and-note, one RPC round (§4.2.1
+   relaxed): re-check the St revision the committing client's lock-free
+   snapshot read observed, under the same write-fence lock the classic
+   version note takes.
+
+   - Lock refused (an Include/Exclude holds the write lock right now):
+     [Refused] — the client treats it like a conflict and retries.
+   - Revision moved (a membership change committed since the snapshot):
+     [Granted false]. The just-acquired fence is deliberately KEPT — it
+     belongs to the action and blocks further membership commits, so the
+     retried copy-back re-reads a revision that can no longer move and the
+     next validation must succeed: one conflict costs one retry, not a
+     livelock.
+   - Revision stands: record the committed version exactly as
+     [h_note_version] would and reply [Granted true]. From here to action
+     end the fence excludes concurrent Includes — the same guarantee the
+     classic locked GetView provided, established at prepare time instead
+     of commit start.
+
+   Idempotent under duplicate delivery: the lock grant is re-entrant, the
+   before-image save is once-per-action, the version advance is guarded by
+   [newer_than], and the revision cannot change between duplicates while
+   the fence is held. *)
+let h_validate_view t { vv_uid; vv_action; vv_version; vv_rev } =
+  touch_guard t vv_action;
+  match entry_opt t vv_uid with
+  | None -> absent t vv_uid
+  | Some e ->
+      let mode =
+        if t.use_exclude_write then Lockmgr.Mode.Exclude_write
+        else Lockmgr.Mode.Write
+      in
+      let key = st_key vv_uid in
+      (* Probe before mutating: [available] is the pure validate-under-mode
+         query, so a doomed request breaks stale holders and refuses
+         without installing a lock or saving an image. *)
+      if not (Lockmgr.Manager.available t.locks ~owner:vv_action ~mode key)
+      then begin
+        break_stale_lock_holders t key;
+        Sim.Metrics.incr (metrics t) "gvd.lock_refusals";
+        Refused "validate lock refused"
+      end
+      else begin
+        let locked =
+          match Lockmgr.Manager.holds t.locks ~owner:vv_action key with
+          | Some _ ->
+              Lockmgr.Manager.promote t.locks ~owner:vv_action ~to_mode:mode key
+          | None ->
+              Lockmgr.Manager.try_acquire t.locks ~owner:vv_action ~mode key
+        in
+        if not locked then Refused "validate lock refused"
+        else if e.e_snap.im_state.im_st_rev <> vv_rev then begin
+          Sim.Metrics.incr (metrics t) "gvd.validate_conflicts";
+          tracef t "%s validate %a: rev %d moved to %d" vv_action Store.Uid.pp
+            vv_uid vv_rev e.e_snap.im_state.im_st_rev;
+          Granted false
+        end
+        else begin
+          save_st t ~action:vv_action e;
+          if Store.Version.newer_than vv_version e.e_image.im_state.im_version
+          then
+            e.e_image <-
+              {
+                e.e_image with
+                im_state = { e.e_image.im_state with im_version = vv_version };
+              };
+          Granted true
+        end
+      end
+
 (* Synchronously push the committed images (with their snapshot versions)
    of the given entry serials to every backup instance: ONE coalesced
    payload per commit, scattered to all backups in a single [call_all]
@@ -917,6 +1037,22 @@ let install_snapshot t serial sides =
   match Hashtbl.find_opt t.entries serial with
   | None -> ()
   | Some e ->
+      (* The St revision counts committed *membership* changes only: it
+         advances iff the member list being installed differs from the one
+         in the outgoing snapshot. Version notes and use-list churn leave
+         it alone, so an optimistic committer validating against it is not
+         conflicted by concurrent binds. The working image is stamped with
+         the same revision — handoffs and mirrors ship the image, so the
+         counter survives shard moves without extra payload. *)
+      (if List.mem St_side sides then begin
+         let rev =
+           if e.e_image.im_state.im_st <> e.e_snap.im_state.im_st then
+             e.e_snap.im_state.im_st_rev + 1
+           else e.e_snap.im_state.im_st_rev
+         in
+         e.e_image <-
+           { e.e_image with im_state = { e.e_image.im_state with im_st_rev = rev } }
+       end);
       e.e_snap <-
         List.fold_left
           (fun snap side ->
@@ -1064,6 +1200,8 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       ep_retire_sv = Net.Rpc.endpoint "gvd.retire_sv";
       ep_retire_st = Net.Rpc.endpoint "gvd.retire_st";
       ep_note_version = Net.Rpc.endpoint "gvd.note_version";
+      ep_view_commit = Net.Rpc.endpoint "gvd.get_view_commit";
+      ep_validate = Net.Rpc.endpoint "gvd.validate_view";
       ep_handoff = Net.Rpc.endpoint "gvd.handoff";
       ep_snapshot = Net.Rpc.endpoint "gvd.snapshot";
       backups = [];
@@ -1123,6 +1261,10 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   Net.Rpc.serve rpc ~node t.ep_retire_st (fun req -> h_retire_st t req);
   Net.Rpc.serve rpc ~node t.ep_note_version (fun req ->
       serviced t (fun () -> h_note_version t req));
+  Net.Rpc.serve rpc ~node t.ep_view_commit (fun uid ->
+      serviced t (fun () -> h_get_view_commit t uid));
+  Net.Rpc.serve rpc ~node t.ep_validate (fun req ->
+      serviced t (fun () -> h_validate_view t req));
   Net.Rpc.serve rpc ~node t.ep_handoff (fun req -> h_handoff t req);
   Net.Rpc.serve rpc ~node ep_mirror (fun images ->
       List.iter
@@ -1298,6 +1440,23 @@ let note_version t ~act ~uid version =
   call_enlisted t ~act t.ep_note_version
     { n_uid = uid; n_action = Action.Atomic.owner act; n_version = version }
 
+(* Lock-free like the other snapshot stubs: a plain, non-enlisted call.
+   Nothing recoverable happens server-side until [validate_view]. *)
+let get_view_commit t ~from uid =
+  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_view_commit
+    uid
+
+(* The validate half DOES take the write fence and stage a version note,
+   so it enlists exactly like [note_version]. *)
+let validate_view t ~act ~uid ~version ~rev =
+  call_enlisted t ~act t.ep_validate
+    {
+      vv_uid = uid;
+      vv_action = Action.Atomic.owner act;
+      vv_version = version;
+      vv_rev = rev;
+    }
+
 let committed_version t uid = (entry_exn t uid).e_image.im_state.im_version
 
 let retire_server_home t ~act ~uid node =
@@ -1322,6 +1481,7 @@ let current_uses t uid =
 let quiescent t uid = all_quiescent (entry_exn t uid).e_image
 
 let snapshot_version t uid = (entry_exn t uid).e_version
+let st_revision t uid = (entry_exn t uid).e_snap.im_state.im_st_rev
 
 let all_uids t =
   Hashtbl.fold (fun _ e acc -> e.e_uid :: acc) t.entries [] |> List.sort Store.Uid.compare

@@ -260,6 +260,42 @@ val note_version :
 val committed_version : t -> Store.Uid.t -> Store.Version.t
 (** Introspection: the current committed-version fence. *)
 
+(** {2 Optimistic commit validation}
+
+    The classic commit-time re-read ({!get_view} + {!note_version}) holds
+    a read lock on [StA] from commit start across the copy-back fan-out
+    to fence concurrent Includes. The optimistic path replaces the lock
+    with validation: read the committed snapshot and its {e St revision}
+    lock-free when commit processing starts ({!get_view_commit}), fan the
+    copy-back out against it, then {!validate_view} inside the prepare
+    round — if a membership change committed in between, the revision
+    moved and the commit retries against fresh [St]; if not, the
+    validation takes the same write fence the classic note took and the
+    guarantee is re-established, with zero naming-tier lock waits on the
+    conflict-free path. The St revision counts only committed
+    Include/Exclude/retire changes, so concurrent binds (use-list
+    traffic) never conflict a committer. *)
+
+val get_view_commit :
+  t -> from:Net.Network.node_id ->
+  Store.Uid.t -> ((Net.Network.node_id list * int) reply, Net.Rpc.error) result
+(** Lock-free read of the committed [StA] snapshot and its {e St
+    revision} (not the per-entry snapshot version — see above). Not
+    enlisted; nothing to undo or release. *)
+
+val validate_view :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t ->
+  version:Store.Version.t -> rev:int ->
+  (bool reply, Net.Rpc.error) result
+(** Validate-and-note in one round, inside the prepare fan-out:
+    re-acquire the exclude-write fence (non-blocking — [Refused] if held
+    by a membership change in flight), compare [rev] against the
+    committed St revision, and on match record [version] exactly as
+    {!note_version} would, answering [Granted true]. On mismatch answers
+    [Granted false] {e keeping the fence}: the retried copy-back then
+    validates against a revision that can no longer move, so one conflict
+    costs exactly one retry. Idempotent under duplicate delivery. *)
+
 (** {2 Replicating the service itself} (§3.1's deferred extension)
 
     The paper notes the naming service "can be replicated in order to be
@@ -339,6 +375,12 @@ val all_uids : t -> Store.Uid.t list
 val snapshot_version : t -> Store.Uid.t -> int
 (** The entry's committed snapshot version: bumped exactly once per
     committing action that touched the entry, never decremented. *)
+
+val st_revision : t -> Store.Uid.t -> int
+(** The committed St revision: bumped exactly once per committing action
+    that changed the [StA] member list, never by version notes or
+    use-list traffic. Always ≤ {!snapshot_version}'s growth — audits
+    assert the monotone relation. *)
 
 val residual_locks :
   t -> (string * (Lockmgr.Manager.owner * Lockmgr.Mode.t) list) list

@@ -60,66 +60,145 @@ let take k xs =
   in
   go k xs
 
+(* The hybrid bind's naming-tier reads: the lightweight name server's
+   [Sv] set, the database's [impl], and [St] under the nested-action read
+   lock. Serially that is three round-trips; under the binder's
+   [pipelined_binds] they leave as one {!Sim.Join} scatter — the same
+   independence argument as scheme A's pipelined reads (three separately
+   locked pieces, all asked for in read mode, none feeding another), with
+   the [St] lock still owned by the nested action and held to top-level
+   end. Join tasks return values; only the nested fiber raises. *)
+let hybrid_reads t ~act ~client uid =
+  let router = Binder.router t.binder in
+  let read_sv () =
+    match servers t ~from:client uid with
+    | Ok sv -> Ok sv
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  let read_impl () =
+    match Router.entry_info router ~from:client uid with
+    | Ok (Some info) -> Ok info.Gvd.ei_impl
+    | Ok None -> Error "unknown object"
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  let read_st nested =
+    match Router.get_view router ~act:nested uid with
+    | Ok (Gvd.Granted st) -> Ok st
+    | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+    | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
+    | Error e -> Error (Net.Rpc.error_to_string e)
+  in
+  if not (Binder.pipelined_binds t.binder) then
+    match read_sv () with
+    | Error why -> Error (Binder.Name_refused why)
+    | Ok sv -> (
+        match read_impl () with
+        | Error why -> Error (Binder.Name_refused why)
+        | Ok impl -> (
+            (* St through the atomic database, nested in the client
+               action: the read lock is held to commit, so exclusion
+               keeps its standard-scheme guarantees. *)
+            let st_read =
+              Action.Atomic.atomically_nested act (fun nested ->
+                  match read_st nested with
+                  | Ok st -> st
+                  | Error why -> raise (Action.Atomic.Abort why))
+            in
+            match st_read with
+            | Error why -> Error (Binder.Name_refused why)
+            | Ok st -> Ok (sv, impl, st)))
+  else
+    let joined =
+      Action.Atomic.atomically_nested act (fun nested ->
+          let results =
+            Sim.Join.all
+              (Action.Atomic.engine (art t))
+              [
+                (fun () -> `Sv (read_sv ()));
+                (fun () -> `Impl (read_impl ()));
+                (fun () -> `St (read_st nested));
+              ]
+          in
+          let sv = ref None and impl = ref None and st = ref None in
+          List.iter
+            (function
+              | `Sv r -> sv := Some r
+              | `Impl r -> impl := Some r
+              | `St r -> st := Some r)
+            results;
+          match (!sv, !impl, !st) with
+          | Some (Ok sv), Some (Ok impl), Some (Ok st) -> (sv, impl, st)
+          | Some (Error why), _, _
+          | _, Some (Error why), _
+          | _, _, Some (Error why) ->
+              raise (Action.Atomic.Abort why)
+          | _ -> raise (Action.Atomic.Abort "pipelined bind: missing read"))
+    in
+    match joined with
+    | Error why -> Error (Binder.Name_refused why)
+    | Ok reads -> Ok reads
+
 let bind t ~act ~uid ~policy =
   let client = Action.Atomic.node act in
   let router = Binder.router t.binder in
   let grt = Binder.group_runtime t.binder in
-  match servers t ~from:client uid with
-  | Error e -> Error (Binder.Name_refused (Net.Rpc.error_to_string e))
-  | Ok sv -> (
-      let impl =
-        match Router.entry_info router ~from:client uid with
-        | Ok (Some info) -> Ok info.Gvd.ei_impl
-        | Ok None -> Error (Binder.Name_refused "unknown object")
-        | Error e -> Error (Binder.Name_refused (Net.Rpc.error_to_string e))
-      in
-      match impl with
-      | Error e -> Error e
-      | Ok impl -> (
-          (* St through the atomic database, nested in the client action:
-             the read lock is held to commit, so exclusion keeps its
-             standard-scheme guarantees. *)
-          let st_read =
-            Action.Atomic.atomically_nested act (fun nested ->
-                match Router.get_view router ~act:nested uid with
-                | Ok (Gvd.Granted st) -> st
-                | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) ->
-                    raise (Action.Atomic.Abort why)
-                | Ok (Gvd.Moved dest) ->
-                    raise (Action.Atomic.Abort ("wrong shard: " ^ dest))
-                | Error e ->
-                    raise (Action.Atomic.Abort (Net.Rpc.error_to_string e)))
-          in
-          match st_read with
-          | Error why -> Error (Binder.Name_refused why)
-          | Ok st -> (
-              let chosen = take (Replica.Policy.replicas policy) sv in
-              if chosen = [] then Error (Binder.No_server "empty server set")
-              else
-                match
-                  Replica.Group.activate grt ~client ~uid ~impl ~policy
-                    ~servers:chosen ~stores:st
-                with
-                | Error why -> Error (Binder.No_server why)
-                | Ok group ->
-                    let current_stores act' =
-                      match Router.get_view router ~act:act' uid with
-                      | Ok (Gvd.Granted nodes) -> Ok nodes
-                      | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
-                      | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
-                      | Error e -> Error (Net.Rpc.error_to_string e)
-                    in
-                    Replica.Commit.attach grt act group ~current_stores
-                      ~exclude:(fun act' failed ->
-                        Binder.exclusion t.binder ~scheme:Scheme.Standard ~uid
-                          act' failed)
-                      ();
-                    Ok
-                      {
-                        Binder.bd_uid = uid;
-                        bd_scheme = Scheme.Standard;
-                        bd_group = group;
-                        bd_servers = group.Replica.Group.g_members;
-                        bd_stores = st;
-                        bd_version = 0;
-                      })))
+  match hybrid_reads t ~act ~client uid with
+  | Error e -> Error e
+  | Ok (sv, impl, st) -> (
+      let chosen = take (Replica.Policy.replicas policy) sv in
+      if chosen = [] then Error (Binder.No_server "empty server set")
+      else
+        match
+          Replica.Group.activate grt ~client ~uid ~impl ~policy
+            ~servers:chosen ~stores:st
+        with
+        | Error why -> Error (Binder.No_server why)
+        | Ok group ->
+            let current_stores act' =
+              match Router.get_view router ~act:act' uid with
+              | Ok (Gvd.Granted nodes) -> Ok nodes
+              | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+              | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
+              | Error e -> Error (Net.Rpc.error_to_string e)
+            in
+            let exclude act' failed =
+              Binder.exclusion t.binder ~scheme:Scheme.Standard ~uid act'
+                failed
+            in
+            (if not (Binder.optimistic_commit t.binder) then
+               Replica.Commit.attach grt act group ~current_stores ~exclude ()
+             else begin
+               (* Same optimistic flavour as the binder's: snapshot the
+                  (St, revision) pair lock-free, validate in the prepare
+                  round. The hybrid scheme keeps no version fence, so
+                  there is no [note_version] — validation's only job here
+                  is the revision check. *)
+               let snapshot_stores () =
+                 match Router.get_view_commit router ~from:client uid with
+                 | Ok (Gvd.Granted (nodes, rev)) -> Ok (nodes, rev)
+                 | Ok (Gvd.Refused why) | Ok (Gvd.Busy why) -> Error why
+                 | Ok (Gvd.Moved dest) -> Error ("wrong shard: " ^ dest)
+                 | Error e -> Error (Net.Rpc.error_to_string e)
+               in
+               let validate act' ~version ~rev =
+                 match
+                   Router.validate_view router ~act:act' ~uid ~version ~rev
+                 with
+                 | Ok (Gvd.Granted true) -> `Validated
+                 | Ok (Gvd.Granted false) -> `Conflict
+                 | Ok (Gvd.Refused _) | Ok (Gvd.Busy _) -> `Conflict
+                 | Ok (Gvd.Moved dest) -> `Failed ("wrong shard: " ^ dest)
+                 | Error e -> `Failed (Net.Rpc.error_to_string e)
+               in
+               Replica.Commit.attach grt act group ~current_stores
+                 ~snapshot_stores ~validate ~exclude ()
+             end);
+            Ok
+              {
+                Binder.bd_uid = uid;
+                bd_scheme = Scheme.Standard;
+                bd_group = group;
+                bd_servers = group.Replica.Group.g_members;
+                bd_stores = st;
+                bd_version = 0;
+              })

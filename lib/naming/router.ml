@@ -151,6 +151,12 @@ let include_ t ~act ~uid node =
 let note_version t ~act ~uid version =
   dispatch t ~uid (fun g -> Gvd.note_version g ~act ~uid version)
 
+let get_view_commit t ~from uid =
+  dispatch t ~uid (fun g -> Gvd.get_view_commit g ~from uid)
+
+let validate_view t ~act ~uid ~version ~rev =
+  dispatch t ~uid (fun g -> Gvd.validate_view g ~act ~uid ~version ~rev)
+
 let retire_server_home t ~act ~uid node =
   dispatch t ~uid (fun g -> Gvd.retire_server_home g ~act ~uid node)
 

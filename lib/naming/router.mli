@@ -105,6 +105,18 @@ val note_version :
   t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Store.Version.t ->
   (unit Gvd.reply, Net.Rpc.error) result
 
+val get_view_commit :
+  t -> from:Net.Network.node_id -> Store.Uid.t ->
+  ((Net.Network.node_id list * int) Gvd.reply, Net.Rpc.error) result
+(** Lock-free committed [StA] read with its {e St revision}, for the
+    optimistic commit path ({!Gvd.get_view_commit}). *)
+
+val validate_view :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t ->
+  version:Store.Version.t -> rev:int ->
+  (bool Gvd.reply, Net.Rpc.error) result
+(** Validate-and-note on the owning shard ({!Gvd.validate_view}). *)
+
 val retire_server_home :
   t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Net.Network.node_id ->
   (unit Gvd.reply, Net.Rpc.error) result

@@ -14,3 +14,7 @@ let of_string = function
 let all = [ Standard; Independent; Nested_toplevel ]
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let naming_rounds ~pipelined = function
+  | Standard -> if pipelined then 1.0 else 3.0
+  | Independent | Nested_toplevel -> 1.0

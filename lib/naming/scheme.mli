@@ -20,3 +20,10 @@ val to_string : t -> string
 val of_string : string -> t option
 val all : t list
 val pp : Format.formatter -> t -> unit
+
+val naming_rounds : pipelined:bool -> t -> float
+(** Serial naming-tier RPC rounds a fresh (uncached) bind of this scheme
+    costs — the [bind.naming_rounds] observation. [Standard] is Figure
+    6's three serial reads, or one when the binder scatters them as a
+    single {!Sim.Join} round ([pipelined]); the other schemes have been
+    one batched round since the batch endpoint. *)

@@ -38,7 +38,8 @@ let topology t = t.w_topology
 let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     ?(durable_naming = false) ?(cleanup_period = 0.0) ?(extra_impls = [])
     ?bind_cache_lease ?(naming_service_time = 0.0) ?(use_flush_delay = 5.0)
-    ?(delta_shipping = false) topology =
+    ?(delta_shipping = false) ?(force_delta = false)
+    ?(optimistic_commit = false) ?(pipelined_binds = false) topology =
   let eng = Sim.Engine.create ?seed () in
   let net = Net.Network.create ?latency eng in
   let rpc = Net.Rpc.create net in
@@ -50,6 +51,7 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     (Replica.Object_impl.stock_all @ extra_impls);
   let srv = Replica.Server.create art impls in
   Replica.Server.set_delta_shipping srv delta_shipping;
+  Replica.Server.set_force_delta srv force_delta;
   (* Stores sit below the implementation registry, so the op folder delta
      prepares resolve with is injected here. Installed regardless of the
      flag: it only ever runs for delta prepares, which only a
@@ -90,6 +92,15 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       Net.Network.on_crash net c (fun () ->
           Replica.Oplog.drop_client (Replica.Server.oplog srv) c))
     topology.client_nodes;
+  (* The shared per-store floor likewise never outlives the store's
+     incarnation: a recovering store replays its intent log, so the
+     conservative reset (floor staleness only ever costs a delta-miss
+     retry) keeps the seeding trivially safe. *)
+  List.iter
+    (fun s ->
+      Net.Network.on_crash net s (fun () ->
+          Replica.Oplog.drop_store (Replica.Server.oplog srv) s))
+    topology.store_nodes;
   let grt = Replica.Group.create srv ~sequencer:topology.gvd_node in
   let router =
     Router.create ~lock_timeout ~use_exclude_write ~durable:durable_naming
@@ -101,7 +112,10 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       (fun lease -> Bind_cache.create ~lease (Net.Network.metrics net))
       bind_cache_lease
   in
-  let bdr = Binder.create ?cache ~flush_delay:use_flush_delay router grt in
+  let bdr =
+    Binder.create ?cache ~flush_delay:use_flush_delay ~optimistic_commit
+      ~pipelined_binds router grt
+  in
   List.iter
     (fun n -> Reintegration.attach_store_node bdr ~node:n ())
     topology.store_nodes;

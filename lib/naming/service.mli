@@ -36,6 +36,9 @@ val create :
   ?naming_service_time:float ->
   ?use_flush_delay:float ->
   ?delta_shipping:bool ->
+  ?force_delta:bool ->
+  ?optimistic_commit:bool ->
+  ?pipelined_binds:bool ->
   topology ->
   t
 (** Build a world. Stock object implementations (counter, account,
@@ -55,6 +58,17 @@ val create :
     {!Replica.Oplog}): stores the coordinator knows to be exactly one log
     suffix behind receive the operations, not the whole state. The
     default runs the seed's full-state copy byte-identically.
+    [force_delta] (default false) skips the per-write encoded-size
+    comparison and ships a delta whenever the base version is known —
+    the pre-comparison behaviour, kept for worlds that measure delta
+    coverage rather than bytes ({!Replica.Server.set_force_delta}).
+
+    [optimistic_commit] (default false) and [pipelined_binds] (default
+    false) are handed to {!Binder.create}: the former replaces the
+    commit-time locked [GetView] re-read with a lock-free validated
+    snapshot, the latter scatters scheme A's three serial bind reads as
+    one {!Sim.Join} round. Both off reproduces the pre-optimistic tree
+    byte-identically.
 
     [bind_cache_lease] (default off) enables the client-side lease cache
     of bind results with that lease duration (see {!Bind_cache}).

@@ -32,6 +32,13 @@ val attach :
     (Action.Atomic.t -> (Net.Network.node_id list, string) result) ->
   ?note_version:
     (Action.Atomic.t -> Store.Version.t -> (unit, string) result) ->
+  ?snapshot_stores:
+    (unit -> (Net.Network.node_id list * int, string) result) ->
+  ?validate:
+    (Action.Atomic.t ->
+    version:Store.Version.t ->
+    rev:int ->
+    [ `Validated | `Conflict | `Failed of string ]) ->
   exclude:
     (Action.Atomic.t -> Net.Network.node_id list -> (unit, string) result) ->
   unit ->
@@ -50,4 +57,19 @@ val attach :
     is read in a separate action, so a recovered store's [Include] can
     commit between bind and commit — the copy must target the {e current}
     membership or the re-included store is left stale while listed in
-    [StA] (the enhancement §4.2.1(ii) alludes to). *)
+    [StA] (the enhancement §4.2.1(ii) alludes to).
+
+    [snapshot_stores] and [validate] (both must be given) switch the
+    commit to the {e optimistic} path: [St] and its membership revision
+    come from a lock-free snapshot read ({!Naming.Gvd.get_view_commit})
+    taken when commit processing starts, and [validate] re-checks the
+    revision inside the prepare round ({!Naming.Gvd.validate_view}),
+    taking over [note_version]'s job on success. [`Conflict] — an
+    Include/Exclude committed between snapshot and validation — withdraws
+    the prepares and retries the whole fan-out against fresh [St]
+    (bounded attempts; the validation keeps the naming-tier write fence
+    across the retry, so the second validation cannot race the same way);
+    exhausted retries fall back to the classic locked path above, so
+    churn-heavy workloads cannot starve a commit. Metrics:
+    [commit.validate_ok] / [commit.validate_conflict] /
+    [commit.validate_fallbacks]. *)

@@ -70,7 +70,7 @@ let ensure_reply_service rt client =
                    consistent. *)
                 ignore (Sim.Ivar.try_fill p.p_ivar mr_result)
             | Server.Locked | Server.Not_active | Server.Not_coordinator
-            | Server.State_lost ->
+            | Server.State_lost | Server.Settled ->
                 (* A bad answer only decides once every member answered
                    badly; a stale (freshly recovered, instance-less)
                    replica must not outrace a live one. *)
@@ -180,6 +180,13 @@ let enlist_members act g =
 (* --- point-to-point invocation (single copy and coordinator-cohort) --- *)
 
 let rpc_invoke rt g ~act ~write ~serial ~op server =
+  (* Enlist before the call, not on the reply: once the request is on the
+     wire the server may execute it — staging payload and taking locks —
+     even if the reply never makes it back. An unanswered invocation must
+     still put the member on the action's completion fan-out, or an abort
+     would strand whatever the server staged. Enlisting a member that
+     never saw the request is harmless: its completion no-ops. *)
+  enlist_members act g;
   match
     Server.invoke rt.srv ~from:g.g_client ~server ~uid:g.g_uid
       ~action:(Action.Atomic.owner act) ~serial
@@ -187,10 +194,11 @@ let rpc_invoke rt g ~act ~write ~serial ~op server =
   with
   | Ok (Server.Reply r) ->
       record_acked rt ~act g serial;
-      enlist_members act g;
       Ok r
   | Ok Server.Locked -> Error Lock_refused
   | Ok Server.State_lost -> Error Staged_lost
+  | Ok Server.Settled ->
+      Error (Unavailable ("action already settled at " ^ server))
   | Ok Server.Not_active -> Error (Unavailable ("no instance on " ^ server))
   | Ok Server.Not_coordinator -> Error (Unavailable (server ^ " is a cohort"))
   | Error e -> Error (Unavailable (Net.Rpc.error_to_string e))
@@ -278,14 +286,21 @@ let mc_invoke rt g ~act ~write ~serial ~op =
       match cast with
       | Error e -> Error (Unavailable ("sequencer: " ^ Net.Rpc.error_to_string e))
       | Ok _seq -> (
+          (* The cast is on the wire: any member may execute it from here
+             on, so all of them join the action's completion fan-out now.
+             Waiting for a reply leaves a window — an invocation parked on
+             a busy instance's lock answers nothing within the timeout,
+             the action aborts without ever hearing of this member, and
+             the parked fiber then stages state nobody cleans up. *)
+          enlist_members act g;
           match Sim.Ivar.read_timeout (eng rt) rt.mc_timeout p.p_ivar with
           | Error _ -> Error (Unavailable "no replica answered")
           | Ok (Server.Reply r) ->
               record_acked rt ~act g serial;
-              enlist_members act g;
               Ok r
           | Ok Server.Locked -> Error Lock_refused
           | Ok Server.State_lost -> Error Staged_lost
+          | Ok Server.Settled -> Error (Unavailable "action already settled")
           | Ok Server.Not_active -> Error (Unavailable "replica had no instance")
           | Ok Server.Not_coordinator -> Error (Unavailable "unexpected cohort"))
     in

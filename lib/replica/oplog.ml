@@ -18,10 +18,22 @@ type t = {
      delta-miss vote. Entries are hints: a stale or missing entry only
      costs a full-state fallback, never correctness. *)
   vv : (Net.Network.node_id * Net.Network.node_id * int, int) Hashtbl.t;
-  (* (uid serial, counter) -> the payload a full-state install of that
-     version would have written; the chaos audit holds delta-applied
-     store states to byte equality against it. Bounded sliding window. *)
-  golden : (int * int, string) Hashtbl.t;
+  (* (store, uid serial) -> highest committed counter ANY client has seen
+     the store acknowledge — seeded from the committed-version levels that
+     prepare votes and delta-miss votes piggyback. A writer that has never
+     committed to the store itself starts from this shared floor instead
+     of shipping full state. Monotone (max-merge): versions are global per
+     object, so the floor is a valid lower bound on the store's committed
+     counter; a stale floor costs a delta-miss retry, never correctness. *)
+  sv : (Net.Network.node_id * int, int) Hashtbl.t;
+  (* (uid serial, counter) -> (committed_by, payload): what a full-state
+     install of that version would have written; the chaos audit holds
+     delta-applied store states to byte equality against it. The identity
+     stamp matters: two racing actions can both RECORD a shadow for the
+     same counter before 2PC decides between them, and the loser's entry
+     must never be compared against the winner's committed bytes. Bounded
+     sliding window. *)
+  golden : (int * int, (string * string) list) Hashtbl.t;
 }
 
 let golden_window = 64
@@ -33,6 +45,7 @@ let create ?(max_records = 12) ?(max_age = 180.0) metrics =
     max_age;
     logs = Hashtbl.create 32;
     vv = Hashtbl.create 64;
+    sv = Hashtbl.create 64;
     golden = Hashtbl.create 64;
   }
 
@@ -160,6 +173,40 @@ let note_acked t ~client ~store ~uid counter =
 let forget_ack t ~client ~store ~uid =
   Hashtbl.remove t.vv (client, store, Store.Uid.serial uid)
 
+let note_store t ~store ~uid counter =
+  if counter >= 0 then begin
+    let key = (store, Store.Uid.serial uid) in
+    match Hashtbl.find_opt t.sv key with
+    | Some c when c >= counter -> ()
+    | _ -> Hashtbl.replace t.sv key counter
+  end
+
+let store_floor t ~store ~uid = Hashtbl.find_opt t.sv (store, Store.Uid.serial uid)
+
+(* The delta-base lookup: the per-client ack and the shared floor are
+   both lower bounds on the store's (monotone) committed counter — the
+   ack because the store confirmed THIS client's commit, the floor
+   because it confirmed SOMEBODY's. Take the max: with writers
+   interleaving, a client's own ack lags by the other writers'
+   intervening commits, and only the floor keeps the base close enough
+   for the commit view's chain to cover the gap. An overshooting base is
+   still safe (the store votes a delta miss and the retry ships full
+   state). *)
+let known_version t ~client ~store ~uid =
+  match (last_acked t ~client ~store ~uid, store_floor t ~store ~uid) with
+  | Some a, Some f -> Some (max a f)
+  | (Some _ as k), None | None, (Some _ as k) -> k
+  | None, None -> None
+
+let drop_store t store =
+  let doomed =
+    Hashtbl.fold
+      (fun ((s, _) as key) _ acc ->
+        if String.equal s store then key :: acc else acc)
+      t.sv []
+  in
+  List.iter (Hashtbl.remove t.sv) doomed
+
 let drop_client t client =
   let doomed =
     Hashtbl.fold
@@ -174,10 +221,19 @@ let drop_client t client =
 let record_golden t ~uid ~version ~payload =
   let serial = Store.Uid.serial uid in
   let counter = version.Store.Version.counter in
-  Hashtbl.replace t.golden (serial, counter) payload;
+  let by = version.Store.Version.committed_by in
+  let prior =
+    Option.value ~default:[] (Hashtbl.find_opt t.golden (serial, counter))
+  in
+  Hashtbl.replace t.golden (serial, counter)
+    ((by, payload) :: List.remove_assoc by prior);
   Hashtbl.remove t.golden (serial, counter - golden_window)
 
-let golden t ~uid ~counter =
-  Hashtbl.find_opt t.golden (Store.Uid.serial uid, counter)
+let golden t ~uid ~version =
+  let serial = Store.Uid.serial uid in
+  let counter = version.Store.Version.counter in
+  Option.bind
+    (Hashtbl.find_opt t.golden (serial, counter))
+    (List.assoc_opt version.Store.Version.committed_by)
 
 let resident t = Sim.Metrics.counter t.metrics "oplog.resident_records"

@@ -115,6 +115,37 @@ val forget_ack :
 val drop_client : t -> Net.Network.node_id -> unit
 (** Forget every vector entry of [client] (crash hook). *)
 
+(** {2 Shared per-store floor} (keyed by store and object only)
+
+    Prepare and delta-miss votes piggyback the store's committed counter;
+    every coordinator folds those levels into this client-independent
+    vector, so the {e first} commit from a new client can already start
+    from a delta instead of full state. Monotone max-merge: versions are
+    global per object, so the floor is a valid lower bound; staleness
+    costs one delta-miss retry, never correctness. *)
+
+val note_store : t -> store:Net.Network.node_id -> uid:Store.Uid.t -> int -> unit
+(** Fold an observed committed counter into the shared floor (ignored if
+    not above the current floor; negative levels never install). *)
+
+val store_floor : t -> store:Net.Network.node_id -> uid:Store.Uid.t -> int option
+(** The shared floor, if any client ever observed the store's level. *)
+
+val known_version :
+  t ->
+  client:Net.Network.node_id ->
+  store:Net.Network.node_id ->
+  uid:Store.Uid.t ->
+  int option
+(** The delta-base lookup: the max of the per-client ack and the shared
+    floor — both are lower bounds on the store's monotone committed
+    counter, and under interleaved writers only the floor keeps pace. An
+    overshooting base costs a delta-miss retry, never correctness. *)
+
+val drop_store : t -> Net.Network.node_id -> unit
+(** Forget the shared floor of every object on [store] (crash hook for
+    store nodes: a restored store may have rewound). *)
+
 (** {2 Golden full-state shadow} (audit support) *)
 
 val record_golden :
@@ -123,10 +154,15 @@ val record_golden :
     by the copy-back before it ships anything, over a bounded sliding
     window of versions). *)
 
-val golden : t -> uid:Store.Uid.t -> counter:int -> string option
-(** The recorded full-state payload of [counter], if still in the window.
-    {!Audit.chaos} checks every store's final state against this: a
-    delta-applied state must be byte-equal to the full-state replay. *)
+val golden : t -> uid:Store.Uid.t -> version:Store.Version.t -> string option
+(** The recorded full-state payload of exactly [version] — counter AND
+    committing action — if still in the window. {!Audit.chaos} checks
+    every store's final state against this: a delta-applied state must be
+    byte-equal to the full-state replay. The lookup is identity-exact
+    because shadows are recorded before 2PC decides: a racing copy-back
+    that loses backward validation still recorded its (never-installed)
+    payload, and matching by counter alone would compare the winner's
+    committed bytes against the loser's ghost. *)
 
 val resident : t -> int
 (** Current [oplog.resident_records] reading. *)

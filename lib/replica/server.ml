@@ -2,7 +2,13 @@ type role = Plain | Coordinator | Cohort
 
 type activate_result = Activated of Store.Version.t | Activation_failed of string
 
-type invoke_result = Reply of string | Locked | Not_active | Not_coordinator | State_lost
+type invoke_result =
+  | Reply of string
+  | Locked
+  | Not_active
+  | Not_coordinator
+  | State_lost
+  | Settled
 
 type commit_view = {
   cv_payload : string;
@@ -52,6 +58,13 @@ type instance = {
      becomes coordinator. *)
   mutable i_ckpt_holders : (string * Lockmgr.Mode.t) list;
   mutable i_ckpt_stamp : float; (* newest checkpoint applied *)
+  (* Recently finished (committed, aborted or transferred-to-parent)
+     actions, newest first, bounded. An invocation of a settled action
+     must be refused: it is a straggler — a duplicated multicast
+     delivery, or a fiber that sat parked on the instance lock while its
+     action timed out and aborted — and executing it would stage payload
+     and take locks that no completion will ever clean up. *)
+  mutable i_settled : string list;
 }
 
 type activate_req = {
@@ -128,6 +141,10 @@ type runtime = {
   mutable delta_shipping : bool;
       (* default off: worlds that never enable it run byte-identically to
          the pre-oplog behaviour (no appends, no chains in views) *)
+  mutable force_delta : bool;
+      (* skip the per-write size comparison: ship a coverable delta even
+         when the full state encodes smaller (chaos worlds keep the delta
+         path exercised on small objects) *)
   (* In-flight presumed-abort probes for instance locks whose holder's
      coordinator is partitioned away: (node, uid, holder) triples. *)
   breaking : (string * string * string, unit) Hashtbl.t;
@@ -156,6 +173,7 @@ let create art impls =
     o_log =
       Oplog.create (Net.Network.metrics (Action.Atomic.network art));
     delta_shipping = false;
+    force_delta = false;
     breaking = Hashtbl.create 16;
   }
 
@@ -164,6 +182,8 @@ let set_eager_checkpoints t flag = t.eager_checkpoints <- flag
 let oplog t = t.o_log
 let delta_shipping t = t.delta_shipping
 let set_delta_shipping t flag = t.delta_shipping <- flag
+let force_delta t = t.force_delta
+let set_force_delta t flag = t.force_delta <- flag
 let invoke_channel t = t.ch_invoke
 let reply_endpoint t = t.ep_reply
 let mc t = t.mc
@@ -197,6 +217,24 @@ let touch_guard t node uid action =
   | None -> ()
 
 let applied_key action serial = Printf.sprintf "%s#%d" action serial
+
+(* Tombstone a finished action on the instance (bounded, newest first).
+   The bound only forgets ancient history: a straggler invocation arrives
+   within a lock timeout of its action's end, not dozens of actions
+   later. *)
+let settled_cap = 64
+
+let settle_action inst action =
+  if not (List.mem action inst.i_settled) then begin
+    let kept =
+      if List.length inst.i_settled >= settled_cap then
+        List.filteri (fun i _ -> i < settled_cap - 1) inst.i_settled
+      else inst.i_settled
+    in
+    inst.i_settled <- action :: kept
+  end
+
+let is_settled inst action = List.mem action inst.i_settled
 
 (* Remove dedup entries belonging to [action] or any of its descendants
    (hierarchical ids: descendants have "<action>." as a prefix). *)
@@ -301,6 +339,7 @@ let make_manager t inst =
               action Store.Uid.pp inst.i_uid);
         clean_applied inst action;
         release action;
+        settle_action inst action;
         (match guard_of t inst.i_node with
         | Some g ->
             Action.Orphan_guard.settle g
@@ -313,6 +352,7 @@ let make_manager t inst =
         Hashtbl.remove inst.i_staged_ops action;
         clean_applied inst action;
         release action;
+        settle_action inst action;
         (match guard_of t inst.i_node with
         | Some g ->
             Action.Orphan_guard.settle g
@@ -336,6 +376,10 @@ let make_manager t inst =
         | None -> ());
         Lockmgr.Manager.transfer_all inst.i_locks ~from_owner:action
           ~to_owner:parent;
+        (* The child is finished as an owner here: a straggler invocation
+           under the child's id would stage state its (gone) completion
+           can never move to the parent. *)
+        settle_action inst action;
         inst.i_ckpt_holders <-
           List.map
             (fun (o, m) -> if String.equal o action then (parent, m) else (o, m))
@@ -443,6 +487,10 @@ let do_invoke t node { v_uid; v_action; v_serial; v_last_acked; v_write; v_op } 
         Sim.Metrics.incr (metrics t) "server.state_lost";
         State_lost
       end
+      else if is_settled inst v_action then begin
+        Sim.Metrics.incr (metrics t) "server.settled_refusals";
+        Settled
+      end
       else
         let key = applied_key v_action v_serial in
         match Hashtbl.find_opt inst.i_applied key with
@@ -458,6 +506,16 @@ let do_invoke t node { v_uid; v_action; v_serial; v_last_acked; v_write; v_op } 
                 break_stale_holders t node inst;
                 Sim.Metrics.incr (metrics t) "server.lock_refusals";
                 Locked
+            | Ok () when is_settled inst v_action ->
+                (* The action finished (timeout abort, usually) while this
+                   fiber sat parked on the instance lock: executing now
+                   would stage payload and hold locks for an owner whose
+                   completion already ran. *)
+                Lockmgr.Manager.release_all inst.i_locks ~owner:v_action;
+                Sim.Metrics.incr (metrics t) "server.settled_refusals";
+                tracef t "%s: refused settled action %s on %a" node v_action
+                  Store.Uid.pp v_uid;
+                Settled
             | Ok () ->
                 let payload =
                   match Hashtbl.find_opt inst.i_staged v_action with
@@ -507,6 +565,7 @@ let apply_checkpoint t node msg =
             i_members = msg.k_members;
             i_ckpt_holders = [];
             i_ckpt_stamp = neg_infinity;
+            i_settled = [];
           }
         in
         install_instance t node inst;
@@ -603,6 +662,7 @@ let make_instance t node impl uid state role members =
     i_members = members;
     i_ckpt_holders = [];
     i_ckpt_stamp = neg_infinity;
+    i_settled = [];
   }
 
 let do_activate t node { a_uid; a_impl; a_stores; a_role; a_members } =

@@ -47,6 +47,14 @@ val set_delta_shipping : runtime -> bool -> unit
     {!Commit.attach} ships per-store log suffixes instead of full states
     wherever the acknowledged-version vector allows. *)
 
+val force_delta : runtime -> bool
+
+val set_force_delta : runtime -> bool -> unit
+(** Skip {!Commit.attach}'s per-write size comparison and ship every
+    coverable delta even when the full state would encode smaller
+    (default off). Chaos worlds set this so small objects keep the delta
+    path — and its audit coverage — exercised. *)
+
 val set_eager_checkpoints : runtime -> bool -> unit
 (** Coordinator-cohort checkpointing policy: [true] (default) checkpoints
     after every invocation, so a failover continues the client's action
@@ -96,6 +104,11 @@ type invoke_result =
   | State_lost
       (** a failover lost the action's staged state (lazy checkpointing):
           the action must abort *)
+  | Settled
+      (** the action already committed or aborted at this instance: a
+          late-arriving invocation (a duplicated multicast, or one parked
+          on the instance lock past the action's own timeout abort) must
+          not stage fresh state nobody will ever clean up *)
 
 val invoke :
   runtime ->

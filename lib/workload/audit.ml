@@ -53,15 +53,16 @@ let chaos w =
         with
         | None -> ()
         | Some s -> (
-            let counter = s.Store.Object_state.version.Store.Version.counter in
-            match Replica.Oplog.golden olog ~uid ~counter with
+            let version = s.Store.Object_state.version in
+            match Replica.Oplog.golden olog ~uid ~version with
             | Some expected
               when not (String.equal expected s.Store.Object_state.payload) ->
                 add
-                  "%s: store %s v%d diverges from full-state replay (%S vs \
+                  "%s: store %s %s diverges from full-state replay (%S vs \
                    golden %S)"
-                  (uid_str uid) node counter s.Store.Object_state.payload
-                  expected
+                  (uid_str uid) node
+                  (Store.Version.to_string version)
+                  s.Store.Object_state.payload expected
             | _ -> ()))
       topo.Service.store_nodes
   in
@@ -77,6 +78,17 @@ let chaos w =
           | Ok () -> ()
           | Error why -> add "%s: %s" (uid_str uid) why);
           golden_check uid;
+          (* The optimistic-commit validation fence: the St revision
+             counts only committed membership changes, and every install
+             that bumps it also bumps the entry version — so it must sit
+             in [0, snapshot version]. A revision outside that range
+             means a handoff or resync tore the (image, revision) pair
+             apart, and validate_view would be comparing garbage. *)
+          (let rev = Gvd.st_revision g uid in
+           let version = Gvd.snapshot_version g uid in
+           if rev < 0 || rev > version then
+             add "%s: St revision %d outside [0, snapshot version %d]"
+               (uid_str uid) rev version);
           if not (Gvd.quiescent g uid) then begin
             let counters =
               List.concat_map

@@ -152,9 +152,16 @@ type outcome = {
   oc_faults : int;
 }
 
-let run_world ?(durable = false) ~seed ~events () =
+let run_world ?(durable = false) ?(optimistic = false) ~seed ~events () =
   let w =
+    (* [force_delta]: the chaos objects are counters, whose deltas lose
+       the size comparison every time — forcing keeps the delta path
+       under fault coverage. The optimistic world turns on both halves
+       of the hot-path work: validated snapshot commits and pipelined
+       scheme-A binds. *)
     Service.create ~seed ~durable_naming:durable ~delta_shipping:true
+      ~force_delta:true ~optimistic_commit:optimistic
+      ~pipelined_binds:optimistic
       {
         Service.gvd_node = "ns";
         gvd_nodes = [ "ns2" ];
@@ -184,6 +191,7 @@ let run_world ?(durable = false) ~seed ~events () =
      while the schedule runs; a version that ever goes backwards is a
      violation regardless of what the final audit sees. *)
   let seen = Hashtbl.create 16 in
+  let seen_rev = Hashtbl.create 16 in
   Net.Network.spawn_on net "ns" ~name:"chaos.version-monitor" (fun () ->
       let rec loop () =
         if Sim.Engine.now eng < heal_time +. 40.0 then begin
@@ -199,7 +207,20 @@ let run_world ?(durable = false) ~seed ~events () =
                         (Store.Uid.to_string uid) v0 v
                   | _ -> ());
                   let v0 = Option.value ~default:0 (Hashtbl.find_opt seen k) in
-                  Hashtbl.replace seen k (max v0 v))
+                  Hashtbl.replace seen k (max v0 v);
+                  (* The optimistic validation's premise: the St revision
+                     only ever counts up, or a commit could validate
+                     against a rolled-back membership. *)
+                  let r = Gvd.st_revision g uid in
+                  (match Hashtbl.find_opt seen_rev k with
+                  | Some r0 when r < r0 ->
+                      flag "St revision of %s went backwards (%d -> %d)"
+                        (Store.Uid.to_string uid) r0 r
+                  | _ -> ());
+                  let r0 =
+                    Option.value ~default:0 (Hashtbl.find_opt seen_rev k)
+                  in
+                  Hashtbl.replace seen_rev k (max r0 r))
                 (Gvd.all_uids g))
             (Router.gvds (Service.router w));
           Sim.Engine.sleep eng 5.0;
@@ -365,9 +386,9 @@ let weaken = function
       Some (Link { l with duration = duration /. 2.0 })
   | _ -> None
 
-let shrink ?(durable = false) ~seed events =
+let shrink ?(durable = false) ?(optimistic = false) ~seed events =
   let failing evs =
-    (run_world ~durable ~seed ~events:evs ()).oc_violations <> []
+    (run_world ~durable ~optimistic ~seed ~events:evs ()).oc_violations <> []
   in
   let rec drop_pass evs =
     let rec try_drop i =
@@ -396,11 +417,11 @@ let shrink ?(durable = false) ~seed events =
   in
   fix events
 
-let check_seed ?(durable = false) seed =
+let check_seed ?(durable = false) ?(optimistic = false) seed =
   let events = gen_events ~durable ~seed () in
-  let o = run_world ~durable ~seed ~events () in
+  let o = run_world ~durable ~optimistic ~seed ~events () in
   if o.oc_violations = [] then (o, None)
-  else (o, Some (shrink ~durable ~seed events))
+  else (o, Some (shrink ~durable ~optimistic ~seed events))
 
 let default_seeds = [ 11L; 23L; 37L; 41L; 53L; 67L; 79L; 97L ]
 
@@ -410,9 +431,9 @@ let run_check ?(seeds = default_seeds) () =
     List.concat_map
       (fun seed ->
         List.map
-          (fun (durable, world) ->
+          (fun (durable, optimistic, world) ->
             let events = gen_events ~durable ~seed () in
-            let o, shrunk = check_seed ~durable seed in
+            let o, shrunk = check_seed ~durable ~optimistic seed in
             (match shrunk with
             | None -> ()
             | Some min_events ->
@@ -428,7 +449,11 @@ let run_check ?(seeds = default_seeds) () =
               Table.cell_i (List.length o.oc_violations);
               (if o.oc_violations = [] then "ok" else "FAIL");
             ])
-          [ (false, "classic"); (true, "durable-ns") ])
+          [
+            (false, false, "classic");
+            (true, false, "durable-ns");
+            (false, true, "optimistic");
+          ])
       seeds
   in
   let base_notes =
@@ -439,12 +464,16 @@ let run_check ?(seeds = default_seeds) () =
       "shipping is ON, so copy-backs mix op-log deltas with full-state";
       "fallbacks under the fault plane. The classic world never crashes";
       "naming; the durable-ns world runs durable naming and adds the";
-      "naming shards to the crash pool. Servers/stores heal, crashed";
+      "naming shards to the crash pool; the optimistic world keeps the";
+      "classic crash pool but commits through the validated lock-free";
+      "snapshot and binds scheme A through the pipelined Join scatter.";
+      "Servers/stores heal, crashed";
       "clients stay down for the cleanup protocol. After quiescence,";
       "Audit.chaos checks StA mutual consistency, byte-equality of every";
-      "store against the full-state golden shadow, snapshot-version";
-      "monotonicity, use-list quiescence, residual locks/reservations and";
-      "leaked fibers, plus commit accounting bounds. Failing schedules";
+      "store against the full-state golden shadow, snapshot-version and";
+      "St-revision monotonicity, use-list quiescence, residual";
+      "locks/reservations and leaked fibers, plus commit accounting";
+      "bounds. Failing schedules";
       "shrink by event dropping, then by halving fault durations. Any";
       "seed replays the full run bit-for-bit.";
     ]

@@ -13,10 +13,14 @@
     with full-state fallbacks under the fault plane, and the audit's
     golden-shadow byte-equality check is live.
 
-    Two world variants run per seed: {e classic} (naming nodes never
-    crash — the paper's §3.1 availability assumption) and {e durable-ns}
+    Three world variants run per seed: {e classic} (naming nodes never
+    crash — the paper's §3.1 availability assumption), {e durable-ns}
     (durable naming; the naming shards join the crash pool and recover
-    their committed entries from the database).
+    their committed entries from the database), and {e optimistic}
+    (classic crash pool, but commits validate a lock-free St snapshot in
+    the prepare round and scheme-A binds scatter their three naming
+    reads as one Join round — the hot-path optimisations under the full
+    fault plane, with St-revision monotonicity monitored).
 
     Every run is a pure function of its seed: a failing seed replays the
     whole world bit-for-bit, and the offending schedule is greedily
@@ -40,12 +44,16 @@ type outcome = {
 }
 
 val run_world :
-  ?durable:bool -> seed:int64 -> events:fault_event list -> unit -> outcome
+  ?durable:bool -> ?optimistic:bool -> seed:int64 ->
+  events:fault_event list -> unit -> outcome
 (** One full run: build the world from [seed] (durable naming iff
-    [durable]), inject [events], drive the workload to quiescence,
-    audit. Deterministic in [(durable, seed, events)]. *)
+    [durable]; optimistic commits and pipelined binds iff [optimistic]),
+    inject [events], drive the workload to quiescence, audit.
+    Deterministic in [(durable, optimistic, seed, events)]. *)
 
-val check_seed : ?durable:bool -> int64 -> outcome * fault_event list option
+val check_seed :
+  ?durable:bool -> ?optimistic:bool -> int64 ->
+  outcome * fault_event list option
 (** Run [gen_events] for the seed in the chosen variant; on violation,
     also the minimized schedule ([None] when the run was clean). *)
 
@@ -54,8 +62,8 @@ val default_seeds : int64 list
 
 val run_check : ?seeds:int64 list -> unit -> Table.t * bool
 (** The experiment table plus an all-clean flag (for CLI exit codes);
-    every seed runs both the classic and the durable-ns variant. Failing
-    runs are detailed in the table notes: world, seed, minimized
+    every seed runs the classic, durable-ns and optimistic variants.
+    Failing runs are detailed in the table notes: world, seed, minimized
     schedule, violations. *)
 
 val run : ?seeds:int64 list -> unit -> Table.t

@@ -12,6 +12,13 @@
     per scheme. Historically scheme A stayed flat while B/C grew with the
     client count; with snapshot reads and the single-round batched bind
     the Increment is a Delta-mode append and both curves are near-flat,
-    with B/C paying one RPC round per bind against scheme A's three. *)
+    with B/C paying one RPC round per bind against scheme A's three —
+    and scheme A too under [pipelined_binds], which scatters its three
+    reads as one {!Sim.Join} round.
+
+    A second block races write commits against membership churn and
+    compares the classic locked commit-time [GetView] re-read (which
+    queues behind the churn's write locks — the [gvd.view_lock_waits]
+    column) with the optimistic validated snapshot, which never waits. *)
 
 val run : ?seed:int64 -> unit -> Table.t

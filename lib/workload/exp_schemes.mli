@@ -39,7 +39,7 @@ type result = {
   r_orphans : int;
 }
 
-val run_scheme : ?seed:int64 -> Naming.Scheme.t -> result
+val run_scheme : ?seed:int64 -> ?pipelined:bool -> Naming.Scheme.t -> result
 (** Run the common workload under one scheme. *)
 
 val fig6 : ?seed:int64 -> unit -> Table.t

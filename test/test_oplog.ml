@@ -121,20 +121,28 @@ let test_golden_window () =
   let l = Replica.Oplog.create (Sim.Metrics.create ()) in
   let uid = Store.Uid.fresh (Store.Uid.supply ()) ~label:"o" in
   Replica.Oplog.record_golden l ~uid ~version:(v 7) ~payload:"p7";
-  check_bool "hit" true (Replica.Oplog.golden l ~uid ~counter:7 = Some "p7");
-  check_bool "miss" true (Replica.Oplog.golden l ~uid ~counter:6 = None);
+  check_bool "hit" true (Replica.Oplog.golden l ~uid ~version:(v 7) = Some "p7");
+  check_bool "miss" true (Replica.Oplog.golden l ~uid ~version:(v 6) = None);
+  (* Identity-exact: a racing action's shadow at the same counter neither
+     shadows nor answers for the committed one. *)
+  let rival = { Store.Version.counter = 7; committed_by = "loser" } in
+  Replica.Oplog.record_golden l ~uid ~version:rival ~payload:"ghost";
+  check_bool "same counter, other action" true
+    (Replica.Oplog.golden l ~uid ~version:rival = Some "ghost");
+  check_bool "winner's shadow survives the rival" true
+    (Replica.Oplog.golden l ~uid ~version:(v 7) = Some "p7");
   Replica.Oplog.record_golden l ~uid ~version:(v 71) ~payload:"p71";
   check_bool "window evicts old versions" true
-    (Replica.Oplog.golden l ~uid ~counter:7 = None);
+    (Replica.Oplog.golden l ~uid ~version:(v 7) = None);
   check_bool "new version retained" true
-    (Replica.Oplog.golden l ~uid ~counter:71 = Some "p71")
+    (Replica.Oplog.golden l ~uid ~version:(v 71) = Some "p71")
 
 (* ------------------------------------------------------------------ *)
 (* End-to-end: repeated commits by one client ship deltas after the
    first full-state round trip. *)
 
 let test_delta_hits_end_to_end () =
-  let w = Service.create ~seed:7L ~delta_shipping:true topo in
+  let w = Service.create ~seed:7L ~delta_shipping:true ~force_delta:true topo in
   let uid =
     Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
       ~st:[ "t1"; "t2" ] ()
@@ -162,7 +170,7 @@ let test_delta_hits_end_to_end () =
    back to full state up front, never reaching the miss path. *)
 
 let test_truncation_forces_fallback () =
-  let w = Service.create ~seed:9L ~delta_shipping:true topo in
+  let w = Service.create ~seed:9L ~delta_shipping:true ~force_delta:true topo in
   let uid =
     Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
       ~st:[ "t1"; "t2" ] ()
@@ -171,15 +179,22 @@ let test_truncation_forces_fallback () =
   Replica.Oplog.set_limits
     (Replica.Server.oplog (Service.server_runtime w))
     ~max_records:1 ();
-  commit_op w "c1" uid "add 1" (* v1: full (no vector) *);
-  commit_op w "c2" uid "add 1" (* v2: full (no vector) *);
-  commit_op w "c2" uid "add 1" (* v3: one-step delta for c2 *);
+  commit_op w "c1" uid "add 1" (* v1: full (no vector, empty floor) *);
+  commit_op w "c2" uid "add 1"
+  (* v2: c2 has no vector entry, but c1's phase-2 acks seeded the shared
+     per-store floor at v1 — one-step delta. *);
+  commit_op w "c2" uid "add 1" (* v3: one-step delta off c2's own vector *);
   let m = Service.metrics w in
-  check_int "c2's second commit delta-hit both stores" 2
+  check_int "c2's commits delta-hit both stores (floor + own vector)" 4
     (Sim.Metrics.counter m "commit.delta_hits");
   let fallbacks_before = Sim.Metrics.counter m "commit.delta_fallbacks" in
   (* c1's vector says v1, but the log now retains only v3: the suffix
-     (1, 4] is truncated, so c1 ships full state. *)
+     (1, 4] is truncated, so c1 ships full state. The shared floor (at
+     v3 by now) would paper over the stale vector — clear it so the
+     truncated-suffix path is what gets exercised. *)
+  let olog = Replica.Server.oplog (Service.server_runtime w) in
+  Replica.Oplog.drop_store olog "t1";
+  Replica.Oplog.drop_store olog "t2";
   commit_op w "c1" uid "add 1";
   check_int "truncation forced full-state fallbacks" (fallbacks_before + 2)
     (Sim.Metrics.counter m "commit.delta_fallbacks");
@@ -198,7 +213,7 @@ let test_truncation_forces_fallback () =
    round, and the commit still lands. *)
 
 let test_stale_vector_miss_and_retry () =
-  let w = Service.create ~seed:13L ~delta_shipping:true topo in
+  let w = Service.create ~seed:13L ~delta_shipping:true ~force_delta:true topo in
   let uid =
     Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
       ~st:[ "t1"; "t2" ] ()
@@ -209,7 +224,10 @@ let test_stale_vector_miss_and_retry () =
   done;
   let olog = Replica.Server.oplog (Service.server_runtime w) in
   (* Claim t1 is still at v1; it holds v3. The suffix (1, 4] is in the
-     log, so a delta with base 1 goes out and misses. *)
+     log, so a delta with base 1 goes out and misses. The shared floor
+     knows better (max-merge would override the poisoned ack), so clear
+     it first — the miss path is what this test is after. *)
+  Replica.Oplog.drop_store olog "t1";
   Replica.Oplog.note_acked olog ~client:"c1" ~store:"t1" ~uid 1;
   let m = Service.metrics w in
   let hits_before = Sim.Metrics.counter m "commit.delta_hits" in
@@ -247,7 +265,7 @@ let test_duplicate_delta_prepare_idempotent () =
       Action.Store_host.prepare_each sh ~from:"c1" ~action ~coordinator:"c1"
         [ ("t1", [ (uid, delta) ]) ]
     with
-    | [ (_, Ok Action.Store_host.Vote_yes) ] -> ()
+    | [ (_, Ok (Action.Store_host.Vote_yes _)) ] -> ()
     | [ (_, Ok (Action.Store_host.Vote_stale | Action.Store_host.Vote_delta_miss _)) ]
       ->
         Alcotest.failf "%s: delta refused" action
@@ -298,7 +316,7 @@ let test_duplicate_delta_prepare_idempotent () =
    every store byte-correct. *)
 
 let test_delta_under_duplicating_link () =
-  let w = Service.create ~seed:21L ~delta_shipping:true topo in
+  let w = Service.create ~seed:21L ~delta_shipping:true ~force_delta:true topo in
   let uid =
     Service.create_object w ~name:"obj" ~impl:"counter" ~sv:[ "alpha" ]
       ~st:[ "t1"; "t2" ] ()
