@@ -408,6 +408,61 @@ let bench_schemea_pipelined () =
   one true;
   one false
 
+(* The same 48-commit synchronised-wave episode both ways, back to back:
+   the group-commit plane on (window 3.0 — one prepare and one phase-2
+   scatter per store per batch, floors piggybacked on the acks), then
+   solo 2PC. The spread within this subject is what round coalescing
+   buys on the copy-back hot path; tab-groupcommit tabulates the same
+   episode's store-round counts. *)
+let bench_grouped_vs_solo () =
+  ignore
+    (Workload.Exp_groupcommit.episode ~window:3.0 ~clients:8 ()
+      : Workload.Exp_groupcommit.sample);
+  ignore
+    (Workload.Exp_groupcommit.episode ~window:0.0 ~clients:8 ()
+      : Workload.Exp_groupcommit.sample)
+
+(* The very first commit of a fresh writer, both ways, back to back:
+   after an anti-entropy floor-gossip round (the commit delta-hits off
+   the gossiped floor and ships op bytes), then without one (cold
+   acked-version vector: the commit ships the whole ~1.5 KB kvmap per
+   store). *)
+let bench_first_commit_after_activation () =
+  let open Naming in
+  let one gossip =
+    let w =
+      Service.create ~seed:5L ~delta_shipping:true
+        {
+          Service.gvd_node = "ns";
+          gvd_nodes = [];
+          server_nodes = [ "alpha" ];
+          store_nodes = [ "beta1"; "beta2" ];
+          client_nodes = [ "c1" ];
+        }
+    in
+    let uid =
+      Service.create_object w ~name:"obj" ~impl:"kvmap"
+        ~initial:delta_large_preload ~sv:[ "alpha" ]
+        ~st:[ "beta1"; "beta2" ] ()
+    in
+    Service.run ~until:1.0 w;
+    if gossip then begin
+      let gc = Replica.Server.groupcommit (Service.server_runtime w) in
+      Net.Network.spawn_on (Service.network w) "alpha" (fun () ->
+          Replica.Groupcommit.anti_entropy gc ~from:"alpha"
+            ~stores:[ "beta1"; "beta2" ]);
+      Service.run w
+    end;
+    Service.spawn_client w "c1" (fun () ->
+        ignore
+          (Service.with_bound w ~client:"c1" ~scheme:Scheme.Standard
+             ~policy:Replica.Policy.Single_copy_passive ~uid
+             (fun act group -> Service.invoke w group ~act "put hot v1")));
+    Service.run w
+  in
+  one true;
+  one false
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -453,6 +508,10 @@ let micro_tests =
         (Staged.stage bench_optimistic_vs_locked);
       Test.make ~name:"bind.schemeA-pipelined"
         (Staged.stage bench_schemea_pipelined);
+      Test.make ~name:"commit.grouped-vs-solo"
+        (Staged.stage bench_grouped_vs_solo);
+      Test.make ~name:"commit.first-commit-delta-after-activation"
+        (Staged.stage bench_first_commit_after_activation);
     ]
 
 (* Run the micro suite; print the human table and return the per-subject

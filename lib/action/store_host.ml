@@ -48,6 +48,13 @@ type t = {
   ep_commit : (string, unit) Net.Rpc.endpoint;
   ep_abort : (string, unit) Net.Rpc.endpoint;
   ep_decision : (string, Store.Intent_log.decision option) Net.Rpc.endpoint;
+  (* Group-commit plane: one prepare (resp. commit) round carrying the
+     sub-records of every batch member that writes this store. Voting,
+     staging and idempotence stay per action — the batched handlers just
+     run the per-action logic sub-record by sub-record. *)
+  ep_prepare_batch : (prepare_req list, (string * vote) list) Net.Rpc.endpoint;
+  ep_commit_batch : (string list, (Store.Uid.t * int) list) Net.Rpc.endpoint;
+  ep_floors : (unit, (Store.Uid.t * int) list) Net.Rpc.endpoint;
 }
 
 let create rpc_rt =
@@ -62,6 +69,9 @@ let create rpc_rt =
     ep_commit = Net.Rpc.endpoint "store.commit";
     ep_abort = Net.Rpc.endpoint "store.abort";
     ep_decision = Net.Rpc.endpoint "store.decision";
+    ep_prepare_batch = Net.Rpc.endpoint "store.prepare_batch";
+    ep_commit_batch = Net.Rpc.endpoint "store.commit_batch";
+    ep_floors = Net.Rpc.endpoint "store.floors";
   }
 
 let rpc t = t.rpc_rt
@@ -160,14 +170,12 @@ let resolve_write t h = function
               | _ -> Error (uid, committed_counter)))
       | _ -> Error (uid, committed_counter))
 
-let add t node =
-  if Hashtbl.mem t.hosts node then
-    invalid_arg (Printf.sprintf "Store_host.add: %s already hosted" node);
-  let h = { h_objects = Store.Object_store.create (); h_log = Store.Intent_log.create () } in
-  Hashtbl.add t.hosts node h;
-  Net.Rpc.serve t.rpc_rt ~node t.ep_read (fun uid ->
-      Store.Object_store.read h.h_objects uid);
-  Net.Rpc.serve t.rpc_rt ~node t.ep_prepare (fun { pr_action; pr_coordinator; pr_writes } ->
+(* The phase-1 handler, shared verbatim between the solo [store.prepare]
+   endpoint and the batched [store.prepare_batch] one (which folds it over
+   its sub-records): validation, reservations, staging, hooks and traces
+   are identical either way, so a batch of one is indistinguishable from a
+   solo prepare at the store. *)
+let prepare_one t h node { pr_action; pr_coordinator; pr_writes } =
       let netw = Net.Rpc.network t.rpc_rt in
       let resolved, misses =
         List.fold_left
@@ -280,8 +288,36 @@ let add t node =
             in
             if blockers <> [] then hook ~node ~blockers);
         Vote_stale
-      end);
+      end
+
+(* The committed counter of every object this store holds: the acked-floor
+   gossip payload. Batched phase-2 acks carry it (post-apply), and the
+   anti-entropy round reads it directly, so coordinators can reseed the
+   shared per-(store,object) floor without ever having written here. *)
+let floors_of h =
+  List.map
+    (fun uid ->
+      ( uid,
+        match Store.Object_store.read h.h_objects uid with
+        | Some e -> e.Store.Object_state.version.Store.Version.counter
+        | None -> -1 ))
+    (Store.Object_store.uids h.h_objects)
+
+let add t node =
+  if Hashtbl.mem t.hosts node then
+    invalid_arg (Printf.sprintf "Store_host.add: %s already hosted" node);
+  let h = { h_objects = Store.Object_store.create (); h_log = Store.Intent_log.create () } in
+  Hashtbl.add t.hosts node h;
+  Net.Rpc.serve t.rpc_rt ~node t.ep_read (fun uid ->
+      Store.Object_store.read h.h_objects uid);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_prepare (fun req -> prepare_one t h node req);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_prepare_batch (fun reqs ->
+      List.map (fun req -> (req.pr_action, prepare_one t h node req)) reqs);
   Net.Rpc.serve t.rpc_rt ~node t.ep_commit (fun action -> apply_commit h action);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_commit_batch (fun actions ->
+      List.iter (fun action -> apply_commit h action) actions;
+      floors_of h);
+  Net.Rpc.serve t.rpc_rt ~node t.ep_floors (fun () -> floors_of h);
   Net.Rpc.serve t.rpc_rt ~node t.ep_abort (fun action ->
       Store.Intent_log.resolve h.h_log ~action);
   Net.Rpc.serve t.rpc_rt ~node t.ep_decision (fun action ->
@@ -335,6 +371,16 @@ let commit_all t ~from ~stores ~action =
 let abort_all t ~from ~stores ~action =
   Net.Rpc.call_all t.rpc_rt ~from t.ep_abort
     (List.map (fun store -> (store, action)) stores)
+
+let prepare_batch t ~from per_store =
+  Net.Rpc.call_all t.rpc_rt ~from t.ep_prepare_batch per_store
+
+let commit_batch t ~from per_store =
+  Net.Rpc.call_all t.rpc_rt ~from t.ep_commit_batch per_store
+
+let floors_all t ~from ~stores =
+  Net.Rpc.call_all t.rpc_rt ~from t.ep_floors
+    (List.map (fun store -> (store, ())) stores)
 
 let decision t ~from ~coordinator ~action =
   Net.Rpc.call t.rpc_rt ~from ~dst:coordinator t.ep_decision action

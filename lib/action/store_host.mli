@@ -159,6 +159,51 @@ val abort_all :
   (Net.Network.node_id * (unit, Net.Rpc.error) result) list
 (** Scatter {!abort} (phase-2 abort / prepare withdrawal) concurrently. *)
 
+(** {2 Group-commit rounds} (see {!Replica.Groupcommit})
+
+    One RPC round per store carrying per-action sub-records for a whole
+    batch of concurrent commits. The store runs the per-action phase-1
+    logic over each sub-record in order — validation, write reservations,
+    intent-log staging, the prepare/reservation hooks and duplicate
+    delivery replacement are exactly the solo path's, so one member's
+    refusal ([Vote_stale]/[Vote_delta_miss]) affects only that member's
+    vote, never its batchmates. *)
+
+type prepare_req = {
+  pr_action : string;
+  pr_coordinator : string;
+  pr_writes : (Store.Uid.t * write) list;
+}
+(** One batch member's phase-1 sub-record for one store: the same triple
+    the solo {!prepare_each} sends, just bundled. *)
+
+val prepare_batch :
+  t ->
+  from:Net.Network.node_id ->
+  (Net.Network.node_id * prepare_req list) list ->
+  (Net.Network.node_id * ((string * vote) list, Net.Rpc.error) result) list
+(** Scatter one batched prepare per store; each store answers a per-action
+    vote list (in sub-record order). *)
+
+val commit_batch :
+  t ->
+  from:Net.Network.node_id ->
+  (Net.Network.node_id * string list) list ->
+  (Net.Network.node_id * ((Store.Uid.t * int) list, Net.Rpc.error) result) list
+(** Scatter one batched phase-2 commit per store: the store applies each
+    listed action's intentions ({e idempotent, per action}) and its ack
+    carries the committed counter of {e every} object it holds — the
+    acked-version floor gossip the coordinator folds into
+    {!Replica.Oplog.note_store}. *)
+
+val floors_all :
+  t ->
+  from:Net.Network.node_id ->
+  stores:Net.Network.node_id list ->
+  (Net.Network.node_id * ((Store.Uid.t * int) list, Net.Rpc.error) result) list
+(** One anti-entropy round: read each store's committed counters without
+    committing anything (quiet-store floor gossip). *)
+
 val decision :
   t ->
   from:Net.Network.node_id ->

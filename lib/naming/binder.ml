@@ -6,16 +6,16 @@ type t = {
   b_flush_delay : float;
   b_optimistic : bool;
       (* commit-time GetView via lock-free snapshot + prepare-round
-         validation instead of the locked re-read (default off: off-path
-         worlds are byte-identical to the pre-optimistic tree) *)
+         validation instead of the locked re-read (default on since the
+         §13 flip; false reproduces the classic tree byte-identically) *)
   b_pipelined : bool;
       (* scheme A's three naming reads as one Sim.Join scatter (default
-         off, same byte-identity contract) *)
+         on, same flip; false keeps the classic serial reads) *)
   b_crash_hooked : (Net.Network.node_id, unit) Hashtbl.t;
 }
 
-let create ?cache ?(flush_delay = 5.0) ?(optimistic_commit = false)
-    ?(pipelined_binds = false) b_router b_grt =
+let create ?cache ?(flush_delay = 5.0) ?(optimistic_commit = true)
+    ?(pipelined_binds = true) b_router b_grt =
   {
     b_router;
     b_grt;

@@ -63,12 +63,12 @@ val create :
     credited [Decrement]s wait for a cancelling rebind before the flush
     fiber sends them.
 
-    [optimistic_commit] (default false) replaces the commit-time locked
+    [optimistic_commit] (default true since the §13 flip) replaces the commit-time locked
     [GetView] re-read with a lock-free (St, revision) snapshot validated
     inside the prepare round — an interleaved Include/Exclude shows up as
     a revision conflict and the copy-back retries against fresh [St],
     bounded, then falls back to the locked read (see
-    {!Replica.Commit.attach}). [pipelined_binds] (default false)
+    {!Replica.Commit.attach}). [pipelined_binds] (default true)
     scatters scheme A's three serial naming reads as one {!Sim.Join}
     round. Both off: bind and commit behaviour is byte-identical to the
     pre-optimistic tree. *)

@@ -39,7 +39,8 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     ?(durable_naming = false) ?(cleanup_period = 0.0) ?(extra_impls = [])
     ?bind_cache_lease ?(naming_service_time = 0.0) ?(use_flush_delay = 5.0)
     ?(delta_shipping = false) ?(force_delta = false)
-    ?(optimistic_commit = false) ?(pipelined_binds = false) topology =
+    ?(optimistic_commit = true) ?(pipelined_binds = true)
+    ?(commit_batch_window = 0.0) ?(floor_gossip_period = 0.0) topology =
   let eng = Sim.Engine.create ?seed () in
   let net = Net.Network.create ?latency eng in
   let rpc = Net.Rpc.create net in
@@ -52,6 +53,7 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   let srv = Replica.Server.create art impls in
   Replica.Server.set_delta_shipping srv delta_shipping;
   Replica.Server.set_force_delta srv force_delta;
+  Replica.Server.set_commit_batch_window srv commit_batch_window;
   (* Stores sit below the implementation registry, so the op folder delta
      prepares resolve with is injected here. Installed regardless of the
      flag: it only ever runs for delta prepares, which only a
@@ -125,6 +127,24 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   if cleanup_period > 0.0 then
     List.iter (fun g -> Cleanup.start g ~period:cleanup_period art)
       (Router.gvds router);
+  (* Low-rate acked-floor anti-entropy for quiet stores: one server-side
+     daemon polls every store's committed counters into the shared floor
+     ({!Replica.Groupcommit.anti_entropy}). Like the cleanup daemon this
+     is an infinite fiber, so worlds enabling it must drive the engine
+     with [run ~until]. *)
+  if floor_gossip_period > 0.0 then (
+    match topology.server_nodes with
+    | [] -> ()
+    | gossiper :: _ ->
+        Net.Network.spawn_on net gossiper ~name:"floor-gossip" (fun () ->
+            let gcp = Replica.Server.groupcommit srv in
+            let rec loop () =
+              Sim.Engine.sleep eng floor_gossip_period;
+              Replica.Groupcommit.anti_entropy gcp ~from:gossiper
+                ~stores:topology.store_nodes;
+              loop ()
+            in
+            loop ()));
   {
     w_eng = eng;
     w_net = net;

@@ -39,6 +39,8 @@ val create :
   ?force_delta:bool ->
   ?optimistic_commit:bool ->
   ?pipelined_binds:bool ->
+  ?commit_batch_window:float ->
+  ?floor_gossip_period:float ->
   topology ->
   t
 (** Build a world. Stock object implementations (counter, account,
@@ -63,12 +65,26 @@ val create :
     the pre-comparison behaviour, kept for worlds that measure delta
     coverage rather than bytes ({!Replica.Server.set_force_delta}).
 
-    [optimistic_commit] (default false) and [pipelined_binds] (default
-    false) are handed to {!Binder.create}: the former replaces the
-    commit-time locked [GetView] re-read with a lock-free validated
-    snapshot, the latter scatters scheme A's three serial bind reads as
-    one {!Sim.Join} round. Both off reproduces the pre-optimistic tree
-    byte-identically.
+    [optimistic_commit] and [pipelined_binds] (both default {e true}
+    since the §13 knobs were proven under chaos and flipped on) are
+    handed to {!Binder.create}: the former replaces the commit-time
+    locked [GetView] re-read with a lock-free validated snapshot, the
+    latter scatters scheme A's three serial bind reads as one {!Sim.Join}
+    round. Passing both as [false] reproduces the classic pre-optimistic
+    tree byte-identically (chaos keeps doing so in its [classic] and
+    [durable-ns] worlds).
+
+    [commit_batch_window] (default 0.0 = off) enables the group-commit
+    plane ({!Replica.Groupcommit}, docs/PROTOCOLS.md §14): concurrent
+    commits whose store sets overlap merge for up to this much simulated
+    time (closing early on quiescence) and pay one prepare and one
+    phase-2 scatter per store for the whole batch, with acked-version
+    floors piggybacked on the batched phase-2 acks. Off is byte-identical
+    to the unbatched tree. [floor_gossip_period] (default 0.0 = off)
+    additionally runs a low-rate anti-entropy daemon that folds every
+    store's committed counters into the shared floor — like
+    [cleanup_period] it spawns an infinite fiber, so worlds enabling it
+    must drive the engine with [run ~until].
 
     [bind_cache_lease] (default off) enables the client-side lease cache
     of bind results with that lease duration (see {!Bind_cache}).

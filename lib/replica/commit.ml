@@ -5,12 +5,22 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
   let sh = Action.Atomic.store_host art in
   let eng = Action.Atomic.engine art in
   let metrics = Net.Network.metrics (Action.Atomic.network art) in
+  let gc = Server.groupcommit srv in
   let read_stores =
     match current_stores with
     | Some f -> f
     | None -> fun _ -> Ok group.Group.g_stores
   in
   Action.Atomic.before_commit act (fun () ->
+      (* Group-commit plane (off unless the world set a batch window, in
+         which case every entry below is guarded on [batching] so the off
+         path stays byte-identical): announce this commit as approaching
+         so open batches hold their window for it; the token settles at
+         the prepare, or here at any earlier exit (commit-view error,
+         read-optimised commit, an exception unwinding the hook). *)
+      let batching = Groupcommit.enabled gc in
+      let tok = if batching then Some (Groupcommit.enter gc) else None in
+      let body () =
       match Group.commit_view rt group ~act with
       | Error why -> Error ("commit view: " ^ why)
       | Ok view when not view.Server.cv_dirty ->
@@ -117,10 +127,18 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                prepare per store, votes gathered in store order. Latency is
                the slowest round-trip, not the sum. *)
             let scattered = Sim.Engine.now eng in
+            let per_store = List.map (fun (s, w) -> (s, [ (uid, w) ])) writes in
             let votes =
-              Action.Store_host.prepare_each sh ~from:client ~action
-                ~coordinator:client
-                (List.map (fun (s, w) -> (s, [ (uid, w) ])) writes)
+              match tok with
+              | Some tk when batching ->
+                  (* Batched: join (or lead) a group-commit batch; the
+                     votes come back shaped exactly like [prepare_each]'s,
+                     with any non-yes member already peeled out to a solo
+                     retry inside. *)
+                  Groupcommit.prepare gc tk ~client ~action per_store
+              | _ ->
+                  Action.Store_host.prepare_each sh ~from:client ~action
+                    ~coordinator:client per_store
             in
             if delta_on then
               List.iter
@@ -253,12 +271,17 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                              there. A lost acknowledgement clears the
                              entry instead — the store may or may not have
                              applied, and the next copy must not presume. *)
+                          if batching then Groupcommit.expect_phase2 gc;
                           Action.Atomic.add_participant act ~name:"st-copy"
                             ~prepare:(fun () -> true)
                             ~commit:(fun () ->
                               let results =
-                                Action.Store_host.commit_all sh ~from:client
-                                  ~stores:ok ~action
+                                if batching then
+                                  Groupcommit.commit_batched gc ~client
+                                    ~action ~stores:ok
+                                else
+                                  Action.Store_host.commit_all sh ~from:client
+                                    ~stores:ok ~action
                               in
                               if delta_on then
                                 List.iter
@@ -275,8 +298,12 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                                   results)
                             ~abort:(fun () ->
                               ignore
-                                (Action.Store_host.abort_all sh ~from:client
-                                   ~stores:ok ~action));
+                                (if batching then
+                                   Groupcommit.abort_batched gc ~client
+                                     ~action ~stores:ok
+                                 else
+                                   Action.Store_host.abort_all sh ~from:client
+                                     ~stores:ok ~action));
                           `Done (Ok ())))
           in
           (* The classic locked path: re-read [St] under a read lock owned
@@ -344,4 +371,9 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                         end)
               in
               go 0
-          | _ -> classic ())
+          | _ -> classic ()
+      in
+      match tok with
+      | None -> body ()
+      | Some tk ->
+          Fun.protect ~finally:(fun () -> Groupcommit.leave gc tk) body)

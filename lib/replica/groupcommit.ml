@@ -1,0 +1,426 @@
+(* The coordinator-side group-commit plane.
+
+   Concurrent commit copy-backs from the same runtime that target
+   overlapping store sets merge into one batch, which pays ONE prepare
+   scatter and ONE phase-2 scatter per store for every member
+   ({!Action.Store_host.prepare_batch} / [commit_batch]) instead of one
+   per member. Everything transactional stays per action at the store —
+   voting, write reservations, intent-log staging, recovery, duplicate
+   delivery — so a refused member ([Vote_stale], [Vote_delta_miss], or a
+   transport error on one store) is peeled out for an ordinary solo
+   retry while its batchmates proceed untouched.
+
+   Window discipline (the [use_flush_delay] quiescence-pull pattern): an
+   opening batch holds its leader for at most [window] simulated time,
+   and closes early the moment no commit that could still join is in
+   flight. "Could still join" is tracked by an approaching counter:
+   {!enter} (called when commit processing starts) raises it, the
+   member's prepare arrival (or an early exit — abort, read-optimised
+   commit) lowers it; at zero every open batch's close ivar fills.
+   Phase-2 symmetrically: {!expect_phase2} registers a sealed commit
+   whose phase 2 is still to come, and the phase-2 batch closes early
+   when no registered commit remains outstanding.
+
+   Leadership and orphans: the first member to open a batch leads it —
+   its fiber waits out the window and issues the scatter, distributing
+   per-member results through ivars. Members bound their wait
+   ([window + grace]): if the leader's client crashed mid-window they
+   fall back to a solo prepare/commit (both idempotent at the store), so
+   a chaos world cannot wedge a batchmate forever.
+
+   Piggybacked floor gossip: a batched phase-2 ack carries the store's
+   committed counter for every object it holds; folding those into
+   {!Oplog.note_store} lets a coordinator that never wrote an object —
+   e.g. a freshly activated server — base its first copy-back on a
+   delta. {!anti_entropy} is the same exchange for quiet stores, driven
+   by an optional low-rate daemon (see {!Naming.Service.create}).
+
+   Off means off: with [window = 0.0] (the default) no call here is ever
+   made — {!Replica.Commit.attach} guards every entry point on
+   {!enabled} — so traces, RPC rounds and RNG draws are byte-identical
+   to the unbatched tree. *)
+
+type member = {
+  m_client : Net.Network.node_id;
+  m_action : string;
+  m_writes :
+    (Net.Network.node_id * (Store.Uid.t * Action.Store_host.write) list) list;
+  m_votes :
+    (Net.Network.node_id * (Action.Store_host.vote, Net.Rpc.error) result) list
+    Sim.Ivar.t;
+}
+
+type batch = {
+  mutable b_open : bool;
+  mutable b_members : member list; (* newest first; the last is the leader *)
+  mutable b_stores : Net.Network.node_id list; (* union, join order *)
+  b_close : unit Sim.Ivar.t;
+}
+
+type p2_member = {
+  p_client : Net.Network.node_id;
+  p_action : string;
+  p_stores : Net.Network.node_id list;
+  p_acks :
+    (Net.Network.node_id * (unit, Net.Rpc.error) result) list Sim.Ivar.t;
+}
+
+type p2_batch = {
+  mutable pb_open : bool;
+  mutable pb_members : p2_member list;
+  mutable pb_stores : Net.Network.node_id list;
+  pb_close : unit Sim.Ivar.t;
+}
+
+type t = {
+  gc_eng : Sim.Engine.t;
+  gc_sh : Action.Store_host.t;
+  gc_metrics : Sim.Metrics.t;
+  gc_olog : Oplog.t;
+  mutable gc_window : float;
+  mutable gc_approaching : int; (* commits between enter and their prepare *)
+  mutable gc_expecting : int; (* sealed commits whose phase 2 is pending *)
+  mutable gc_batches : batch list; (* open phase-1 batches, oldest first *)
+  mutable gc_p2 : p2_batch list; (* open phase-2 batches, oldest first *)
+}
+
+(* A member that died (client crash) or fell back solo must not leave its
+   batchmates waiting past this; generous so it never fires in a healthy
+   world (the leader always answers within [window]). *)
+let orphan_grace = 90.0
+
+let create ~engine ~store_host ~metrics olog =
+  {
+    gc_eng = engine;
+    gc_sh = store_host;
+    gc_metrics = metrics;
+    gc_olog = olog;
+    gc_window = 0.0;
+    gc_approaching = 0;
+    gc_expecting = 0;
+    gc_batches = [];
+    gc_p2 = [];
+  }
+
+let window t = t.gc_window
+let set_window t w = t.gc_window <- w
+let enabled t = t.gc_window > 0.0
+
+(* Quiescence-pull: no in-flight commit can join any longer, so every
+   open batch may close now rather than wait out its window. *)
+let pull_close t =
+  List.iter
+    (fun b -> if b.b_open then ignore (Sim.Ivar.try_fill b.b_close ()))
+    t.gc_batches
+
+let pull_close2 t =
+  List.iter
+    (fun b -> if b.pb_open then ignore (Sim.Ivar.try_fill b.pb_close ()))
+    t.gc_p2
+
+type token = { mutable tk_counted : bool }
+
+let enter t =
+  t.gc_approaching <- t.gc_approaching + 1;
+  { tk_counted = true }
+
+let leave t tok =
+  if tok.tk_counted then begin
+    tok.tk_counted <- false;
+    t.gc_approaching <- t.gc_approaching - 1;
+    if t.gc_approaching = 0 then pull_close t
+  end
+
+let expect_phase2 t = t.gc_expecting <- t.gc_expecting + 1
+
+let settle_phase2 t =
+  t.gc_expecting <- t.gc_expecting - 1;
+  if t.gc_expecting = 0 then pull_close2 t
+
+let union stores extra =
+  stores @ List.filter (fun s -> not (List.mem s stores)) extra
+
+let overlaps stores others = List.exists (fun s -> List.mem s others) stores
+
+(* Drop a batch a member found abandoned (its leader's client crashed
+   before scattering) so later commits stop joining a queue nobody will
+   ever drain. *)
+let abandon t batch =
+  if batch.b_open then begin
+    batch.b_open <- false;
+    t.gc_batches <- List.filter (fun b -> b != batch) t.gc_batches
+  end
+
+let abandon2 t batch =
+  if batch.pb_open then begin
+    batch.pb_open <- false;
+    t.gc_p2 <- List.filter (fun b -> b != batch) t.gc_p2
+  end
+
+(* Leader duty, phase 1: close the batch, issue one prepare_batch round
+   per store in the union, and hand each member its own per-store votes.
+   A batch that closed with a single member — its own leader — issues the
+   ordinary solo scatter instead, so vote shapes, rounds and store-side
+   behaviour are exactly the unbatched commit's. *)
+let scatter t batch =
+  batch.b_open <- false;
+  t.gc_batches <- List.filter (fun b -> b != batch) t.gc_batches;
+  let members = List.rev batch.b_members in
+  match members with
+  | [] -> ()
+  | [ m ] ->
+      Sim.Metrics.incr t.gc_metrics "groupcommit.solo_batches";
+      Sim.Ivar.fill m.m_votes
+        (Action.Store_host.prepare_each t.gc_sh ~from:m.m_client
+           ~action:m.m_action ~coordinator:m.m_client m.m_writes)
+  | leader :: _ ->
+      Sim.Metrics.incr t.gc_metrics "groupcommit.batches";
+      Sim.Metrics.observe t.gc_metrics "groupcommit.batch_members"
+        (float_of_int (List.length members));
+      let stores =
+        List.fold_left (fun acc m -> union acc (List.map fst m.m_writes)) []
+          members
+      in
+      let reqs =
+        List.map
+          (fun store ->
+            ( store,
+              List.filter_map
+                (fun m ->
+                  Option.map
+                    (fun ws ->
+                      {
+                        Action.Store_host.pr_action = m.m_action;
+                        pr_coordinator = m.m_client;
+                        pr_writes = ws;
+                      })
+                    (List.assoc_opt store m.m_writes))
+                members ))
+          stores
+      in
+      let results =
+        Action.Store_host.prepare_batch t.gc_sh ~from:leader.m_client reqs
+      in
+      List.iter
+        (fun m ->
+          let votes =
+            List.map
+              (fun (store, _) ->
+                ( store,
+                  match List.assoc_opt store results with
+                  | None | Some (Ok []) -> Error Net.Rpc.No_service
+                  | Some (Error e) -> Error e
+                  | Some (Ok votes) -> (
+                      match List.assoc_opt m.m_action votes with
+                      | Some v -> Ok v
+                      | None -> Error Net.Rpc.No_service) ))
+              m.m_writes
+          in
+          Sim.Ivar.fill m.m_votes votes)
+        members
+
+let solo_prepare t ~client ~action writes =
+  Action.Store_host.prepare_each t.gc_sh ~from:client ~action
+    ~coordinator:client writes
+
+let all_yes votes =
+  votes <> []
+  && List.for_all
+       (fun (_, v) ->
+         match v with Ok (Action.Store_host.Vote_yes _) -> true | _ -> false)
+       votes
+
+(* A member's phase-1: join (or open) a batch, lead it if first, and wait
+   for the distributed votes. Any vote short of all-yes on a multi-member
+   batch peels this member out: the batch votes are discarded and the
+   member re-runs the ordinary solo prepare from its own node — a genuine
+   conflict then aborts on the solo verdict exactly as an unbatched
+   commit would, and a delta miss flows into the caller's usual
+   reseed-and-retry, while the batchmates' staged prepares are untouched.
+   (Duplicate prepare delivery is idempotent at the store:
+   {!Store.Intent_log.prepare} replaces.) *)
+let prepare t tok ~client ~action writes =
+  let stores = List.map fst writes in
+  let m = { m_client = client; m_action = action; m_writes = writes; m_votes = Sim.Ivar.create () } in
+  let leading, batch =
+    match
+      List.find_opt
+        (fun b -> b.b_open && overlaps stores b.b_stores)
+        t.gc_batches
+    with
+    | Some b ->
+        b.b_members <- m :: b.b_members;
+        b.b_stores <- union b.b_stores stores;
+        (false, b)
+    | None ->
+        let b =
+          {
+            b_open = true;
+            b_members = [ m ];
+            b_stores = stores;
+            b_close = Sim.Ivar.create ();
+          }
+        in
+        t.gc_batches <- t.gc_batches @ [ b ];
+        (true, b)
+  in
+  (* This commit has arrived; if it was the last one approaching, every
+     open batch (including the one just joined) may close early. *)
+  leave t tok;
+  if leading then begin
+    (match Sim.Ivar.read_timeout t.gc_eng t.gc_window batch.b_close with
+    | Ok () -> Sim.Metrics.incr t.gc_metrics "groupcommit.pulled_closes"
+    | Error _ -> Sim.Metrics.incr t.gc_metrics "groupcommit.window_closes");
+    scatter t batch
+  end;
+  match
+    Sim.Ivar.read_timeout t.gc_eng (t.gc_window +. orphan_grace) m.m_votes
+  with
+  | Error _ ->
+      Sim.Metrics.incr t.gc_metrics "groupcommit.orphaned";
+      abandon t batch;
+      solo_prepare t ~client ~action writes
+  | Ok votes ->
+      let batched = List.length batch.b_members > 1 in
+      if (not batched) || all_yes votes then votes
+      else begin
+        Sim.Metrics.incr t.gc_metrics "groupcommit.peels";
+        solo_prepare t ~client ~action writes
+      end
+
+(* Leader duty, phase 2: one commit_batch round per store; fold the
+   floors each ack piggybacks into the shared per-(store,object) floor,
+   then hand each member its per-store acks. Singleton batches take the
+   solo commit scatter (no floor payload — byte-identical to unbatched),
+   matching phase 1's discipline. *)
+let scatter2 t batch =
+  batch.pb_open <- false;
+  t.gc_p2 <- List.filter (fun b -> b != batch) t.gc_p2;
+  let members = List.rev batch.pb_members in
+  match members with
+  | [] -> ()
+  | [ m ] ->
+      Sim.Ivar.fill m.p_acks
+        (Action.Store_host.commit_all t.gc_sh ~from:m.p_client
+           ~stores:m.p_stores ~action:m.p_action)
+  | leader :: _ ->
+      Sim.Metrics.incr t.gc_metrics "groupcommit.p2_batches";
+      let stores =
+        List.fold_left (fun acc m -> union acc m.p_stores) [] members
+      in
+      let reqs =
+        List.map
+          (fun store ->
+            ( store,
+              List.filter_map
+                (fun m ->
+                  if List.mem store m.p_stores then Some m.p_action else None)
+                members ))
+          stores
+      in
+      let results =
+        Action.Store_host.commit_batch t.gc_sh ~from:leader.p_client reqs
+      in
+      List.iter
+        (fun (store, r) ->
+          match r with
+          | Ok floors ->
+              List.iter
+                (fun (uid, c) ->
+                  if c >= 0 then begin
+                    Sim.Metrics.incr t.gc_metrics
+                      "groupcommit.floors_gossiped";
+                    Oplog.note_store t.gc_olog ~store ~uid c
+                  end)
+                floors
+          | Error _ -> ())
+        results;
+      List.iter
+        (fun m ->
+          let acks =
+            List.map
+              (fun store ->
+                ( store,
+                  match List.assoc_opt store results with
+                  | Some (Ok _) -> Ok ()
+                  | Some (Error e) -> Error e
+                  | None -> Error Net.Rpc.No_service ))
+              m.p_stores
+          in
+          Sim.Ivar.fill m.p_acks acks)
+        members
+
+(* Batched phase 2 for a commit registered with {!expect_phase2}. Runs in
+   the committing fiber (a 2PC participant's commit closure); the same
+   join/lead/orphan discipline as phase 1. *)
+let commit_batched t ~client ~action ~stores =
+  let m =
+    { p_client = client; p_action = action; p_stores = stores; p_acks = Sim.Ivar.create () }
+  in
+  let leading, batch =
+    match
+      List.find_opt (fun b -> b.pb_open && overlaps stores b.pb_stores) t.gc_p2
+    with
+    | Some b ->
+        b.pb_members <- m :: b.pb_members;
+        b.pb_stores <- union b.pb_stores stores;
+        (false, b)
+    | None ->
+        let b =
+          {
+            pb_open = true;
+            pb_members = [ m ];
+            pb_stores = stores;
+            pb_close = Sim.Ivar.create ();
+          }
+        in
+        t.gc_p2 <- t.gc_p2 @ [ b ];
+        (true, b)
+  in
+  (* Settle only after joining, so the quiescence-pull this settlement
+     may trigger reaches the batch just joined (mirrors phase 1, where
+     [leave] runs after the join for the same reason). *)
+  settle_phase2 t;
+  if leading then begin
+    (match Sim.Ivar.read_timeout t.gc_eng t.gc_window batch.pb_close with
+    | Ok () -> Sim.Metrics.incr t.gc_metrics "groupcommit.pulled_closes"
+    | Error _ -> Sim.Metrics.incr t.gc_metrics "groupcommit.window_closes");
+    scatter2 t batch
+  end;
+  match
+    Sim.Ivar.read_timeout t.gc_eng (t.gc_window +. orphan_grace) m.p_acks
+  with
+  | Ok acks -> acks
+  | Error _ ->
+      Sim.Metrics.incr t.gc_metrics "groupcommit.orphaned";
+      abandon2 t batch;
+      Action.Store_host.commit_all t.gc_sh ~from:client ~stores ~action
+
+(* Phase-2 abort of a commit registered with {!expect_phase2}: aborts are
+   rare and carry no floor payload worth amortising, so they go out solo
+   — but the registration must still settle or phase-2 quiescence-pull
+   would stall at a count that never drains. *)
+let abort_batched t ~client ~action ~stores =
+  settle_phase2 t;
+  Action.Store_host.abort_all t.gc_sh ~from:client ~stores ~action
+
+(* One anti-entropy round: read every store's committed counters and fold
+   them into the shared floor. Cheap (one scatter, no writes) and safe
+   (the floor is a monotone max; a racing commit only raises it), it
+   covers the stores the piggyback cannot: quiet ones, and floors lost
+   to {!Oplog.drop_store} when a store crashed. *)
+let anti_entropy t ~from ~stores =
+  Sim.Metrics.incr t.gc_metrics "groupcommit.anti_entropy_rounds";
+  List.iter
+    (fun (store, r) ->
+      match r with
+      | Ok floors ->
+          List.iter
+            (fun (uid, c) ->
+              if c >= 0 then begin
+                Sim.Metrics.incr t.gc_metrics "groupcommit.floors_gossiped";
+                Oplog.note_store t.gc_olog ~store ~uid c
+              end)
+            floors
+      | Error _ -> ())
+    (Action.Store_host.floors_all t.gc_sh ~from ~stores)

@@ -145,6 +145,9 @@ type runtime = {
       (* skip the per-write size comparison: ship a coverable delta even
          when the full state encodes smaller (chaos worlds keep the delta
          path exercised on small objects) *)
+  g_commit : Groupcommit.t;
+      (* the group-commit plane commits on this runtime batch through;
+         disabled (window 0.0) unless the world sets a batch window *)
   (* In-flight presumed-abort probes for instance locks whose holder's
      coordinator is partitioned away: (node, uid, holder) triples. *)
   breaking : (string * string * string, unit) Hashtbl.t;
@@ -153,6 +156,7 @@ type runtime = {
 let resource_name uid = "obj:" ^ Store.Uid.to_string uid
 
 let create art impls =
+  let o_log = Oplog.create (Net.Network.metrics (Action.Atomic.network art)) in
   {
     art;
     impls;
@@ -170,10 +174,15 @@ let create art impls =
     ch_invoke = Net.Multicast.channel "server.invoke.mc";
     lock_timeout = 30.0;
     eager_checkpoints = true;
-    o_log =
-      Oplog.create (Net.Network.metrics (Action.Atomic.network art));
+    o_log;
     delta_shipping = false;
     force_delta = false;
+    g_commit =
+      Groupcommit.create
+        ~engine:(Action.Atomic.engine art)
+        ~store_host:(Action.Atomic.store_host art)
+        ~metrics:(Net.Network.metrics (Action.Atomic.network art))
+        o_log;
     breaking = Hashtbl.create 16;
   }
 
@@ -184,6 +193,8 @@ let delta_shipping t = t.delta_shipping
 let set_delta_shipping t flag = t.delta_shipping <- flag
 let force_delta t = t.force_delta
 let set_force_delta t flag = t.force_delta <- flag
+let groupcommit t = t.g_commit
+let set_commit_batch_window t w = Groupcommit.set_window t.g_commit w
 let invoke_channel t = t.ch_invoke
 let reply_endpoint t = t.ep_reply
 let mc t = t.mc

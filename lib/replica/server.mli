@@ -47,6 +47,15 @@ val set_delta_shipping : runtime -> bool -> unit
     {!Commit.attach} ships per-store log suffixes instead of full states
     wherever the acknowledged-version vector allows. *)
 
+val groupcommit : runtime -> Groupcommit.t
+(** The group-commit plane of this runtime: {!Commit.attach} batches its
+    prepare and phase-2 scatters through it whenever it is enabled. *)
+
+val set_commit_batch_window : runtime -> float -> unit
+(** The commit batch window in simulated time ({!Groupcommit.set_window});
+    [0.0] (the default) disables batching and keeps the copy-back
+    byte-identical to the unbatched tree. *)
+
 val force_delta : runtime -> bool
 
 val set_force_delta : runtime -> bool -> unit

@@ -152,16 +152,21 @@ type outcome = {
   oc_faults : int;
 }
 
-let run_world ?(durable = false) ?(optimistic = false) ~seed ~events () =
+let run_world ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
+    ~seed ~events () =
   let w =
     (* [force_delta]: the chaos objects are counters, whose deltas lose
        the size comparison every time — forcing keeps the delta path
        under fault coverage. The optimistic world turns on both halves
        of the hot-path work: validated snapshot commits and pipelined
-       scheme-A binds. *)
+       scheme-A binds; the groupcommit world keeps those on and batches
+       the copy-back through the group-commit plane, so batch leadership,
+       peel-outs, orphaned members and floor gossip all run under the
+       fault schedule. *)
     Service.create ~seed ~durable_naming:durable ~delta_shipping:true
       ~force_delta:true ~optimistic_commit:optimistic
       ~pipelined_binds:optimistic
+      ~commit_batch_window:(if groupcommit then 2.0 else 0.0)
       {
         Service.gvd_node = "ns";
         gvd_nodes = [ "ns2" ];
@@ -386,9 +391,12 @@ let weaken = function
       Some (Link { l with duration = duration /. 2.0 })
   | _ -> None
 
-let shrink ?(durable = false) ?(optimistic = false) ~seed events =
+let shrink ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
+    ~seed events =
   let failing evs =
-    (run_world ~durable ~optimistic ~seed ~events:evs ()).oc_violations <> []
+    (run_world ~durable ~optimistic ~groupcommit ~seed ~events:evs ())
+      .oc_violations
+    <> []
   in
   let rec drop_pass evs =
     let rec try_drop i =
@@ -417,11 +425,12 @@ let shrink ?(durable = false) ?(optimistic = false) ~seed events =
   in
   fix events
 
-let check_seed ?(durable = false) ?(optimistic = false) seed =
+let check_seed ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
+    seed =
   let events = gen_events ~durable ~seed () in
-  let o = run_world ~durable ~optimistic ~seed ~events () in
+  let o = run_world ~durable ~optimistic ~groupcommit ~seed ~events () in
   if o.oc_violations = [] then (o, None)
-  else (o, Some (shrink ~durable ~optimistic ~seed events))
+  else (o, Some (shrink ~durable ~optimistic ~groupcommit ~seed events))
 
 let default_seeds = [ 11L; 23L; 37L; 41L; 53L; 67L; 79L; 97L ]
 
@@ -431,9 +440,9 @@ let run_check ?(seeds = default_seeds) () =
     List.concat_map
       (fun seed ->
         List.map
-          (fun (durable, optimistic, world) ->
+          (fun (durable, optimistic, groupcommit, world) ->
             let events = gen_events ~durable ~seed () in
-            let o, shrunk = check_seed ~durable ~optimistic seed in
+            let o, shrunk = check_seed ~durable ~optimistic ~groupcommit seed in
             (match shrunk with
             | None -> ()
             | Some min_events ->
@@ -450,9 +459,10 @@ let run_check ?(seeds = default_seeds) () =
               (if o.oc_violations = [] then "ok" else "FAIL");
             ])
           [
-            (false, false, "classic");
-            (true, false, "durable-ns");
-            (false, true, "optimistic");
+            (false, false, false, "classic");
+            (true, false, false, "durable-ns");
+            (false, true, false, "optimistic");
+            (false, true, true, "groupcommit");
           ])
       seeds
   in
@@ -466,7 +476,11 @@ let run_check ?(seeds = default_seeds) () =
       "naming; the durable-ns world runs durable naming and adds the";
       "naming shards to the crash pool; the optimistic world keeps the";
       "classic crash pool but commits through the validated lock-free";
-      "snapshot and binds scheme A through the pipelined Join scatter.";
+      "snapshot and binds scheme A through the pipelined Join scatter;";
+      "the groupcommit world keeps those on and batches copy-backs";
+      "through the group-commit plane (window 2.0), putting batch";
+      "leadership, peel-outs, orphaned members and piggybacked floor";
+      "gossip under the same fault schedules.";
       "Servers/stores heal, crashed";
       "clients stay down for the cleanup protocol. After quiescence,";
       "Audit.chaos checks StA mutual consistency, byte-equality of every";

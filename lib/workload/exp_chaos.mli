@@ -13,14 +13,17 @@
     with full-state fallbacks under the fault plane, and the audit's
     golden-shadow byte-equality check is live.
 
-    Three world variants run per seed: {e classic} (naming nodes never
+    Four world variants run per seed: {e classic} (naming nodes never
     crash — the paper's §3.1 availability assumption), {e durable-ns}
     (durable naming; the naming shards join the crash pool and recover
-    their committed entries from the database), and {e optimistic}
+    their committed entries from the database), {e optimistic}
     (classic crash pool, but commits validate a lock-free St snapshot in
     the prepare round and scheme-A binds scatter their three naming
     reads as one Join round — the hot-path optimisations under the full
-    fault plane, with St-revision monotonicity monitored).
+    fault plane, with St-revision monotonicity monitored), and
+    {e groupcommit} (optimistic plus the group-commit plane with a 2.0
+    batch window, so batch leadership, vote peel-outs, orphaned members
+    and piggybacked floor gossip all run under the fault schedules).
 
     Every run is a pure function of its seed: a failing seed replays the
     whole world bit-for-bit, and the offending schedule is greedily
@@ -44,15 +47,16 @@ type outcome = {
 }
 
 val run_world :
-  ?durable:bool -> ?optimistic:bool -> seed:int64 ->
+  ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> seed:int64 ->
   events:fault_event list -> unit -> outcome
 (** One full run: build the world from [seed] (durable naming iff
-    [durable]; optimistic commits and pipelined binds iff [optimistic]),
-    inject [events], drive the workload to quiescence, audit.
-    Deterministic in [(durable, optimistic, seed, events)]. *)
+    [durable]; optimistic commits and pipelined binds iff [optimistic];
+    batched commits with window 2.0 iff [groupcommit]), inject [events],
+    drive the workload to quiescence, audit.
+    Deterministic in [(durable, optimistic, groupcommit, seed, events)]. *)
 
 val check_seed :
-  ?durable:bool -> ?optimistic:bool -> int64 ->
+  ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> int64 ->
   outcome * fault_event list option
 (** Run [gen_events] for the seed in the chosen variant; on violation,
     also the minimized schedule ([None] when the run was clean). *)
@@ -62,7 +66,8 @@ val default_seeds : int64 list
 
 val run_check : ?seeds:int64 list -> unit -> Table.t * bool
 (** The experiment table plus an all-clean flag (for CLI exit codes);
-    every seed runs the classic, durable-ns and optimistic variants.
+    every seed runs the classic, durable-ns, optimistic and groupcommit
+    variants.
     Failing runs are detailed in the table notes: world, seed, minimized
     schedule, violations. *)
 

@@ -1,0 +1,28 @@
+(** Experiment [tab-groupcommit]: group-commit round coalescing vs solo
+    2PC.
+
+    Synchronised waves of disjoint-object writes over a shared two-store
+    [St], run solo and with the group-commit plane on: batched commits
+    pay one prepare and one phase-2 scatter per store for the whole
+    batch, so store RPC rounds per commit drop with the batch size. *)
+
+type sample = {
+  g_commits : int;
+  g_store_rpcs : int;
+  g_rounds : float;  (** store RPC rounds per commit *)
+  g_batches : int;
+  g_mean_members : float;
+  g_peels : int;
+  g_pulled : int;  (** windows closed early by quiescence-pull *)
+}
+
+val episode : window:float -> clients:int -> unit -> sample
+(** One run; [window = 0.0] is the solo baseline. *)
+
+val round_reduction :
+  ?clients:int -> ?window:float -> unit -> float * sample * sample
+(** [(solo rounds/commit) / (grouped rounds/commit)] at [clients]
+    (default 8) writers, plus both samples. The test suite pins this at
+    >= 1.5x — the acceptance criterion of the group-commit plane. *)
+
+val run : unit -> Table.t

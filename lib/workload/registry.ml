@@ -128,6 +128,12 @@ let all =
       runner = (fun () -> Exp_delta.run ());
     };
     {
+      id = "tab-groupcommit";
+      paper_artefact = "§2.3(3) (optimised)";
+      synopsis = "group-commit: coalesced 2PC rounds + acked-floor gossip";
+      runner = (fun () -> Exp_groupcommit.run ());
+    };
+    {
       id = "tab-chaos";
       paper_artefact = "§2.3 safety obligations (validation)";
       synopsis = "seeded fault-injection schedules + consolidated invariant audit";

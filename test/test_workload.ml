@@ -30,7 +30,7 @@ let test_table_cells () =
 
 let test_registry_complete () =
   let ids = Workload.Registry.ids () in
-  check_int "twenty-one experiments" 21 (List.length ids);
+  check_int "twenty-two experiments" 22 (List.length ids);
   List.iter
     (fun id ->
       check_bool (id ^ " found") true (Workload.Registry.find id <> None))
