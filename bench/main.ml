@@ -463,6 +463,21 @@ let bench_first_commit_after_activation () =
   one true;
   one false
 
+(* The same browned-out commit episode both ways, back to back: hedged
+   scatters racing a health-delayed backup copy against the slow store,
+   then unhedged. The spread within this subject is what hedging buys
+   (and costs: the extra copies) under gray failure; tab-brownout
+   tabulates the same episode's latency percentiles. *)
+let bench_hedged_vs_unhedged_brownout () =
+  ignore
+    (Workload.Exp_brownout.episode ~hedged:true ~prob:0.02 ~commits:30
+       ~seed:31L ()
+      : Workload.Exp_brownout.sample);
+  ignore
+    (Workload.Exp_brownout.episode ~hedged:false ~prob:0.02 ~commits:30
+       ~seed:31L ()
+      : Workload.Exp_brownout.sample)
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -512,6 +527,8 @@ let micro_tests =
         (Staged.stage bench_grouped_vs_solo);
       Test.make ~name:"commit.first-commit-delta-after-activation"
         (Staged.stage bench_first_commit_after_activation);
+      Test.make ~name:"commit.hedged-vs-unhedged-brownout"
+        (Staged.stage bench_hedged_vs_unhedged_brownout);
     ]
 
 (* Run the micro suite; print the human table and return the per-subject

@@ -357,26 +357,33 @@ let prepare_all t ~from ~stores ~action ~coordinator writes =
   Net.Rpc.call_all t.rpc_rt ~from t.ep_prepare
     (List.map (fun store -> (store, req)) stores)
 
-let prepare_each t ~from ~action ~coordinator writes =
-  Net.Rpc.call_all t.rpc_rt ~from t.ep_prepare
+(* The 2PC fan-outs below accept a hedging policy and a propagated
+   deadline: prepare records the same intent twice idempotently (replays
+   return the recorded vote), commit/abort resolve an intent-log entry
+   idempotently, so a hedged duplicate delivery is harmless. *)
+
+let prepare_each t ~from ?hedge ?deadline_at ~action ~coordinator writes =
+  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_prepare
     (List.map
        (fun (store, ws) ->
          (store, { pr_action = action; pr_coordinator = coordinator; pr_writes = ws }))
        writes)
 
-let commit_all t ~from ~stores ~action =
-  Net.Rpc.call_all t.rpc_rt ~from t.ep_commit
+let commit_all t ~from ?hedge ?deadline_at ~stores action =
+  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_commit
     (List.map (fun store -> (store, action)) stores)
 
-let abort_all t ~from ~stores ~action =
-  Net.Rpc.call_all t.rpc_rt ~from t.ep_abort
+let abort_all t ~from ?hedge ?deadline_at ~stores action =
+  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_abort
     (List.map (fun store -> (store, action)) stores)
 
-let prepare_batch t ~from per_store =
-  Net.Rpc.call_all t.rpc_rt ~from t.ep_prepare_batch per_store
+let prepare_batch t ~from ?hedge ?deadline_at per_store =
+  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_prepare_batch
+    per_store
 
-let commit_batch t ~from per_store =
-  Net.Rpc.call_all t.rpc_rt ~from t.ep_commit_batch per_store
+let commit_batch t ~from ?hedge ?deadline_at per_store =
+  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_commit_batch
+    per_store
 
 let floors_all t ~from ~stores =
   Net.Rpc.call_all t.rpc_rt ~from t.ep_floors

@@ -135,29 +135,43 @@ val prepare_all :
 val prepare_each :
   t ->
   from:Net.Network.node_id ->
+  ?hedge:Net.Rpc.hedge ->
+  ?deadline_at:float ->
   action:string ->
   coordinator:Net.Network.node_id ->
   (Net.Network.node_id * (Store.Uid.t * write) list) list ->
   (Net.Network.node_id * (vote, Net.Rpc.error) result) list
 (** Like {!prepare_all} but with a per-store write list, so the copy-back
     can ship a delta to stores whose acknowledged version it knows and
-    full state to the rest — still one concurrent scatter. *)
+    full state to the rest — still one concurrent scatter.
+
+    The 2PC fan-outs take an optional hedging policy and propagated
+    deadline (see {!Net.Rpc.call_all}). Hedging is safe here: a replayed
+    prepare re-stages the same intent ({!Store.Intent_log.prepare}
+    replaces per action), and commit/abort resolve idempotently, so a
+    duplicate delivery changes nothing. *)
 
 val commit_all :
   t ->
   from:Net.Network.node_id ->
+  ?hedge:Net.Rpc.hedge ->
+  ?deadline_at:float ->
   stores:Net.Network.node_id list ->
-  action:string ->
+  string ->
   (Net.Network.node_id * (unit, Net.Rpc.error) result) list
-(** Scatter {!commit} (phase-2) to every store concurrently. *)
+(** [commit_all t ~from ~stores action]: scatter {!commit} (phase-2) to
+    every store concurrently. *)
 
 val abort_all :
   t ->
   from:Net.Network.node_id ->
+  ?hedge:Net.Rpc.hedge ->
+  ?deadline_at:float ->
   stores:Net.Network.node_id list ->
-  action:string ->
+  string ->
   (Net.Network.node_id * (unit, Net.Rpc.error) result) list
-(** Scatter {!abort} (phase-2 abort / prepare withdrawal) concurrently. *)
+(** [abort_all t ~from ~stores action]: scatter {!abort} (phase-2 abort /
+    prepare withdrawal) concurrently. *)
 
 (** {2 Group-commit rounds} (see {!Replica.Groupcommit})
 
@@ -180,6 +194,8 @@ type prepare_req = {
 val prepare_batch :
   t ->
   from:Net.Network.node_id ->
+  ?hedge:Net.Rpc.hedge ->
+  ?deadline_at:float ->
   (Net.Network.node_id * prepare_req list) list ->
   (Net.Network.node_id * ((string * vote) list, Net.Rpc.error) result) list
 (** Scatter one batched prepare per store; each store answers a per-action
@@ -188,6 +204,8 @@ val prepare_batch :
 val commit_batch :
   t ->
   from:Net.Network.node_id ->
+  ?hedge:Net.Rpc.hedge ->
+  ?deadline_at:float ->
   (Net.Network.node_id * string list) list ->
   (Net.Network.node_id * ((Store.Uid.t * int) list, Net.Rpc.error) result) list
 (** Scatter one batched phase-2 commit per store: the store applies each

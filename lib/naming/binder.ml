@@ -280,7 +280,19 @@ let bind_standard t ~act ~uid ~policy =
   | Error e -> Error e
   | Ok (impl, sv, st) -> (
       (* Static Sv: pick the first k entries, dead or not ("the hard
-         way", §4.1.2). *)
+         way", §4.1.2). Under hedged RPC the candidate order is
+         health-ranked first, steering the static pick away from
+         browned-out servers (ties keep Sv order; with the knob off the
+         pick is untouched). *)
+      let sv =
+        if Replica.Server.hedged_rpc (Replica.Group.server_runtime t.b_grt)
+        then
+          Net.Health.rank
+            (Net.Network.health (netw t))
+            ~now:(Sim.Engine.now (Action.Atomic.engine (art t)))
+            sv
+        else sv
+      in
       let chosen = take (Replica.Policy.replicas policy) sv in
       if chosen = [] then Error (No_server "SvA is empty")
       else

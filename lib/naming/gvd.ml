@@ -159,6 +159,11 @@ type t = {
   lock_timeout : float;
   use_exclude_write : bool;
   durable : bool;
+  mutable g_hedged : bool;
+      (* hedge the plain idempotent reads (lookup, entry_info, snapshot
+         reads) with a health-delayed backup; default off. Enlisted
+         operations are NEVER hedged: they stage locks and counter
+         updates, and a duplicate delivery rides below the dedup guard. *)
   service_time : float;
       (* modeled CPU cost per database operation; 0.0 = infinitely fast
          service node (the seed behaviour). Charged on a capacity-1
@@ -1167,6 +1172,7 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       lock_timeout;
       use_exclude_write;
       durable;
+      g_hedged = false;
       service_time;
       service = Sim.Semaphore.create 1;
       moved_out = Hashtbl.create 16;
@@ -1311,6 +1317,18 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
 
 (* -- client stubs: call, then enlist the action with the database -- *)
 
+let hedged t = t.g_hedged
+let set_hedged t flag = t.g_hedged <- flag
+
+(* Plain idempotent reads may race a backup copy against a browned-out
+   shard (same destination — under per-message brownout inflation a
+   re-send is a fresh draw). Everything that enlists stays un-hedged. *)
+let plain_call t ~from ep req =
+  if t.g_hedged then
+    Net.Rpc.call_hedged (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node
+      ~hedge:(Net.Rpc.hedge ()) ep req
+  else Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node ep req
+
 let call_enlisted t ~act ep req =
   let from = Action.Atomic.node act in
   let result = Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node ep req in
@@ -1341,11 +1359,8 @@ let register_object t ~from ~uid ~name ~impl ~sv ~st =
   Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_register
     { rg_uid = uid; rg_name = name; rg_impl = impl; rg_sv = sv; rg_st = st }
 
-let lookup t ~from name =
-  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_lookup name
-
-let entry_info t ~from uid =
-  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_info uid
+let lookup t ~from name = plain_call t ~from t.ep_lookup name
+let entry_info t ~from uid = plain_call t ~from t.ep_info uid
 
 let stored_on t ~from n =
   Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_stored_on n
@@ -1397,12 +1412,8 @@ let bind_batch t ~act ~uid ~client ~replicas ~credits =
 
 (* Snapshot reads are lock-free and touch no recoverable state, so they
    are plain calls — no enlistment, nothing for the action to release. *)
-let get_view_snapshot t ~from uid =
-  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_view_snap uid
-
-let get_server_snapshot t ~from uid =
-  Net.Rpc.call (Action.Atomic.rpc t.art) ~from ~dst:t.gvd_node t.ep_server_snap
-    uid
+let get_view_snapshot t ~from uid = plain_call t ~from t.ep_view_snap uid
+let get_server_snapshot t ~from uid = plain_call t ~from t.ep_server_snap uid
 
 let exclude t ~act pairs =
   call_enlisted t ~act t.ep_exclude

@@ -62,6 +62,17 @@ val install :
 val node : t -> Net.Network.node_id
 (** The service node. *)
 
+val hedged : t -> bool
+
+val set_hedged : t -> bool -> unit
+(** Hedge the plain idempotent reads — {!lookup}, {!entry_info},
+    {!get_view_snapshot}, {!get_server_snapshot} — with a health-delayed
+    backup copy ({!Net.Rpc.call_hedged}); default off, off is
+    byte-identical. The enlisted operations are {e never} hedged: they
+    take locks and stage counter updates, and a hedged duplicate would
+    ride below the RPC duplicate guard (e.g. a double-staged Increment in
+    [bind_batch]). *)
+
 val resource : string
 (** The {!Action.Resource_host} resource name, ["gvd"]. *)
 

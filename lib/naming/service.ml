@@ -40,7 +40,9 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     ?bind_cache_lease ?(naming_service_time = 0.0) ?(use_flush_delay = 5.0)
     ?(delta_shipping = false) ?(force_delta = false)
     ?(optimistic_commit = true) ?(pipelined_binds = true)
-    ?(commit_batch_window = 0.0) ?(floor_gossip_period = 0.0) topology =
+    ?(commit_batch_window = 0.0) ?(floor_gossip_period = 0.0)
+    ?(hedged_rpc = false) ?(deadline_shedding = false)
+    ?(degraded_trips = false) topology =
   let eng = Sim.Engine.create ?seed () in
   let net = Net.Network.create ?latency eng in
   let rpc = Net.Rpc.create net in
@@ -54,6 +56,12 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
   Replica.Server.set_delta_shipping srv delta_shipping;
   Replica.Server.set_force_delta srv force_delta;
   Replica.Server.set_commit_batch_window srv commit_batch_window;
+  (* Gray-failure resilience plane (§15), all off by default with the off
+     path byte-identical: hedged scatter-gathers, server-side shedding of
+     deadline-expired calls, and breaker trips on sustained slowness. *)
+  Replica.Server.set_hedged_rpc srv hedged_rpc;
+  Net.Rpc.set_shed_expired rpc deadline_shedding;
+  Net.Retry.set_degraded_trips (Action.Atomic.retry art) degraded_trips;
   (* Stores sit below the implementation registry, so the op folder delta
      prepares resolve with is injected here. Installed regardless of the
      flag: it only ever runs for delta prepares, which only a
@@ -109,6 +117,8 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       ~service_time:naming_service_time art ~nodes:naming_nodes
   in
   let gvd = Router.primary router in
+  if hedged_rpc then
+    List.iter (fun g -> Gvd.set_hedged g true) (Router.gvds router);
   let cache =
     Option.map
       (fun lease -> Bind_cache.create ~lease (Net.Network.metrics net))
@@ -129,22 +139,30 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       (Router.gvds router);
   (* Low-rate acked-floor anti-entropy for quiet stores: one server-side
      daemon polls every store's committed counters into the shared floor
-     ({!Replica.Groupcommit.anti_entropy}). Like the cleanup daemon this
-     is an infinite fiber, so worlds enabling it must drive the engine
-     with [run ~until]. *)
+     ({!Replica.Groupcommit.anti_entropy}). The idle wait is a
+     {!Sim.Engine.daemon_sleep}, so drain-mode [run] (and the chaos
+     harness's quiescence check) ignores the parked daemon instead of
+     spinning on it forever; the anti-entropy rounds themselves still run
+     as ordinary foreground work. A crash of the gossiper node kills the
+     fiber with its group, so recovery re-arms it for the new
+     incarnation. *)
   if floor_gossip_period > 0.0 then (
     match topology.server_nodes with
     | [] -> ()
     | gossiper :: _ ->
-        Net.Network.spawn_on net gossiper ~name:"floor-gossip" (fun () ->
-            let gcp = Replica.Server.groupcommit srv in
-            let rec loop () =
-              Sim.Engine.sleep eng floor_gossip_period;
-              Replica.Groupcommit.anti_entropy gcp ~from:gossiper
-                ~stores:topology.store_nodes;
-              loop ()
-            in
-            loop ()));
+        let spawn_gossip () =
+          Net.Network.spawn_on net gossiper ~name:"floor-gossip" (fun () ->
+              let gcp = Replica.Server.groupcommit srv in
+              let rec loop () =
+                Sim.Engine.daemon_sleep eng floor_gossip_period;
+                Replica.Groupcommit.anti_entropy gcp ~from:gossiper
+                  ~stores:topology.store_nodes;
+                loop ()
+              in
+              loop ())
+        in
+        spawn_gossip ();
+        Net.Network.on_recover net gossiper spawn_gossip);
   {
     w_eng = eng;
     w_net = net;
@@ -188,8 +206,8 @@ let create_object t ~name ~impl ?initial ~sv ~st () =
 let lookup t ~from name =
   match Router.lookup t.w_router ~from name with Ok r -> r | Error _ -> None
 
-let with_bound t ~client ~scheme ~policy ~uid body =
-  Action.Atomic.atomically t.w_art ~node:client (fun act ->
+let with_bound ?deadline t ~client ~scheme ~policy ~uid body =
+  Action.Atomic.atomically ?deadline t.w_art ~node:client (fun act ->
       match Binder.bind t.w_binder ~act ~scheme ~uid ~policy with
       | Error e -> raise (Action.Atomic.Abort (Binder.bind_error_to_string e))
       | Ok binding -> body act binding.Binder.bd_group)

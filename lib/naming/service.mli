@@ -41,6 +41,9 @@ val create :
   ?pipelined_binds:bool ->
   ?commit_batch_window:float ->
   ?floor_gossip_period:float ->
+  ?hedged_rpc:bool ->
+  ?deadline_shedding:bool ->
+  ?degraded_trips:bool ->
   topology ->
   t
 (** Build a world. Stock object implementations (counter, account,
@@ -82,9 +85,23 @@ val create :
     floors piggybacked on the batched phase-2 acks. Off is byte-identical
     to the unbatched tree. [floor_gossip_period] (default 0.0 = off)
     additionally runs a low-rate anti-entropy daemon that folds every
-    store's committed counters into the shared floor — like
-    [cleanup_period] it spawns an infinite fiber, so worlds enabling it
-    must drive the engine with [run ~until].
+    store's committed counters into the shared floor. Its idle waits are
+    daemon sleeps ({!Sim.Engine.daemon_sleep}), so drain-mode [run]
+    still terminates with the daemon parked — gossip-enabled worlds work
+    under both [run ~until] and the chaos harness's quiescence drain —
+    and a crash of the gossiping server re-arms the daemon on recovery.
+
+    The gray-failure resilience knobs (docs/PROTOCOLS.md §15, all default
+    false with the off paths byte-identical): [hedged_rpc] turns on
+    hedged scatter-gathers for idempotent fan-outs (2PC prepares and
+    phase-2 deliveries, activation probes, group role probes, plain
+    naming reads) plus latency-ranked replica preference, [deadline_shedding]
+    makes servers refuse calls whose initiator's deadline has already
+    passed (metric [retry.shed_expired]; only abortable phase-1 work
+    carries deadlines — phase-2 of a decided outcome is never shed), and
+    [degraded_trips] lets the retry breaker trip on sustained slowness
+    as reported by {!Net.Health}, with latency-checked half-open
+    recovery.
 
     [bind_cache_lease] (default off) enables the client-side lease cache
     of bind results with that lease duration (see {!Bind_cache}).
@@ -133,6 +150,7 @@ val lookup : t -> from:Net.Network.node_id -> string -> Store.Uid.t option
 (** Name → UID through the naming service; must run in a fiber. *)
 
 val with_bound :
+  ?deadline:float ->
   t ->
   client:Net.Network.node_id ->
   scheme:Scheme.t ->
@@ -144,7 +162,10 @@ val with_bound :
     [client]: a top-level atomic action that binds to the object under
     [scheme], executes [body act group], and commits (with the paper's
     commit-time state copy-back and exclusion attached). Returns the
-    body's value or the abort reason. *)
+    body's value or the abort reason. [deadline] is the relative time
+    budget handed to {!Action.Atomic.atomically}; with the world's
+    [deadline_shedding] knob on it also propagates to servers, which
+    refuse expired phase-1 work on its behalf. *)
 
 val invoke :
   t ->

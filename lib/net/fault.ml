@@ -35,6 +35,10 @@ let link_faults_for net ~at ~duration ?drop ?dup ?reorder ?spike_prob ?spike
   at_time net ~at:(at +. duration) (fun () ->
       Network.clear_link_fault net ~src ~dst)
 
+let brownout_for net ~at ~duration ?prob ?(lo = 15.0) ?(hi = 25.0) node =
+  at_time net ~at (fun () -> Network.set_brownout net ?prob ~lo ~hi node);
+  at_time net ~at:(at +. duration) (fun () -> Network.clear_brownout net node)
+
 let heal_at net ~at = at_time net ~at (fun () -> Network.clear_all_faults net)
 
 let churn net ~rng ~mttf ~mttr ?(until = infinity) id =

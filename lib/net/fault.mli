@@ -53,6 +53,21 @@ val link_faults_for :
     the directed link for the window, then clear it. A one-way cut on the
     same link is preserved across the clear. *)
 
+val brownout_for :
+  Network.t ->
+  at:float ->
+  duration:float ->
+  ?prob:float ->
+  ?lo:float ->
+  ?hi:float ->
+  Network.node_id ->
+  unit
+(** Brownout window: install {!Network.set_brownout} (per-node
+    service-time inflation with probability [prob], magnitude uniform in
+    [\[lo, hi\]], defaults [lo = 15.0], [hi = 25.0]) at [at] and clear it
+    at [at +. duration]. The gray-failure injection: the node stays up,
+    votes and answers — just slowly. *)
+
 val heal_at : Network.t -> at:float -> unit
 (** Schedule {!Network.clear_all_faults} at time [at] — the heal step
     before a chaos schedule quiesces. *)

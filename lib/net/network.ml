@@ -27,6 +27,16 @@ type link_fault = {
   mutable f_cut : bool; (* one-way partition src->dst *)
 }
 
+(* Per-node service-time inflation (a brownout): the node is up, votes and
+   answers, but each message it serves (or sends) may queue behind a slow
+   scheduler. Distinct from a link spike — it follows the node across all
+   of its links. *)
+type brownout = {
+  bo_prob : float; (* P(a given message is inflated) *)
+  bo_lo : float;
+  bo_hi : float; (* inflation magnitude, uniform in [lo, hi] *)
+}
+
 type t = {
   eng : Sim.Engine.t;
   nodes : (node_id, node) Hashtbl.t;
@@ -38,7 +48,9 @@ type t = {
   net_metrics : Sim.Metrics.t;
   mutable partitions : (node_id * node_id) list;
   faults : (node_id * node_id, link_fault) Hashtbl.t;
+  brownouts : (node_id, brownout) Hashtbl.t;
   mutable faults_ever : bool;
+  net_health : Health.t;
 }
 
 let default_latency rng = Sim.Rng.uniform rng 0.5 1.5
@@ -64,7 +76,9 @@ let create ?(latency = default_latency) ?(detect_delay = 1.0) eng =
     net_metrics = Sim.Metrics.create ();
     partitions = [];
     faults = Hashtbl.create 8;
+    brownouts = Hashtbl.create 4;
     faults_ever = false;
+    net_health = Health.create ();
   }
 
 let derive_rng t label = derive_stream t.net_rng label
@@ -72,6 +86,7 @@ let derive_rng t label = derive_stream t.net_rng label
 let engine t = t.eng
 let trace t = t.net_trace
 let metrics t = t.net_metrics
+let health t = t.net_health
 
 let node t id =
   match Hashtbl.find_opt t.nodes id with
@@ -223,13 +238,53 @@ let set_oneway_cut t ~src ~dst flag =
 let oneway_cut t ~src ~dst =
   match find_fault t ~src ~dst with Some fl -> fl.f_cut | None -> false
 
+let set_brownout t ?(prob = 0.2) ~lo ~hi node =
+  ignore (Hashtbl.mem t.nodes node || raise (Unknown_node node));
+  Hashtbl.replace t.brownouts node { bo_prob = prob; bo_lo = lo; bo_hi = hi };
+  t.faults_ever <- true;
+  record t "fault" "brownout %s p=%.2f +[%.1f,%.1f]" node prob lo hi
+
+let clear_brownout t node =
+  if Hashtbl.mem t.brownouts node then begin
+    Hashtbl.remove t.brownouts node;
+    record t "fault" "brownout %s healed" node
+  end
+
+let browned_out t node = Hashtbl.mem t.brownouts node
+
+(* Sum the service-time inflation a message suffers at each browned-out
+   endpoint (slow to serve inbound mail, slow to push outbound mail).
+   Draws come from [fault_rng] only when a brownout is installed, so
+   healthy worlds take the no-entry fast path with zero extra draws. *)
+let brownout_extra t ~src ~dst =
+  if Hashtbl.length t.brownouts = 0 then 0.0
+  else
+    let one node =
+      match Hashtbl.find_opt t.brownouts node with
+      | Some bo when Sim.Rng.bool t.fault_rng bo.bo_prob ->
+          let extra = Sim.Rng.uniform t.fault_rng bo.bo_lo bo.bo_hi in
+          record t "fault" "brownout %s +%.2f" node extra;
+          Sim.Metrics.incr t.net_metrics "fault.brownout";
+          extra
+      | _ -> 0.0
+    in
+    let d = one dst in
+    let s = if src = dst then 0.0 else one src in
+    d +. s
+
 let clear_all_faults t =
   if Hashtbl.length t.faults > 0 then begin
     Hashtbl.reset t.faults;
     record t "fault" "all message faults cleared"
+  end;
+  if Hashtbl.length t.brownouts > 0 then begin
+    Hashtbl.reset t.brownouts;
+    record t "fault" "all brownouts cleared"
   end
 
-let faults_active t = Hashtbl.length t.faults > 0
+let faults_active t =
+  Hashtbl.length t.faults > 0 || Hashtbl.length t.brownouts > 0
+
 let faults_ever t = t.faults_ever
 
 let reachable t src dst =
@@ -268,6 +323,7 @@ let deliver t ~src ~dst ~delay f =
 let send t ~src ~dst f =
   Sim.Metrics.incr t.net_metrics "net.msgs";
   let delay = sample_latency t in
+  let delay = delay +. brownout_extra t ~src ~dst in
   match find_fault t ~src ~dst with
   | None -> deliver t ~src ~dst ~delay f
   | Some fl ->
@@ -322,6 +378,7 @@ let send_fifo t ~src ~dst f =
   in
   let now = Sim.Engine.now t.eng in
   let lat = sample_latency t in
+  let lat = lat +. brownout_extra t ~src ~dst in
   let lat =
     match find_fault t ~src ~dst with
     | Some fl when fl.f_spike_p > 0.0 && Sim.Rng.bool t.fault_rng fl.f_spike_p

@@ -47,6 +47,12 @@ val trace : t -> Sim.Trace.t
 val metrics : t -> Sim.Metrics.t
 (** The network's metrics registry (shared with upper layers). *)
 
+val health : t -> Health.t
+(** The network's latency-health tracker. The RPC layer feeds every call
+    completion into it; retry breakers, hedged scatters and replica
+    ranking read it. Always on — its bookkeeping is pure arithmetic, so
+    fault-free worlds are unperturbed. *)
+
 val add_node : t -> node_id -> unit
 (** [add_node t id] registers a fresh, up node. Raises [Invalid_argument]
     if [id] already exists. *)
@@ -142,9 +148,25 @@ val set_oneway_cut : t -> src:node_id -> dst:node_id -> bool -> unit
 val oneway_cut : t -> src:node_id -> dst:node_id -> bool
 (** Whether the directed link is currently cut. *)
 
+val set_brownout : t -> ?prob:float -> lo:float -> hi:float -> node_id -> unit
+(** [set_brownout t ~lo ~hi node] installs per-node service-time inflation
+    (a {e brownout}): each message delivered to — or sent by — [node] is,
+    with probability [prob] (default [0.2]), delayed by an extra uniform
+    draw from [\[lo, hi\]]. Distinct from a link spike: it follows the
+    node across all of its links, modelling a gray failure (overloaded
+    scheduler, thrashing disk) rather than a sick wire. Inflation draws
+    come from the fault stream, and only when a brownout is installed, so
+    healthy worlds are byte-identical. Counted as [fault.brownout]. *)
+
+val clear_brownout : t -> node_id -> unit
+(** Remove a node's brownout, if any. *)
+
+val browned_out : t -> node_id -> bool
+(** Whether the node currently has a brownout installed. *)
+
 val clear_all_faults : t -> unit
-(** Remove every link fault rule and one-way cut (the heal step of a chaos
-    schedule). Symmetric partitions are not affected. *)
+(** Remove every link fault rule, one-way cut and brownout (the heal step
+    of a chaos schedule). Symmetric partitions are not affected. *)
 
 val faults_active : t -> bool
 (** Whether any link fault rule (including one-way cuts) is installed. *)

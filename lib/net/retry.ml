@@ -24,12 +24,18 @@ type breaker = {
   mutable consecutive : int;
   mutable open_until : float;
   mutable cooldown : float;
+  mutable probing : bool;
+      (* a deadline-forced half-open probe is in flight (single-flight) *)
+  mutable degraded_trip : bool;
+      (* the breaker was last opened by sustained slowness, not failures;
+         its half-open probe must also check latency, not just success *)
 }
 
 type t = {
   net : Network.t;
   rng : Sim.Rng.t;
   breakers : (Network.node_id, breaker) Hashtbl.t;
+  mutable degraded : bool;
 }
 
 let breaker_threshold = 3
@@ -44,16 +50,25 @@ let create net =
        are unperturbed. *)
     rng = Network.derive_rng net "retry";
     breakers = Hashtbl.create 8;
+    degraded = false;
   }
 
 let network t = t.net
+let set_degraded_trips t flag = t.degraded <- flag
+let degraded_trips t = t.degraded
 
 let breaker t dst =
   match Hashtbl.find_opt t.breakers dst with
   | Some b -> b
   | None ->
       let b =
-        { consecutive = 0; open_until = neg_infinity; cooldown = breaker_cooldown }
+        {
+          consecutive = 0;
+          open_until = neg_infinity;
+          cooldown = breaker_cooldown;
+          probing = false;
+          degraded_trip = false;
+        }
       in
       Hashtbl.add t.breakers dst b;
       b
@@ -78,14 +93,51 @@ let run t ?dst ?deadline_at ~op (p : policy) body =
       d *. (1.0 +. (p.jitter *. Sim.Rng.uniform t.rng (-1.0) 1.0))
     else d
   in
+  (* Degraded trip: with the knob on, sustained slowness reported by the
+     health plane opens the breaker exactly like consecutive failures — a
+     browned-out node is functionally down for latency-sensitive work.
+     The trip pre-loads [consecutive] so a failed half-open probe reopens
+     with escalation, and marks [degraded_trip] so a probe that succeeds
+     but is still slow reopens rather than closing. *)
+  let maybe_degrade dstid =
+    if t.degraded then begin
+      let b = breaker t dstid in
+      if
+        now () >= b.open_until
+        && (not b.degraded_trip)
+        && Health.sustained_slow (Network.health t.net) ~now:(now ()) dstid
+      then begin
+        b.degraded_trip <- true;
+        b.consecutive <- max b.consecutive breaker_threshold;
+        b.open_until <- now () +. b.cooldown;
+        b.cooldown <- Float.min breaker_max_cooldown (b.cooldown *. 2.0);
+        Sim.Metrics.incr m "retry.degraded_trips";
+        Sim.Trace.recordf (Network.trace t.net) ~now:(now ()) ~tag:"retry"
+          "breaker degraded dst=%s op=%s (sustained slow, cooldown %.1f)"
+          dstid op b.cooldown
+      end
+    end
+  in
   (* Shed the attempt without sending anything when the failure detector
      reports the destination down or its breaker is open. The shed still
      consumes an attempt and backs off, so budgets are unchanged — the call
-     is just cheaper than sending into a known-dead node. *)
-  let shed_reason dstid =
-    if not (Network.is_up t.net dstid) then Some "detector reports down"
-    else if breaker_open t dstid then Some "breaker open"
-    else None
+     is just cheaper than sending into a known-dead node. One exception:
+     if the breaker stays open past the caller's whole deadline, shedding
+     every attempt would starve the half-open probe and the caller could
+     never relearn that the destination recovered. In that case exactly
+     one attempt is forced through as the probe (single-flight per
+     destination), independent of the breaker's cooldown clock. *)
+  let dispose dstid =
+    if not (Network.is_up t.net dstid) then `Shed "detector reports down"
+    else begin
+      maybe_degrade dstid;
+      if breaker_open t dstid then begin
+        let b = breaker t dstid in
+        if deadline < b.open_until && not b.probing then `Probe b
+        else `Shed "breaker open"
+      end
+      else `Go
+    end
   in
   let note_failure () =
     match dst with
@@ -104,31 +156,64 @@ let run t ?dst ?deadline_at ~op (p : policy) body =
             "breaker open dst=%s op=%s (cooldown %.1f)" dstid op b.cooldown
         end
   in
-  let note_success () =
+  let note_success ~started =
     match dst with
     | None -> ()
     | Some dstid ->
         let b = breaker t dstid in
-        b.consecutive <- 0;
-        b.cooldown <- breaker_cooldown;
-        b.open_until <- neg_infinity
+        if
+          b.degraded_trip && t.degraded
+          && Health.is_slow (Network.health t.net)
+               ~latency:(now () -. started)
+        then begin
+          (* Half-open latency probe: the destination answered, but no
+             faster than what tripped it. Success is returned to the
+             caller — the work is done — but the breaker reopens with a
+             doubled cooldown instead of closing. *)
+          b.open_until <- now () +. b.cooldown;
+          b.cooldown <- Float.min breaker_max_cooldown (b.cooldown *. 2.0);
+          Sim.Metrics.incr m "retry.degraded_reopens";
+          Sim.Trace.recordf (Network.trace t.net) ~now:(now ()) ~tag:"retry"
+            "breaker still slow dst=%s op=%s (cooldown %.1f)" dstid op
+            b.cooldown
+        end
+        else begin
+          b.consecutive <- 0;
+          b.cooldown <- breaker_cooldown;
+          b.open_until <- neg_infinity;
+          b.degraded_trip <- false
+        end
   in
   let rec attempt k =
+    let started = now () in
     let outcome =
       match dst with
       | Some dstid -> (
-          match shed_reason dstid with
-          | Some why ->
+          match dispose dstid with
+          | `Shed why ->
               Sim.Metrics.incr m "retry.sheds";
               Sim.Trace.recordf (Network.trace t.net) ~now:(now ())
                 ~tag:"retry" "shed dst=%s op=%s (%s)" dstid op why;
               Error ("shed: " ^ why)
-          | None -> body ())
+          | `Probe b ->
+              b.probing <- true;
+              Sim.Metrics.incr m "retry.forced_probes";
+              Sim.Trace.recordf (Network.trace t.net) ~now:(now ())
+                ~tag:"retry" "forced probe dst=%s op=%s" dstid op;
+              let r =
+                try body ()
+                with e ->
+                  b.probing <- false;
+                  raise e
+              in
+              b.probing <- false;
+              r
+          | `Go -> body ())
       | None -> body ()
     in
     match outcome with
     | Ok v ->
-        note_success ();
+        note_success ~started;
         Ok v
     | Error why ->
         note_failure ();

@@ -13,6 +13,12 @@
       would cross the deadline;
     - [retry.sheds] — attempts skipped (destination down or breaker open);
     - [retry.breaker_opens] — breaker transitions to open;
+    - [retry.forced_probes] — half-open probes forced through an open
+      breaker because the caller's deadline would otherwise starve them;
+    - [retry.degraded_trips] — breaker opened by sustained slowness
+      (gray failure) rather than consecutive failures;
+    - [retry.degraded_reopens] — half-open latency probe succeeded but was
+      still slow, so the breaker reopened with a doubled cooldown;
     - [retry.backoff] — distribution of backoff delays. *)
 
 type policy = {
@@ -54,6 +60,20 @@ val breaker_open : t -> Network.node_id -> bool
 (** Whether the destination's breaker is currently open (calls to it are
     being shed). *)
 
+val set_degraded_trips : t -> bool -> unit
+(** Enable (or disable) gray-failure breaker trips: when on, a destination
+    that {!Health.sustained_slow} reports as persistently slow has its
+    breaker opened ([retry.degraded_trips]) exactly as if it had failed
+    [breaker_threshold] times — slow enough is down for latency-sensitive
+    work. While tripped this way, a half-open probe that succeeds but is
+    {e still slow} reopens the breaker with a doubled cooldown
+    ([retry.degraded_reopens]) — the caller keeps the successful result —
+    and only a fast success closes it. Default off; when off no health
+    state is consulted and trajectories are byte-identical. *)
+
+val degraded_trips : t -> bool
+(** Whether gray-failure trips are enabled. *)
+
 val run :
   t ->
   ?dst:Network.node_id ->
@@ -70,7 +90,11 @@ val run :
     but not executed) until a cooldown passes; the next attempt then
     probes half-open — success closes the breaker, failure reopens it with
     a doubled cooldown. While the failure detector reports [dst] down,
-    attempts are shed the same way.
+    attempts are shed the same way. If the breaker's cooldown outlasts the
+    caller's entire deadline, one attempt is forced through anyway as the
+    half-open probe ([retry.forced_probes], single-flight per
+    destination) — otherwise a deadline-bounded caller could shed every
+    attempt and never discover the destination recovered.
 
     [deadline_at] is an absolute virtual-time deadline (typically an
     enclosing action's — see {!Action}[.Atomic.deadline]); the policy's own

@@ -34,6 +34,7 @@ type t = {
   mutable next_req : int;
   seen : (string, unit) Hashtbl.t;
   dedup_hooked : (Network.node_id, unit) Hashtbl.t;
+  mutable shed : bool;
 }
 
 let create ?(default_timeout = 60.0) net =
@@ -44,9 +45,12 @@ let create ?(default_timeout = 60.0) net =
     next_req = 0;
     seen = Hashtbl.create 64;
     dedup_hooked = Hashtbl.create 8;
+    shed = false;
   }
 
 let network t = t.net
+let set_shed_expired t flag = t.shed <- flag
+let shed_expired t = t.shed
 
 (* At-most-once request guard. The fault plane can deliver a request twice
    (dup injection); replaying a non-idempotent handler — staging a second
@@ -118,8 +122,9 @@ let record t fmt =
     ~now:(Sim.Engine.now (Network.engine t.net))
     ~tag:"rpc" fmt
 
-let call t ~from ~dst ?timeout ep req =
+let call_gen t ~from ~dst ?cancelled ?timeout ?deadline_at ep req =
   let eng = Network.engine t.net in
+  let start = Sim.Engine.now eng in
   Sim.Metrics.incr (Network.metrics t.net) "rpc.calls";
   (* Per-operation round counter: lets tests and experiments assert how
      many network rounds a protocol step costs (e.g. a batched bind is
@@ -131,6 +136,7 @@ let call t ~from ~dst ?timeout ep req =
     Sim.Engine.sleep eng (Network.sample_latency t.net);
     record t "%s: %s.%s -> unreachable" from dst ep.ep_name;
     Sim.Metrics.incr (Network.metrics t.net) "rpc.unreachable";
+    Health.note_failure (Network.health t.net) ~dst ~now:(Sim.Engine.now eng);
     Error Unreachable
   end
   else begin
@@ -145,20 +151,57 @@ let call t ~from ~dst ?timeout ep req =
       watch_ref := Some (Network.watch_crash t.net dst (fun () -> finish (Error Crashed)));
       Network.send t.net ~src:from ~dst
         (guard_duplicate t ~from ~dst (fun () ->
-             match Hashtbl.find_opt t.services (dst, ep.ep_name) with
-             | None ->
-                 Network.send t.net ~src:dst ~dst:from (fun () ->
-                     finish (Error No_service))
-             | Some raw ->
-                 raw (ep.inject_req req) ~reply:(fun resp_payload ->
-                     Network.send t.net ~src:dst ~dst:from (fun () ->
-                         match ep.project_resp resp_payload with
-                         | Some resp -> finish (Ok resp)
-                         | None ->
-                             failwith
-                               (Printf.sprintf
-                                  "Rpc.call: response type mismatch on %s"
-                                  ep.ep_name)))))
+             (* Deadline propagation: the caller's deadline rides in the
+                request metadata. If the initiator has already given up by
+                the time the request is unpacked, running the handler is
+                pure waste — a shedding server answers [Timed_out] at once
+                instead of holding locks for a doomed round. Knob-gated:
+                with [shed] off the deadline is carried but never acted
+                on, so the off path is byte-identical. *)
+             (* Cooperative hedge cancellation: if the race this copy
+                belongs to has already settled, the delivery is dropped
+                before the handler runs — indistinguishable from a lost
+                message, which the protocols already tolerate. This is
+                what keeps hedging safe around 2PC ordering: without it a
+                slow losing prepare could arrive AFTER the backup's round
+                committed and re-stage a ghost intent for a finished
+                action. *)
+             let dead =
+               match cancelled with Some f -> f () | None -> false
+             in
+             let expired =
+               match deadline_at with
+               | Some d -> t.shed && Sim.Engine.now eng > d
+               | None -> false
+             in
+             if dead then begin
+               Sim.Metrics.incr (Network.metrics t.net) "rpc.hedge_cancelled";
+               record t "%s: dropped cancelled hedge copy %s.%s" dst from
+                 ep.ep_name;
+               Network.send t.net ~src:dst ~dst:from (fun () ->
+                   finish (Error Timed_out))
+             end
+             else if expired then begin
+               Sim.Metrics.incr (Network.metrics t.net) "retry.shed_expired";
+               record t "%s: shed expired call %s.%s" dst from ep.ep_name;
+               Network.send t.net ~src:dst ~dst:from (fun () ->
+                   finish (Error Timed_out))
+             end
+             else
+               match Hashtbl.find_opt t.services (dst, ep.ep_name) with
+               | None ->
+                   Network.send t.net ~src:dst ~dst:from (fun () ->
+                       finish (Error No_service))
+               | Some raw ->
+                   raw (ep.inject_req req) ~reply:(fun resp_payload ->
+                       Network.send t.net ~src:dst ~dst:from (fun () ->
+                           match ep.project_resp resp_payload with
+                           | Some resp -> finish (Ok resp)
+                           | None ->
+                               failwith
+                                 (Printf.sprintf
+                                    "Rpc.call: response type mismatch on %s"
+                                    ep.ep_name)))))
     in
     let dt = match timeout with Some dt -> dt | None -> t.default_timeout in
     let outcome =
@@ -166,26 +209,104 @@ let call t ~from ~dst ?timeout ep req =
       | Ok r -> r
       | Error _ -> Error Timed_out
     in
+    (* Latency-health feed: every completed round trip teaches the health
+       plane how [dst] is doing. Pure arithmetic — no draws, no events —
+       so it is always on. *)
+    let now = Sim.Engine.now eng in
     (match outcome with
-    | Ok _ -> ()
+    | Ok _ ->
+        Health.note_ok (Network.health t.net) ~dst ~now ~latency:(now -. start)
     | Error e ->
+        (match e with
+        | No_service -> ()
+        | Unreachable | Crashed | Timed_out ->
+            Health.note_failure (Network.health t.net) ~dst ~now);
         record t "%s: %s.%s -> %s" from dst ep.ep_name (error_to_string e);
         Sim.Metrics.incr (Network.metrics t.net)
           ("rpc." ^ String.map (function ' ' -> '_' | c -> c) (error_to_string e)));
     outcome
   end
 
-let call_all t ~from ?timeout ep reqs =
+let call t ~from ~dst ?timeout ?deadline_at ep req =
+  call_gen t ~from ~dst ?timeout ?deadline_at ep req
+
+(* Hedged call: give the primary a head start derived from fleet-healthy
+   latency; if it has not answered by then, race a backup and take the
+   first [Ok]. The backup targets [alt] when given (a sibling replica) or
+   re-sends to the same destination (per-message brownout inflation makes
+   even a same-node retry a fresh latency draw). A duplicate delivery can
+   run the handler twice — each hedge carries a fresh request id, below the
+   dedup guard — so only idempotent operations may be hedged; and once the
+   race settles, copies still in flight are cancelled cooperatively at
+   delivery (the [cancelled] probe above), so a slow loser can never run
+   the handler after the winner's round already moved the protocol on. *)
+type hedge = { hedge_floor : float }
+
+let hedge ?(floor = 4.0) () = { hedge_floor = floor }
+
+let call_hedged t ~from ~dst ?alt ?timeout ?deadline_at ~hedge ep req =
+  let eng = Network.engine t.net in
+  let backup_dst = match alt with Some a -> a | None -> dst in
+  let delay =
+    Health.hedge_delay ~floor:hedge.hedge_floor (Network.health t.net)
+  in
+  let iv = Sim.Ivar.create () in
+  let launched = ref 0 in
+  let outstanding = ref 0 in
+  let group = Sim.Engine.self_group eng in
+  let settle r =
+    match r with
+    | Ok _ -> ignore (Sim.Ivar.try_fill iv r)
+    | Error _ ->
+        decr outstanding;
+        (* Keep the last error only once no copy can still answer. *)
+        if !outstanding = 0 && !launched = 2 then
+          ignore (Sim.Ivar.try_fill iv r)
+  in
+  let cancelled () = Sim.Ivar.is_filled iv in
+  incr launched;
+  incr outstanding;
+  Sim.Engine.spawn eng ~group ~name:("rpc.hedge." ^ ep.ep_name) (fun () ->
+      settle (call_gen t ~from ~dst ~cancelled ?timeout ?deadline_at ep req));
+  Sim.Engine.schedule eng ~delay (fun () ->
+      incr launched;
+      (* Before this point [settle] can only have filled the ivar with an
+         [Ok] (errors wait for launched = 2), so a filled ivar means the
+         primary won and the backup that never fires costs nothing. An
+         unfilled ivar means the primary is still in flight — or already
+         failed, in which case the backup doubles as a straight retry. *)
+      if not (Sim.Ivar.is_filled iv) then begin
+        incr outstanding;
+        Sim.Metrics.incr (Network.metrics t.net) "rpc.hedges";
+        Sim.Engine.spawn eng ~group
+          ~name:("rpc.hedge.backup." ^ ep.ep_name)
+          (fun () ->
+            settle
+              (call_gen t ~from ~dst:backup_dst ~cancelled ?timeout
+                 ?deadline_at ep req))
+      end);
+  Sim.Ivar.read eng iv
+
+let call_all t ~from ?timeout ?hedge ?deadline_at ep reqs =
   (match reqs with
   | [] | [ _ ] -> ()
   | _ ->
       Sim.Metrics.incr (Network.metrics t.net) "rpc.scatters";
       Sim.Metrics.incr (Network.metrics t.net) ~by:(List.length reqs)
         "rpc.scatter_calls");
-  Sim.Join.all (Network.engine t.net)
-    (List.map
-       (fun (dst, req) () -> (dst, call t ~from ~dst ?timeout ep req))
-       reqs)
+  match hedge with
+  | None ->
+      Sim.Join.all (Network.engine t.net)
+        (List.map
+           (fun (dst, req) () ->
+             (dst, call t ~from ~dst ?timeout ?deadline_at ep req))
+           reqs)
+  | Some h ->
+      Sim.Join.all (Network.engine t.net)
+        (List.map
+           (fun (dst, req) () ->
+             (dst, call_hedged t ~from ~dst ?timeout ?deadline_at ~hedge:h ep req))
+           reqs)
 
 let notify t ~from ~dst ep req =
   Sim.Metrics.incr (Network.metrics t.net) "rpc.notifies";

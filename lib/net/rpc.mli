@@ -55,6 +55,18 @@ val create : ?default_timeout:float -> Network.t -> t
 val network : t -> Network.t
 (** The underlying network. *)
 
+val set_shed_expired : t -> bool -> unit
+(** Enable (or disable) server-side shedding of expired calls: when on, a
+    request whose propagated [deadline_at] has already passed at unpack
+    time is answered [Error Timed_out] immediately instead of running the
+    handler — the initiator has given up, so the work (and any locks it
+    would take) is pure waste. Each shed bumps [retry.shed_expired].
+    Default off; when off the deadline metadata is carried but never acted
+    on, leaving trajectories byte-identical. *)
+
+val shed_expired : t -> bool
+(** Whether expired-call shedding is on. *)
+
 val serve :
   t -> node:Network.node_id -> ('req, 'resp) endpoint -> ('req -> 'resp) -> unit
 (** [serve t ~node ep h] installs [h] as the handler for [ep] on [node],
@@ -73,6 +85,7 @@ val call :
   from:Network.node_id ->
   dst:Network.node_id ->
   ?timeout:float ->
+  ?deadline_at:float ->
   ('req, 'resp) endpoint ->
   'req ->
   ('resp, error) result
@@ -80,12 +93,49 @@ val call :
     on [from]. Suspends the calling fiber until the reply, a failure
     notification, or the [timeout] (default: none). Must be called from
     within a fiber. Every call bumps the aggregate [rpc.calls] counter
-    and a per-operation [rpc.op.<endpoint name>] counter. *)
+    and a per-operation [rpc.op.<endpoint name>] counter, and feeds its
+    round-trip outcome into {!Network.health}. [deadline_at] propagates
+    the initiator's absolute deadline in the request metadata so a
+    shedding server (see {!set_shed_expired}) can refuse work whose
+    initiator has already timed out. *)
+
+type hedge
+(** Policy for hedged (backup-request) calls. *)
+
+val hedge : ?floor:float -> unit -> hedge
+(** [hedge ()] is a hedging policy whose backup delay is
+    {!Health.hedge_delay} with the given [floor] (default [4.0]). *)
+
+val call_hedged :
+  t ->
+  from:Network.node_id ->
+  dst:Network.node_id ->
+  ?alt:Network.node_id ->
+  ?timeout:float ->
+  ?deadline_at:float ->
+  hedge:hedge ->
+  ('req, 'resp) endpoint ->
+  'req ->
+  ('resp, error) result
+(** Like {!call}, but if the primary has not answered within the
+    health-derived hedge delay, a backup copy races it — to [alt] when
+    given (a sibling replica), otherwise re-sent to [dst] — and the first
+    [Ok] wins. The loser is cancelled cooperatively: a backup whose
+    primary already won is never sent, a late reply is ignored, and a
+    copy still in flight when the race settles is dropped at delivery
+    {e before} the handler runs ([rpc.hedge_cancelled]) — so a slow
+    losing prepare can never re-stage state for an action whose winning
+    round already committed. Both copies may execute the handler when
+    deliveries interleave before the race settles (hedges ride below the
+    duplicate guard), so {b only idempotent operations may be hedged}.
+    Each backup actually launched bumps [rpc.hedges]. *)
 
 val call_all :
   t ->
   from:Network.node_id ->
   ?timeout:float ->
+  ?hedge:hedge ->
+  ?deadline_at:float ->
   ('req, 'resp) endpoint ->
   (Network.node_id * 'req) list ->
   (Network.node_id * ('resp, error) result) list
@@ -96,7 +146,12 @@ val call_all :
     rather than aborting the scatter. The elapsed virtual time is the
     {e maximum} of the individual call times, not their sum — this is the
     primitive behind the parallel commit copy-back. A one-element list is
-    exactly equivalent to a plain [call]. Must run within a fiber. *)
+    exactly equivalent to a plain [call]. Must run within a fiber.
+    With [?hedge] each leg becomes a {!call_hedged} (same-destination
+    backup), turning the scatter's straggler problem — one browned-out
+    participant stalls the whole gather — into a min-of-two draw.
+    Omitting [hedge] and [deadline_at] takes the exact pre-hedging code
+    path. *)
 
 val notify :
   t -> from:Network.node_id -> dst:Network.node_id -> ('req, unit) endpoint -> 'req -> unit

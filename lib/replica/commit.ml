@@ -38,6 +38,18 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
           let target = view.Server.cv_version.Store.Version.counter in
           let delta_on = Server.delta_shipping srv in
           let olog = Server.oplog srv in
+          (* Gray-failure plane (both off by default, off = byte-identical):
+             hedge the idempotent 2PC scatters with health-delayed backups,
+             and ride the action's deadline on the phase-1 prepares so
+             shedding servers can refuse votes this commit already gave up
+             on. Phase-2 commit/abort deliberately carries no deadline: a
+             decided outcome must reach the stores even when the initiator
+             stopped waiting — shedding it would leak reservations and
+             stall the acked floor. *)
+          let hedge =
+            if Server.hedged_rpc srv then Some (Net.Rpc.hedge ()) else None
+          in
+          let deadline_at = Action.Atomic.deadline act in
           (* Golden shadow for the audit: whatever mix of deltas and full
              states the stores end up applying, their committed bytes for
              this version must equal this payload. *)
@@ -137,8 +149,8 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                      retry inside. *)
                   Groupcommit.prepare gc tk ~client ~action per_store
               | _ ->
-                  Action.Store_host.prepare_each sh ~from:client ~action
-                    ~coordinator:client per_store
+                  Action.Store_host.prepare_each sh ~from:client ?hedge
+                    ?deadline_at ~action ~coordinator:client per_store
             in
             if delta_on then
               List.iter
@@ -180,8 +192,8 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                       Sim.Metrics.incr metrics "commit.delta_fallbacks";
                       charge (Action.Store_host.Full full_state))
                     missed;
-                  Action.Store_host.prepare_each sh ~from:client ~action
-                    ~coordinator:client
+                  Action.Store_host.prepare_each sh ~from:client ?hedge
+                    ?deadline_at ~action ~coordinator:client
                     (List.map
                        (fun (store, _) ->
                          (store, [ (uid, Action.Store_host.Full full_state) ]))
@@ -210,8 +222,8 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                future writer of the object. *)
             let withdraw_prepares () =
               ignore
-                (Action.Store_host.abort_all sh ~from:client ~stores:ok
-                   ~action)
+                (Action.Store_host.abort_all sh ~from:client ?hedge ~stores:ok
+                   action)
             in
             if stale <> [] then begin
               withdraw_prepares ();
@@ -281,7 +293,7 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                                     ~action ~stores:ok
                                 else
                                   Action.Store_host.commit_all sh ~from:client
-                                    ~stores:ok ~action
+                                    ?hedge ~stores:ok action
                               in
                               if delta_on then
                                 List.iter
@@ -303,7 +315,7 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                                      ~action ~stores:ok
                                  else
                                    Action.Store_host.abort_all sh ~from:client
-                                     ~stores:ok ~action));
+                                     ?hedge ~stores:ok action));
                           `Done (Ok ())))
           in
           (* The classic locked path: re-read [St] under a read lock owned

@@ -82,6 +82,9 @@ type t = {
   mutable gc_expecting : int; (* sealed commits whose phase 2 is pending *)
   mutable gc_batches : batch list; (* open phase-1 batches, oldest first *)
   mutable gc_p2 : p2_batch list; (* open phase-2 batches, oldest first *)
+  mutable gc_hedged : bool;
+      (* mirror of [Server.hedged_rpc]: hedge every store scatter issued
+         from this plane (all idempotent at the store) *)
 }
 
 (* A member that died (client crash) or fell back solo must not leave its
@@ -100,11 +103,15 @@ let create ~engine ~store_host ~metrics olog =
     gc_expecting = 0;
     gc_batches = [];
     gc_p2 = [];
+    gc_hedged = false;
   }
 
 let window t = t.gc_window
 let set_window t w = t.gc_window <- w
 let enabled t = t.gc_window > 0.0
+let hedged t = t.gc_hedged
+let set_hedged t flag = t.gc_hedged <- flag
+let gc_hedge t = if t.gc_hedged then Some (Net.Rpc.hedge ()) else None
 
 (* Quiescence-pull: no in-flight commit can join any longer, so every
    open batch may close now rather than wait out its window. *)
@@ -172,7 +179,8 @@ let scatter t batch =
       Sim.Metrics.incr t.gc_metrics "groupcommit.solo_batches";
       Sim.Ivar.fill m.m_votes
         (Action.Store_host.prepare_each t.gc_sh ~from:m.m_client
-           ~action:m.m_action ~coordinator:m.m_client m.m_writes)
+           ?hedge:(gc_hedge t) ~action:m.m_action ~coordinator:m.m_client
+           m.m_writes)
   | leader :: _ ->
       Sim.Metrics.incr t.gc_metrics "groupcommit.batches";
       Sim.Metrics.observe t.gc_metrics "groupcommit.batch_members"
@@ -199,7 +207,8 @@ let scatter t batch =
           stores
       in
       let results =
-        Action.Store_host.prepare_batch t.gc_sh ~from:leader.m_client reqs
+        Action.Store_host.prepare_batch t.gc_sh ~from:leader.m_client
+          ?hedge:(gc_hedge t) reqs
       in
       List.iter
         (fun m ->
@@ -220,8 +229,8 @@ let scatter t batch =
         members
 
 let solo_prepare t ~client ~action writes =
-  Action.Store_host.prepare_each t.gc_sh ~from:client ~action
-    ~coordinator:client writes
+  Action.Store_host.prepare_each t.gc_sh ~from:client ?hedge:(gc_hedge t)
+    ~action ~coordinator:client writes
 
 let all_yes votes =
   votes <> []
@@ -302,7 +311,7 @@ let scatter2 t batch =
   | [ m ] ->
       Sim.Ivar.fill m.p_acks
         (Action.Store_host.commit_all t.gc_sh ~from:m.p_client
-           ~stores:m.p_stores ~action:m.p_action)
+           ?hedge:(gc_hedge t) ~stores:m.p_stores m.p_action)
   | leader :: _ ->
       Sim.Metrics.incr t.gc_metrics "groupcommit.p2_batches";
       let stores =
@@ -319,7 +328,8 @@ let scatter2 t batch =
           stores
       in
       let results =
-        Action.Store_host.commit_batch t.gc_sh ~from:leader.p_client reqs
+        Action.Store_host.commit_batch t.gc_sh ~from:leader.p_client
+          ?hedge:(gc_hedge t) reqs
       in
       List.iter
         (fun (store, r) ->
@@ -394,7 +404,8 @@ let commit_batched t ~client ~action ~stores =
   | Error _ ->
       Sim.Metrics.incr t.gc_metrics "groupcommit.orphaned";
       abandon2 t batch;
-      Action.Store_host.commit_all t.gc_sh ~from:client ~stores ~action
+      Action.Store_host.commit_all t.gc_sh ~from:client ?hedge:(gc_hedge t)
+        ~stores action
 
 (* Phase-2 abort of a commit registered with {!expect_phase2}: aborts are
    rare and carry no floor payload worth amortising, so they go out solo
@@ -402,7 +413,8 @@ let commit_batched t ~client ~action ~stores =
    would stall at a count that never drains. *)
 let abort_batched t ~client ~action ~stores =
   settle_phase2 t;
-  Action.Store_host.abort_all t.gc_sh ~from:client ~stores ~action
+  Action.Store_host.abort_all t.gc_sh ~from:client ?hedge:(gc_hedge t) ~stores
+    action
 
 (* One anti-entropy round: read every store's committed counters and fold
    them into the shared floor. Cheap (one scatter, no writes) and safe

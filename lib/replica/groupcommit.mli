@@ -29,6 +29,15 @@ val set_window : t -> float -> unit
 
 val enabled : t -> bool
 
+val hedged : t -> bool
+
+val set_hedged : t -> bool -> unit
+(** Hedge every store scatter this plane issues (solo and batched prepare,
+    phase-2 commit/abort) with a health-delayed backup copy
+    ({!Net.Rpc.call_all}'s [?hedge]) — safe because every one of them is
+    idempotent at the store. Mirrors {!Server.set_hedged_rpc}; default
+    off, and off is byte-identical. *)
+
 (** {2 Phase 1} *)
 
 type token

@@ -145,6 +145,10 @@ type runtime = {
       (* skip the per-write size comparison: ship a coverable delta even
          when the full state encodes smaller (chaos worlds keep the delta
          path exercised on small objects) *)
+  mutable hedged_rpc : bool;
+      (* default off: hedge the idempotent legs of commit copy-back and
+         activation/role scatter-gathers with health-delayed backups; off,
+         every scatter takes the exact pre-hedging code path *)
   g_commit : Groupcommit.t;
       (* the group-commit plane commits on this runtime batch through;
          disabled (window 0.0) unless the world sets a batch window *)
@@ -177,6 +181,7 @@ let create art impls =
     o_log;
     delta_shipping = false;
     force_delta = false;
+    hedged_rpc = false;
     g_commit =
       Groupcommit.create
         ~engine:(Action.Atomic.engine art)
@@ -194,6 +199,12 @@ let set_delta_shipping t flag = t.delta_shipping <- flag
 let force_delta t = t.force_delta
 let set_force_delta t flag = t.force_delta <- flag
 let groupcommit t = t.g_commit
+
+let hedged_rpc t = t.hedged_rpc
+
+let set_hedged_rpc t flag =
+  t.hedged_rpc <- flag;
+  Groupcommit.set_hedged t.g_commit flag
 let set_commit_batch_window t w = Groupcommit.set_window t.g_commit w
 let invoke_channel t = t.ch_invoke
 let reply_endpoint t = t.ep_reply

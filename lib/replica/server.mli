@@ -56,6 +56,16 @@ val set_commit_batch_window : runtime -> float -> unit
     [0.0] (the default) disables batching and keeps the copy-back
     byte-identical to the unbatched tree. *)
 
+val hedged_rpc : runtime -> bool
+
+val set_hedged_rpc : runtime -> bool -> unit
+(** Enable hedged scatter-gathers (default off): the idempotent legs of
+    the commit copy-back (prepare / phase-2 / abort, solo and batched via
+    {!groupcommit}) and the activation, coordinator-probe and commit-view
+    fan-outs race a health-delayed backup copy against a slow primary
+    ({!Net.Rpc.call_hedged}, {!Sim.Join.hedged}). Off, every scatter takes
+    the exact pre-hedging code path, byte-identical. *)
+
 val force_delta : runtime -> bool
 
 val set_force_delta : runtime -> bool -> unit

@@ -1,6 +1,15 @@
 type group = { gid : int; mutable alive : bool }
 
-type event = { time : float; seq : int; thunk : unit -> unit }
+(* [daemon] doubles as the "no longer counted in [nondaemon_queued]" bit:
+   true from birth for daemon wakeups, flipped on pop (when the count is
+   released) and by {!timeout}'s demotion of guard timers whose operation
+   already settled. Both paths are idempotent through the flag. *)
+type event = {
+  time : float;
+  seq : int;
+  thunk : unit -> unit;
+  mutable daemon : bool;
+}
 
 type t = {
   mutable clock : float;
@@ -13,8 +22,14 @@ type t = {
   mutable processed : int;
   mutable suspended : int;
   mutable suspend_id : int;
-  suspended_tbl : (int, string * group) Hashtbl.t;
+  suspended_tbl : (int, string * group * bool) Hashtbl.t;
   mutable detect_deadlock : bool;
+  mutable nondaemon_queued : int;
+      (* queued events that represent real work; a drain-mode [run] stops
+         when only daemon wakeups (idle periodic fibers) remain *)
+  mutable next_suspend_daemon : bool;
+      (* set by [daemon_sleep] just before performing Suspend, consumed by
+         the handler to flag the parked suspension as a daemon's *)
 }
 
 exception Deadlock of string
@@ -39,6 +54,8 @@ let create ?(seed = 1L) () =
     suspend_id = 0;
     suspended_tbl = Hashtbl.create 64;
     detect_deadlock = false;
+    nondaemon_queued = 0;
+    next_suspend_daemon = false;
   }
 
 let rng t = t.engine_rng
@@ -53,11 +70,21 @@ let new_group t =
 let kill_group t g = if g != t.root then g.alive <- false
 let group_alive g = g.alive
 
-let push t ~delay thunk =
+let push_ev ?(daemon = false) t ~delay thunk =
   let delay = if delay < 0.0 then 0.0 else delay in
-  let e = { time = t.clock +. delay; seq = t.seq; thunk } in
+  let e = { time = t.clock +. delay; seq = t.seq; thunk; daemon } in
   t.seq <- t.seq + 1;
-  Heap.push t.queue e
+  if not daemon then t.nondaemon_queued <- t.nondaemon_queued + 1;
+  Heap.push t.queue e;
+  e
+
+let push ?daemon t ~delay thunk = ignore (push_ev ?daemon t ~delay thunk : event)
+
+let release_count t e =
+  if not e.daemon then begin
+    e.daemon <- true;
+    t.nondaemon_queued <- t.nondaemon_queued - 1
+  end
 
 let schedule t ~delay f = push t ~delay f
 
@@ -105,7 +132,9 @@ let spawn t ?group ?(name = "fiber") f =
                     t.suspended <- t.suspended + 1;
                     let sid = t.suspend_id in
                     t.suspend_id <- t.suspend_id + 1;
-                    Hashtbl.replace t.suspended_tbl sid (name, fg);
+                    let daemon = t.next_suspend_daemon in
+                    t.next_suspend_daemon <- false;
+                    Hashtbl.replace t.suspended_tbl sid (name, fg, daemon);
                     let fired = ref false in
                     let resume (r : (a, exn) result) =
                       if not fg.alive then Hashtbl.remove t.suspended_tbl sid
@@ -137,6 +166,20 @@ let self_group _t = !current_group
 let sleep t dt =
   suspend t (fun resume -> push t ~delay:dt (fun () -> resume (Ok ())))
 
+(* A daemon sleep parks an idle periodic fiber (anti-entropy gossip, cache
+   sweepers). Its wakeup event is daemon-flagged, so a drain-mode [run]
+   stops without firing it, and the parked suspension is not reported by
+   [leaked_fibers] — the fiber is idle by design, not lost. Once resumed
+   (time-bounded runs), the fiber's work is ordinary non-daemon events. *)
+let daemon_sleep t dt =
+  let g = !current_group in
+  t.next_suspend_daemon <- true;
+  Effect.perform
+    (Suspend
+       ( g,
+         fun resume ->
+           push t ~daemon:true ~delay:dt (fun () -> resume (Ok ())) ))
+
 let yield t = sleep t 0.0
 
 let timeout t dt register =
@@ -146,8 +189,29 @@ let timeout t dt register =
       (Suspend
          ( g,
            fun resume ->
-             push t ~delay:dt (fun () -> resume (Error Timed_out));
-             register resume ))
+             (* The guard timer counts as pending work only while the
+                operation is unsettled: once either side fires, the timer
+                is demoted so a drain-mode [run] can reach quiescence
+                without chasing every armed-but-moot guard to its expiry.
+                A guard for an operation that never settles (request
+                dropped by a link fault) stays counted and WILL fire — the
+                suspended caller's only wakeup. Popping releases the same
+                count through the same flag, so the demotion is exactly
+                once whichever comes first. *)
+             let settled = ref false in
+             let demote = ref (fun () -> ()) in
+             let fire r =
+               if not !settled then begin
+                 settled := true;
+                 !demote ();
+                 resume r
+               end
+             in
+             let ev =
+               push_ev t ~delay:dt (fun () -> fire (Error Timed_out))
+             in
+             (demote := fun () -> release_count t ev);
+             register fire ))
   with
   | v -> Ok v
   | exception Timed_out -> Error Timed_out
@@ -155,8 +219,21 @@ let timeout t dt register =
 let set_detect_deadlock t flag = t.detect_deadlock <- flag
 
 let run ?(until = infinity) ?(max_steps = max_int) t =
+  let drain = until = infinity in
   let rec loop steps =
     if steps >= max_steps then ()
+    else if drain && t.nondaemon_queued = 0 then
+      (* Quiescence: only daemon wakeups (idle periodic fibers) remain.
+         Leave them queued and parked — a later [run ~until] resumes them;
+         a world with no daemons hits this exactly when the queue empties,
+         so daemon-free runs are unchanged. *)
+      (if
+         t.detect_deadlock && Heap.peek t.queue = None && t.suspended > 0
+       then
+         raise
+           (Deadlock
+              (Printf.sprintf "%d fiber(s) suspended with empty queue"
+                 t.suspended)))
     else
       match Heap.peek t.queue with
       | None ->
@@ -170,6 +247,7 @@ let run ?(until = infinity) ?(max_steps = max_int) t =
           match Heap.pop t.queue with
           | None -> ()
           | Some e ->
+              release_count t e;
               t.clock <- (if e.time > t.clock then e.time else t.clock);
               t.processed <- t.processed + 1;
               e.thunk ();
@@ -188,12 +266,16 @@ let leaked_fibers t =
   (* Prune registry entries whose group died: those fibers vanished with a
      crash, which is fail-silent semantics, not a leak. What remains — a
      suspension in a live group after the queue has drained — waits for a
-     wakeup that can no longer come. *)
+     wakeup that can no longer come. Daemon-parked suspensions (idle
+     periodic fibers sleeping via [daemon_sleep]) are excluded: their
+     wakeup is queued, merely never fired by a drain-mode [run]. *)
   let dead =
     Hashtbl.fold
-      (fun sid (_, fg) acc -> if fg.alive then acc else sid :: acc)
+      (fun sid (_, fg, _) acc -> if fg.alive then acc else sid :: acc)
       t.suspended_tbl []
   in
   List.iter (Hashtbl.remove t.suspended_tbl) dead;
-  Hashtbl.fold (fun _ (nm, _) acc -> nm :: acc) t.suspended_tbl []
+  Hashtbl.fold
+    (fun _ (nm, _, daemon) acc -> if daemon then acc else nm :: acc)
+    t.suspended_tbl []
   |> List.sort String.compare

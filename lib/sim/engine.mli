@@ -81,6 +81,14 @@ val sleep : t -> float -> unit
 (** [sleep t dt] suspends the calling fiber for [dt] units of virtual
     time. [dt] is clamped to be non-negative. *)
 
+val daemon_sleep : t -> float -> unit
+(** Like {!sleep}, but marks the sleeping fiber as an {e idle daemon}: its
+    wakeup event does not count as pending work, so a drain-mode {!run}
+    (no [until]) stops once only daemon wakeups remain, leaving the fiber
+    parked — and {!leaked_fibers} does not report it. Periodic
+    housekeeping loops (anti-entropy gossip) sleep with this so worlds
+    that drain to quiescence can still run them. *)
+
 val yield : t -> unit
 (** [yield t] re-queues the calling fiber at the current time, letting
     other ready fibers run first. *)
@@ -100,7 +108,10 @@ val set_detect_deadlock : t -> bool -> unit
 val run : ?until:float -> ?max_steps:int -> t -> unit
 (** [run t] processes events in (time, sequence) order until the queue is
     empty, time exceeds [until], or [max_steps] events have been processed.
-    Re-raises the first exception that escaped a fiber, if any. *)
+    Without [until] (drain mode) the run also stops as soon as only daemon
+    wakeups remain queued (see {!daemon_sleep}) — worlds with no daemons
+    behave exactly as before. Re-raises the first exception that escaped a
+    fiber, if any. *)
 
 val processed_events : t -> int
 (** Number of events processed so far; useful for budget assertions. *)

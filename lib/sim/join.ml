@@ -51,6 +51,47 @@ let all eng tasks =
       Array.to_list results
       |> List.map (function Some r -> r | None -> assert false)
 
+(* Hedged first-some over option-returning tasks: task 0 starts now, task
+   [i] is held back [i * delay] and skipped entirely if an earlier task
+   already produced [Some]. The first [Some] wins; [None] settles only
+   once every task that was actually launched settled with [None] and no
+   launch remains pending. Losers are not torn down — they run to
+   completion in the caller's group and their results are discarded — the
+   cooperative-cancellation discipline duplicate-safe protocols allow.
+   Single-task hedges run inline, like {!all}'s fast path. *)
+let hedged eng ~delay tasks =
+  match tasks with
+  | [] -> None
+  | [ f ] -> f ()
+  | tasks ->
+      let n = List.length tasks in
+      let iv = Ivar.create () in
+      let launched = ref 0 in
+      let outstanding = ref 0 in
+      let group = Engine.self_group eng in
+      let settle r =
+        match r with
+        | Some _ -> ignore (Ivar.try_fill iv r)
+        | None ->
+            decr outstanding;
+            if !outstanding = 0 && !launched = n then
+              ignore (Ivar.try_fill iv None)
+      in
+      List.iteri
+        (fun i f ->
+          Engine.schedule eng ~delay:(float_of_int i *. delay) (fun () ->
+              incr launched;
+              (* An earlier task answering cancels this launch — the hedge
+                 that never fires costs nothing. *)
+              if not (Ivar.is_filled iv) then begin
+                incr outstanding;
+                Engine.spawn eng ~group
+                  ~name:(Printf.sprintf "join.hedged.%d" i)
+                  (fun () -> settle (f ()))
+              end))
+        tasks;
+      Ivar.read eng iv
+
 let first_error eng tasks =
   match tasks with
   | [] -> Ok []

@@ -28,6 +28,16 @@ val all : Engine.t -> 'a task list -> 'a list
     simulation via the engine's fiber-error channel (task 0: propagates
     in the caller); encode expected failures as [result] values. *)
 
+val hedged : Engine.t -> delay:float -> 'a option task list -> 'a option
+(** [hedged eng ~delay tasks] is a tiered first-some race: task 0 starts
+    immediately, task [i] after [i * delay] — and only if no earlier task
+    has answered [Some] yet. The first [Some] resumes the caller; [None]
+    is returned only after every launched task settled with [None]. Losing
+    tasks are cancelled cooperatively: they run to completion in the
+    caller's group and their answers are discarded, so hedging is only
+    safe over idempotent work (reads, probes, duplicate-tolerant
+    requests). A single-task list runs inline, mirroring {!all}. *)
+
 val first_error :
   Engine.t -> ('a, 'e) result task list -> ('a list, 'e) result
 (** [first_error eng tasks] resumes the caller as soon as any task returns

@@ -43,6 +43,14 @@ type fault_event =
       spike_prob : float;
       spike : float;
     }
+  | Brownout of {
+      node : string;
+      at : float;
+      duration : float;
+      prob : float;
+      lo : float;
+      hi : float;
+    }
 
 let is_client node = List.mem node clients
 
@@ -60,11 +68,14 @@ let pp_event ppf = function
         "link %s->%s @%.1f for %.1f drop=%.2f dup=%.2f reorder=%.2f \
          spike=%.2f/%.1f"
         src dst at duration drop dup reorder spike_prob spike
+  | Brownout { node; at; duration; prob; lo; hi } ->
+      Format.fprintf ppf "brownout %s @%.1f for %.1f prob=%.2f extra=[%.1f,%.1f]"
+        node at duration prob lo hi
 
 (* The schedule is drawn from its own stream (decoupled from the world's
    engine seed streams) so that dropping an event during shrinking never
    perturbs the world's latency draws. *)
-let gen_events ?(durable = false) ~seed () =
+let gen_events ?(durable = false) ?(brownout = false) ~seed () =
   let rng = Sim.Rng.create (Int64.logxor seed 0x6E656D65736973L) in
   let distinct_pair pool =
     let a = Sim.Rng.pick rng pool in
@@ -118,6 +129,23 @@ let gen_events ?(durable = false) ~seed () =
       | k when k < 62 ->
           let src, dst = busy_pair () in
           Oneway { src; dst; at; duration }
+      | k when brownout && k < 82 ->
+          (* Gray failure: the node keeps answering, just slowly. The
+             inflation stays below the 30.0 lock/multicast timeouts so
+             the slowness is never mistaken for death — exactly the
+             regime the health plane and hedging are for. The extra
+             draws sit behind the [brownout] gate, so the other
+             variants' schedules are untouched. *)
+          let node = Sim.Rng.pick rng (servers @ stores) in
+          Brownout
+            {
+              node;
+              at;
+              duration = Sim.Rng.uniform rng 20.0 60.0;
+              prob = Sim.Rng.uniform rng 0.15 0.35;
+              lo = Sim.Rng.uniform rng 8.0 14.0;
+              hi = Sim.Rng.uniform rng 15.0 28.0;
+            }
       | _ ->
           let src, dst = busy_pair () in
           Link
@@ -144,16 +172,19 @@ let apply_event net = function
   | Link { src; dst; at; duration; drop; dup; reorder; spike_prob; spike } ->
       Net.Fault.link_faults_for net ~at ~duration ~drop ~dup ~reorder
         ~spike_prob ~spike ~src ~dst ()
+  | Brownout { node; at; duration; prob; lo; hi } ->
+      Net.Fault.brownout_for net ~at ~duration ~prob ~lo ~hi node
 
 type outcome = {
   oc_violations : string list;
   oc_commits : int;
   oc_retries : int;
   oc_faults : int;
+  oc_shed : int;
 }
 
 let run_world ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
-    ~seed ~events () =
+    ?(brownout = false) ~seed ~events () =
   let w =
     (* [force_delta]: the chaos objects are counters, whose deltas lose
        the size comparison every time — forcing keeps the delta path
@@ -162,11 +193,19 @@ let run_world ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
        scheme-A binds; the groupcommit world keeps those on and batches
        the copy-back through the group-commit plane, so batch leadership,
        peel-outs, orphaned members and floor gossip all run under the
-       fault schedule. *)
+       fault schedule. The brownout world keeps the optimistic hot path
+       (unbatched, so every phase-1 prepare carries the action deadline)
+       and turns on the whole gray-failure plane — hedged scatters,
+       deadline shedding, degraded breaker trips — plus the periodic
+       floor-gossip daemon, whose daemon sleeps are what let the drain
+       below still terminate. *)
     Service.create ~seed ~durable_naming:durable ~delta_shipping:true
       ~force_delta:true ~optimistic_commit:optimistic
       ~pipelined_binds:optimistic
       ~commit_batch_window:(if groupcommit then 2.0 else 0.0)
+      ~floor_gossip_period:(if brownout then 7.0 else 0.0)
+      ~hedged_rpc:brownout ~deadline_shedding:brownout
+      ~degraded_trips:brownout
       {
         Service.gvd_node = "ns";
         gvd_nodes = [ "ns2" ];
@@ -279,8 +318,15 @@ let run_world ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
             in
             let k = Store.Uid.serial uid in
             in_flight := Some (k, amount);
+            (* The brownout world gives every action a real time budget:
+               the client stops waiting at 25s (comfortably above the
+               healthy commit path, below the retry tail a browned
+               store can induce), and with the shedding knob on the
+               servers refuse phase-1 work for actions already past it. *)
             (match
-               Service.with_bound w ~client ~scheme ~policy ~uid
+               Service.with_bound
+                 ?deadline:(if brownout then Some 25.0 else None)
+                 w ~client ~scheme ~policy ~uid
                  (fun act group ->
                    ignore
                      (Service.invoke w group ~act
@@ -367,7 +413,9 @@ let run_world ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
           "fault.reorder";
           "fault.delay";
           "fault.cut_dropped";
+          "fault.brownout";
         ];
+    oc_shed = Sim.Metrics.counter m "retry.shed_expired";
   }
 
 (* Greedy two-pass shrinker. Pass one drops any single event whose
@@ -389,12 +437,14 @@ let weaken = function
       Some (Oneway { src; dst; at; duration = duration /. 2.0 })
   | Link ({ duration; _ } as l) when duration >= 4.0 ->
       Some (Link { l with duration = duration /. 2.0 })
+  | Brownout ({ duration; _ } as b) when duration >= 4.0 ->
+      Some (Brownout { b with duration = duration /. 2.0 })
   | _ -> None
 
 let shrink ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
-    ~seed events =
+    ?(brownout = false) ~seed events =
   let failing evs =
-    (run_world ~durable ~optimistic ~groupcommit ~seed ~events:evs ())
+    (run_world ~durable ~optimistic ~groupcommit ~brownout ~seed ~events:evs ())
       .oc_violations
     <> []
   in
@@ -426,28 +476,35 @@ let shrink ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
   fix events
 
 let check_seed ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
-    seed =
-  let events = gen_events ~durable ~seed () in
-  let o = run_world ~durable ~optimistic ~groupcommit ~seed ~events () in
+    ?(brownout = false) seed =
+  let events = gen_events ~durable ~brownout ~seed () in
+  let o =
+    run_world ~durable ~optimistic ~groupcommit ~brownout ~seed ~events ()
+  in
   if o.oc_violations = [] then (o, None)
-  else (o, Some (shrink ~durable ~optimistic ~groupcommit ~seed events))
+  else
+    (o, Some (shrink ~durable ~optimistic ~groupcommit ~brownout ~seed events))
 
 let default_seeds = [ 11L; 23L; 37L; 41L; 53L; 67L; 79L; 97L ]
 
 let run_check ?(seeds = default_seeds) () =
   let failures = ref [] in
+  let shed_total = ref 0 in
   let rows =
     List.concat_map
       (fun seed ->
         List.map
-          (fun (durable, optimistic, groupcommit, world) ->
-            let events = gen_events ~durable ~seed () in
-            let o, shrunk = check_seed ~durable ~optimistic ~groupcommit seed in
+          (fun (durable, optimistic, groupcommit, brownout, world) ->
+            let events = gen_events ~durable ~brownout ~seed () in
+            let o, shrunk =
+              check_seed ~durable ~optimistic ~groupcommit ~brownout seed
+            in
             (match shrunk with
             | None -> ()
             | Some min_events ->
                 failures :=
                   (world, seed, min_events, o.oc_violations) :: !failures);
+            if brownout then shed_total := !shed_total + o.oc_shed;
             [
               Int64.to_string seed;
               world;
@@ -459,13 +516,20 @@ let run_check ?(seeds = default_seeds) () =
               (if o.oc_violations = [] then "ok" else "FAIL");
             ])
           [
-            (false, false, false, "classic");
-            (true, false, false, "durable-ns");
-            (false, true, false, "optimistic");
-            (false, true, true, "groupcommit");
+            (false, false, false, false, "classic");
+            (true, false, false, false, "durable-ns");
+            (false, true, false, false, "optimistic");
+            (false, true, true, false, "groupcommit");
+            (true, true, false, true, "brownout");
           ])
       seeds
   in
+  (* The brownout variant must actually exercise the shedding plane: a
+     schedule set under which no server ever refused an expired call
+     means the deadlines are miscalibrated, and the gray-failure
+     machinery silently ran idle — fail the check rather than let that
+     coverage rot. *)
+  let shed_ok = !shed_total > 0 in
   let base_notes =
     [
       "Seed-deterministic nemesis schedules (crashes, partitions, one-way";
@@ -480,7 +544,14 @@ let run_check ?(seeds = default_seeds) () =
       "the groupcommit world keeps those on and batches copy-backs";
       "through the group-commit plane (window 2.0), putting batch";
       "leadership, peel-outs, orphaned members and piggybacked floor";
-      "gossip under the same fault schedules.";
+      "gossip under the same fault schedules. The brownout world adds";
+      "gray failures (per-node service-time inflation, below every";
+      "timeout) to the durable crash pool and runs the resilience plane";
+      "against them: hedged 2PC/naming scatters, 25s action deadlines";
+      "with server-side shedding of expired phase-1 work";
+      "(retry.shed_expired must fire somewhere in the seed set),";
+      "breaker trips on sustained slowness, and the periodic";
+      "floor-gossip daemon kept alive across crashes.";
       "Servers/stores heal, crashed";
       "clients stay down for the cleanup protocol. After quiescence,";
       "Audit.chaos checks StA mutual consistency, byte-equality of every";
@@ -505,6 +576,16 @@ let run_check ?(seeds = default_seeds) () =
         @ List.map (fun v -> "  violation: " ^ v) viols)
       (List.rev !failures)
   in
+  let failure_notes =
+    if shed_ok then failure_notes
+    else
+      failure_notes
+      @ [
+          "FAIL: retry.shed_expired = 0 across every brownout run — the";
+          "deadline-shedding plane never fired; recalibrate the brownout";
+          "schedule or the 25s action deadline.";
+        ]
+  in
   ( Table.make ~title:"tab-chaos: deterministic chaos harness and invariant audit"
       ~columns:
         [
@@ -518,6 +599,6 @@ let run_check ?(seeds = default_seeds) () =
           "verdict";
         ]
       ~notes:(base_notes @ failure_notes) rows,
-    !failures = [] )
+    !failures = [] && shed_ok )
 
 let run ?seeds () = fst (run_check ?seeds ())

@@ -13,17 +13,27 @@
     with full-state fallbacks under the fault plane, and the audit's
     golden-shadow byte-equality check is live.
 
-    Four world variants run per seed: {e classic} (naming nodes never
+    Five world variants run per seed: {e classic} (naming nodes never
     crash — the paper's §3.1 availability assumption), {e durable-ns}
     (durable naming; the naming shards join the crash pool and recover
     their committed entries from the database), {e optimistic}
     (classic crash pool, but commits validate a lock-free St snapshot in
     the prepare round and scheme-A binds scatter their three naming
     reads as one Join round — the hot-path optimisations under the full
-    fault plane, with St-revision monotonicity monitored), and
+    fault plane, with St-revision monotonicity monitored),
     {e groupcommit} (optimistic plus the group-commit plane with a 2.0
     batch window, so batch leadership, vote peel-outs, orphaned members
-    and piggybacked floor gossip all run under the fault schedules).
+    and piggybacked floor gossip all run under the fault schedules), and
+    {e brownout} (durable + optimistic crash pool extended with gray
+    failures — {!Net.Fault.brownout_for} service-time inflation that
+    stays below every timeout — with the whole resilience plane on:
+    hedged scatter-gathers, 25s action deadlines propagated to servers
+    that shed expired phase-1 work, breaker trips on sustained
+    slowness, and the periodic floor-gossip daemon running throughout,
+    its idle waits daemon-parked so quiescence drains still terminate.
+    The check additionally fails if [retry.shed_expired] never fired
+    across the brownout runs — the shedding plane must be exercised,
+    not merely enabled).
 
     Every run is a pure function of its seed: a failing seed replays the
     whole world bit-for-bit, and the offending schedule is greedily
@@ -34,30 +44,38 @@ type fault_event
 
 val pp_event : Format.formatter -> fault_event -> unit
 
-val gen_events : ?durable:bool -> seed:int64 -> unit -> fault_event list
+val gen_events :
+  ?durable:bool -> ?brownout:bool -> seed:int64 -> unit -> fault_event list
 (** The schedule for [seed] — pure, stable across runs. [durable]
     (default false) admits naming nodes into the crash pool; only sound
-    for worlds built with durable naming. *)
+    for worlds built with durable naming. [brownout] (default false)
+    admits gray-failure events (per-node service-time inflation on
+    servers and stores, magnitudes below every timeout); the extra
+    draws sit behind the gate, so schedules with it off are unchanged. *)
 
 type outcome = {
   oc_violations : string list;  (** empty means the world quiesced clean *)
   oc_commits : int;
   oc_retries : int;  (** [retry.retries] counter *)
   oc_faults : int;  (** injected message faults (sum of [fault.*]) *)
+  oc_shed : int;  (** [retry.shed_expired] — expired calls servers refused *)
 }
 
 val run_world :
-  ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> seed:int64 ->
-  events:fault_event list -> unit -> outcome
+  ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> ?brownout:bool ->
+  seed:int64 -> events:fault_event list -> unit -> outcome
 (** One full run: build the world from [seed] (durable naming iff
     [durable]; optimistic commits and pipelined binds iff [optimistic];
-    batched commits with window 2.0 iff [groupcommit]), inject [events],
-    drive the workload to quiescence, audit.
-    Deterministic in [(durable, optimistic, groupcommit, seed, events)]. *)
+    batched commits with window 2.0 iff [groupcommit]; iff [brownout],
+    the gray-failure resilience plane — hedged scatters, 25s action
+    deadlines with server-side shedding, degraded breaker trips — plus
+    the 7.0-period floor-gossip daemon), inject [events], drive the
+    workload to quiescence, audit. Deterministic in
+    [(durable, optimistic, groupcommit, brownout, seed, events)]. *)
 
 val check_seed :
-  ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> int64 ->
-  outcome * fault_event list option
+  ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> ?brownout:bool ->
+  int64 -> outcome * fault_event list option
 (** Run [gen_events] for the seed in the chosen variant; on violation,
     also the minimized schedule ([None] when the run was clean). *)
 
@@ -66,8 +84,9 @@ val default_seeds : int64 list
 
 val run_check : ?seeds:int64 list -> unit -> Table.t * bool
 (** The experiment table plus an all-clean flag (for CLI exit codes);
-    every seed runs the classic, durable-ns, optimistic and groupcommit
-    variants.
+    every seed runs the classic, durable-ns, optimistic, groupcommit and
+    brownout variants. The flag is also false when [retry.shed_expired]
+    stayed zero across every brownout run (dead shedding coverage).
     Failing runs are detailed in the table notes: world, seed, minimized
     schedule, violations. *)
 

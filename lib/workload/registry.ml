@@ -139,6 +139,12 @@ let all =
       synopsis = "seeded fault-injection schedules + consolidated invariant audit";
       runner = (fun () -> Exp_chaos.run ());
     };
+    {
+      id = "tab-brownout";
+      paper_artefact = "§2.3(3) (robustness extension)";
+      synopsis = "hedged vs unhedged commit latency under gray failure";
+      runner = (fun () -> Exp_brownout.run ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -5,4 +5,5 @@ let () =
    @ Test_sharding.suite @ Test_regressions.suite @ Test_workload.suite
    @ Test_extensions.suite
    @ Test_fortification.suite @ Test_oplog.suite @ Test_chaos.suite
-   @ Test_optimistic.suite @ Test_groupcommit.suite @ Test_properties.suite)
+   @ Test_optimistic.suite @ Test_groupcommit.suite @ Test_properties.suite
+   @ Test_brownout.suite)
