@@ -478,6 +478,23 @@ let bench_hedged_vs_unhedged_brownout () =
        ~seed:31L ()
       : Workload.Exp_brownout.sample)
 
+(* The same harsh-brownout commit episode both ways, back to back: the
+   autonomic controller excluding the browned store (commits scatter to
+   the healthy store only once the hysteresis window closes), then
+   hedging alone (both copies keep drawing the inflation). The spread
+   within this subject is what membership-level exclusion buys over
+   request-level hedging when a store is simply sick; tab-autonomic
+   tabulates the same episode's latency percentiles. *)
+let bench_excluded_vs_hedged_brownout () =
+  ignore
+    (Workload.Exp_autonomic.episode ~mode:Workload.Exp_autonomic.Autonomic
+       ~prob:0.7 ~commits:40 ~seed:47L ()
+      : Workload.Exp_autonomic.sample);
+  ignore
+    (Workload.Exp_autonomic.episode ~mode:Workload.Exp_autonomic.Hedged
+       ~prob:0.7 ~commits:40 ~seed:47L ()
+      : Workload.Exp_autonomic.sample)
+
 let micro_tests =
   Test.make_grouped ~name:"micro"
     [
@@ -529,6 +546,8 @@ let micro_tests =
         (Staged.stage bench_first_commit_after_activation);
       Test.make ~name:"commit.hedged-vs-unhedged-brownout"
         (Staged.stage bench_hedged_vs_unhedged_brownout);
+      Test.make ~name:"commit.excluded-vs-hedged-brownout"
+        (Staged.stage bench_excluded_vs_hedged_brownout);
     ]
 
 (* Run the micro suite; print the human table and return the per-subject

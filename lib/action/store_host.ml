@@ -360,30 +360,80 @@ let prepare_all t ~from ~stores ~action ~coordinator writes =
 (* The 2PC fan-outs below accept a hedging policy and a propagated
    deadline: prepare records the same intent twice idempotently (replays
    return the recorded vote), commit/abort resolve an intent-log entry
-   idempotently, so a hedged duplicate delivery is harmless. *)
+   idempotently, so a hedged duplicate delivery is harmless.
 
-let prepare_each t ~from ?hedge ?deadline_at ~action ~coordinator writes =
-  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_prepare
+   With [?alt_of] (the sibling-hedge knob), a leg whose destination the
+   caller maps to a sibling [St] member races its backup copy against
+   THAT node instead of re-rolling the sick destination's dice. The
+   sibling holds the same replicated object, so its handler does the
+   same work its own leg does (prepare replaces per-action; phase-2
+   resolves idempotently) — but its answer is NOT the primary's: a
+   sibling win is reported as [Error Timed_out] for the leg, which the
+   commit layer already handles (§4.2 exclude-on-failure at prepare,
+   conservative floor forgetting at phase-2). The payoff is purely
+   latency: the gather stops waiting on the browned node after one
+   healthy round trip instead of one inflated one. *)
+
+let scatter_alt t ~from ?hedge ?deadline_at ?alt_of ~keep_primary ep reqs =
+  match (hedge, alt_of) with
+  | Some h, Some altf when List.exists (fun (d, _) -> altf d <> None) reqs ->
+      let netw = Net.Rpc.network t.rpc_rt in
+      (match reqs with
+      | [] | [ _ ] -> ()
+      | _ ->
+          Sim.Metrics.incr (Net.Network.metrics netw) "rpc.scatters";
+          Sim.Metrics.incr (Net.Network.metrics netw) ~by:(List.length reqs)
+            "rpc.scatter_calls");
+      Sim.Join.all (Net.Network.engine netw)
+        (List.map
+           (fun (dst, req) () ->
+             match altf dst with
+             | None ->
+                 ( dst,
+                   Net.Rpc.call_hedged t.rpc_rt ~from ~dst ?deadline_at
+                     ~hedge:h ep req )
+             | Some alt ->
+                 let won = ref false in
+                 let r =
+                   Net.Rpc.call_hedged t.rpc_rt ~from ~dst ~alt ~keep_primary
+                     ~alt_won:won ?deadline_at ~hedge:h ep req
+                 in
+                 (dst, if !won then Error Net.Rpc.Timed_out else r))
+           reqs)
+  | _ -> Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at ep reqs
+
+let prepare_each t ~from ?hedge ?deadline_at ?alt_of ~action ~coordinator
+    writes =
+  scatter_alt t ~from ?hedge ?deadline_at ?alt_of ~keep_primary:false
+    t.ep_prepare
     (List.map
        (fun (store, ws) ->
          (store, { pr_action = action; pr_coordinator = coordinator; pr_writes = ws }))
        writes)
 
-let commit_all t ~from ?hedge ?deadline_at ~stores action =
-  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_commit
+let commit_all t ~from ?hedge ?deadline_at ?alt_of ~stores action =
+  scatter_alt t ~from ?hedge ?deadline_at ?alt_of ~keep_primary:true
+    t.ep_commit
     (List.map (fun store -> (store, action)) stores)
 
-let abort_all t ~from ?hedge ?deadline_at ~stores action =
-  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_abort
+let abort_all t ~from ?hedge ?deadline_at ?alt_of ~stores action =
+  scatter_alt t ~from ?hedge ?deadline_at ?alt_of ~keep_primary:true
+    t.ep_abort
     (List.map (fun store -> (store, action)) stores)
 
+(* Batched prepares are NEVER sibling-routed: one store's batch can carry
+   sub-records of actions whose [St] does not include the sibling, and a
+   sibling staging such an intent would hold it forever (its phase-2
+   fan-out never visits a non-member). Batched phase-2 is safe — an
+   unknown action resolves as a no-op — so [commit_batch] takes the alt
+   map while [prepare_batch] keeps same-node backups. *)
 let prepare_batch t ~from ?hedge ?deadline_at per_store =
   Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_prepare_batch
     per_store
 
-let commit_batch t ~from ?hedge ?deadline_at per_store =
-  Net.Rpc.call_all t.rpc_rt ~from ?hedge ?deadline_at t.ep_commit_batch
-    per_store
+let commit_batch t ~from ?hedge ?deadline_at ?alt_of per_store =
+  scatter_alt t ~from ?hedge ?deadline_at ?alt_of ~keep_primary:true
+    t.ep_commit_batch per_store
 
 let floors_all t ~from ~stores =
   Net.Rpc.call_all t.rpc_rt ~from t.ep_floors

@@ -137,6 +137,7 @@ val prepare_each :
   from:Net.Network.node_id ->
   ?hedge:Net.Rpc.hedge ->
   ?deadline_at:float ->
+  ?alt_of:(Net.Network.node_id -> Net.Network.node_id option) ->
   action:string ->
   coordinator:Net.Network.node_id ->
   (Net.Network.node_id * (Store.Uid.t * write) list) list ->
@@ -149,13 +150,26 @@ val prepare_each :
     deadline (see {!Net.Rpc.call_all}). Hedging is safe here: a replayed
     prepare re-stages the same intent ({!Store.Intent_log.prepare}
     replaces per action), and commit/abort resolve idempotently, so a
-    duplicate delivery changes nothing. *)
+    duplicate delivery changes nothing.
+
+    [alt_of] (effective only together with [hedge]) routes a leg's backup
+    copy to a {e sibling} [St] member instead of re-sending to the same
+    node: when it maps a destination to [Some sibling], the backup races
+    against that node, and a sibling win is reported as the leg's
+    [Error Timed_out] — the sibling's answer is never passed off as the
+    primary's. Prepare legs cancel the losing primary cooperatively (an
+    unstaged prepare is harmless once the leg counts as failed); phase-2
+    legs keep the primary copy in flight ({!Net.Rpc.call_hedged}'s
+    [keep_primary]) because the primary must still apply its decision.
+    The caller must only map to siblings that hold every object in the
+    leg's write list. *)
 
 val commit_all :
   t ->
   from:Net.Network.node_id ->
   ?hedge:Net.Rpc.hedge ->
   ?deadline_at:float ->
+  ?alt_of:(Net.Network.node_id -> Net.Network.node_id option) ->
   stores:Net.Network.node_id list ->
   string ->
   (Net.Network.node_id * (unit, Net.Rpc.error) result) list
@@ -167,6 +181,7 @@ val abort_all :
   from:Net.Network.node_id ->
   ?hedge:Net.Rpc.hedge ->
   ?deadline_at:float ->
+  ?alt_of:(Net.Network.node_id -> Net.Network.node_id option) ->
   stores:Net.Network.node_id list ->
   string ->
   (Net.Network.node_id * (unit, Net.Rpc.error) result) list
@@ -206,13 +221,19 @@ val commit_batch :
   from:Net.Network.node_id ->
   ?hedge:Net.Rpc.hedge ->
   ?deadline_at:float ->
+  ?alt_of:(Net.Network.node_id -> Net.Network.node_id option) ->
   (Net.Network.node_id * string list) list ->
   (Net.Network.node_id * ((Store.Uid.t * int) list, Net.Rpc.error) result) list
 (** Scatter one batched phase-2 commit per store: the store applies each
     listed action's intentions ({e idempotent, per action}) and its ack
     carries the committed counter of {e every} object it holds — the
     acked-version floor gossip the coordinator folds into
-    {!Replica.Oplog.note_store}. *)
+    {!Replica.Oplog.note_store}. [alt_of] sibling-routes as in
+    {!commit_all} (a sibling win is the leg's error, so a sibling's
+    floors are never mistaken for the primary's); batched {e prepares}
+    deliberately never take an alt map — one store's batch can carry
+    sub-records of actions whose [St] does not include the sibling, and
+    a staged intent there would dangle forever. *)
 
 val floors_all :
   t ->

@@ -110,6 +110,21 @@ type validate_req = {
   vv_rev : int;
 }
 
+(* Optimistic membership change (the §13 discipline applied to §4.2's own
+   operations): the caller read (St, rev) lock-free, decided the change
+   off that snapshot, and now asks for it to be applied only if the
+   revision still stands — decide-then-mutate in one atomic round instead
+   of a blind mutation under a blocking lock. *)
+type member_op = Add_member | Drop_member
+
+type member_req = {
+  mb_uid : Store.Uid.t;
+  mb_action : string;
+  mb_op : member_op;
+  mb_node : Net.Network.node_id;
+  mb_rev : int;
+}
+
 (* The single-round bind request (schemes B/C): GetServer + Remove(dead)
    + Increment + GetView collapsed into one database operation, with the
    caller's coalesced pending Decrements ([bt_credits], one count per
@@ -213,6 +228,7 @@ type t = {
   ep_server_snap : (Store.Uid.t, (server_view * int) reply) Net.Rpc.endpoint;
   ep_view_commit : (Store.Uid.t, (Net.Network.node_id list * int) reply) Net.Rpc.endpoint;
   ep_validate : (validate_req, bool reply) Net.Rpc.endpoint;
+  ep_membership : (member_req, (bool * Store.Version.t) reply) Net.Rpc.endpoint;
   ep_exclude : (excl_req, unit reply) Net.Rpc.endpoint;
   ep_include : (op_req, Store.Version.t reply) Net.Rpc.endpoint;
   ep_retire_sv : (op_req, unit reply) Net.Rpc.endpoint;
@@ -992,6 +1008,105 @@ let h_validate_view t { vv_uid; vv_action; vv_version; vv_rev } =
         end
       end
 
+(* Optimistic Exclude/Include: the same validate-under-the-fence shape as
+   [h_validate_view], driving §4.2's own membership mutations. The caller
+   (normally the autonomic controller) read (St, rev) lock-free, decided
+   "drop n" or "re-admit n" off that snapshot, and the handler applies the
+   mutation only if the revision still stands:
+
+   - Lock refused: [Refused], caller retries or falls back to the classic
+     blocking Exclude/Include.
+   - Revision moved (some other membership change committed since the
+     snapshot): [Granted (false, _)] KEEPING the fence — the caller
+     re-reads St (which can no longer move) and re-decides; if the change
+     is still wanted, the next attempt must succeed.
+   - Revision stands: mutate exactly as [h_exclude]/[h_include] would.
+     A Drop that would empty [St] is refused outright — the last state
+     holder is never evicted, however sick: a slow state beats no state.
+
+   Include answers the same committed-version fence as the classic
+   [h_include]: the caller must catch the store up to at least that
+   version before its inclusion action may commit. The St revision itself
+   is bumped by [install_snapshot] at commit, like every other membership
+   change. *)
+let h_membership t { mb_uid; mb_action; mb_op; mb_node; mb_rev } =
+  touch_guard t mb_action;
+  match entry_opt t mb_uid with
+  | None -> absent t mb_uid
+  | Some e ->
+      let mode =
+        match mb_op with
+        | Drop_member ->
+            if t.use_exclude_write then Lockmgr.Mode.Exclude_write
+            else Lockmgr.Mode.Write
+        | Add_member -> Lockmgr.Mode.Write
+      in
+      let key = st_key mb_uid in
+      if not (Lockmgr.Manager.available t.locks ~owner:mb_action ~mode key)
+      then begin
+        break_stale_lock_holders t key;
+        Sim.Metrics.incr (metrics t) "gvd.lock_refusals";
+        Refused "membership lock refused"
+      end
+      else begin
+        let locked =
+          match Lockmgr.Manager.holds t.locks ~owner:mb_action key with
+          | Some _ ->
+              Lockmgr.Manager.promote t.locks ~owner:mb_action ~to_mode:mode key
+          | None ->
+              Lockmgr.Manager.try_acquire t.locks ~owner:mb_action ~mode key
+        in
+        if not locked then Refused "membership lock refused"
+        else if e.e_snap.im_state.im_st_rev <> mb_rev then begin
+          Sim.Metrics.incr (metrics t) "gvd.membership_conflicts";
+          tracef t "%s membership %a: rev %d moved to %d" mb_action
+            Store.Uid.pp mb_uid mb_rev e.e_snap.im_state.im_st_rev;
+          Granted (false, e.e_image.im_state.im_version)
+        end
+        else
+          match mb_op with
+          | Drop_member ->
+              let st = e.e_image.im_state.im_st in
+              if List.mem mb_node st && List.length st <= 1 then begin
+                Sim.Metrics.incr (metrics t) "gvd.exclude_refused";
+                Refused "would empty St"
+              end
+              else begin
+                save_st t ~action:mb_action e;
+                e.e_image <-
+                  {
+                    e.e_image with
+                    im_state =
+                      {
+                        e.e_image.im_state with
+                        im_st = List.filter (fun n -> n <> mb_node) st;
+                      };
+                  };
+                tracef t "%s exclude-validated %s from St(%a)" mb_action
+                  mb_node Store.Uid.pp mb_uid;
+                Sim.Metrics.incr (metrics t) "gvd.exclusions";
+                Granted (true, e.e_image.im_state.im_version)
+              end
+          | Add_member ->
+              save_st t ~action:mb_action e;
+              e.e_image <-
+                {
+                  e.e_image with
+                  im_state =
+                    {
+                      e.e_image.im_state with
+                      im_st = add_unique mb_node e.e_image.im_state.im_st;
+                      im_st_home =
+                        add_unique mb_node e.e_image.im_state.im_st_home;
+                    };
+                };
+              tracef t "%s include-validated %s into St(%a) -> [%s]" mb_action
+                mb_node Store.Uid.pp mb_uid
+                (String.concat "," e.e_image.im_state.im_st);
+              Sim.Metrics.incr (metrics t) "gvd.includes";
+              Granted (true, e.e_image.im_state.im_version)
+      end
+
 (* Synchronously push the committed images (with their snapshot versions)
    of the given entry serials to every backup instance: ONE coalesced
    payload per commit, scattered to all backups in a single [call_all]
@@ -1208,6 +1323,7 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       ep_note_version = Net.Rpc.endpoint "gvd.note_version";
       ep_view_commit = Net.Rpc.endpoint "gvd.get_view_commit";
       ep_validate = Net.Rpc.endpoint "gvd.validate_view";
+      ep_membership = Net.Rpc.endpoint "gvd.membership";
       ep_handoff = Net.Rpc.endpoint "gvd.handoff";
       ep_snapshot = Net.Rpc.endpoint "gvd.snapshot";
       backups = [];
@@ -1271,6 +1387,8 @@ let install ?(lock_timeout = 30.0) ?(use_exclude_write = true)
       serviced t (fun () -> h_get_view_commit t uid));
   Net.Rpc.serve rpc ~node t.ep_validate (fun req ->
       serviced t (fun () -> h_validate_view t req));
+  Net.Rpc.serve rpc ~node t.ep_membership (fun req ->
+      serviced t (fun () -> h_membership t req));
   Net.Rpc.serve rpc ~node t.ep_handoff (fun req -> h_handoff t req);
   Net.Rpc.serve rpc ~node ep_mirror (fun images ->
       List.iter
@@ -1422,6 +1540,29 @@ let exclude t ~act pairs =
 let include_ t ~act ~uid node =
   call_enlisted t ~act t.ep_include
     { o_uid = uid; o_action = Action.Atomic.owner act; o_node = node }
+
+(* The optimistic membership stubs enlist like every other mutator: the
+   handler takes the fence lock and stages a before-image for the action,
+   so action end must release/restore them whatever the outcome. *)
+let exclude_validated t ~act ~uid ~rev node =
+  call_enlisted t ~act t.ep_membership
+    {
+      mb_uid = uid;
+      mb_action = Action.Atomic.owner act;
+      mb_op = Drop_member;
+      mb_node = node;
+      mb_rev = rev;
+    }
+
+let include_validated t ~act ~uid ~rev node =
+  call_enlisted t ~act t.ep_membership
+    {
+      mb_uid = uid;
+      mb_action = Action.Atomic.owner act;
+      mb_op = Add_member;
+      mb_node = node;
+      mb_rev = rev;
+    }
 
 let mirror_to t backup =
   if not (List.memq backup t.backups) then t.backups <- t.backups @ [ backup ]

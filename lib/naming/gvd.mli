@@ -307,6 +307,37 @@ val validate_view :
     validates against a revision that can no longer move, so one conflict
     costs exactly one retry. Idempotent under duplicate delivery. *)
 
+(** {2 Optimistic membership changes}
+
+    The §13 discipline applied to §4.2's own operations: a caller that
+    decided a membership change off a lock-free [(St, rev)] snapshot
+    ({!get_view_commit}) asks for it to be applied {e only if the
+    revision still stands} — decide-then-mutate becomes one atomic round,
+    with no blocking lock wait on the conflict-free path. On a moved
+    revision the reply is [Granted (false, _)] and the just-taken fence
+    is deliberately kept (as in {!validate_view}), so the caller's
+    re-read sees a revision that can no longer move and a re-decided
+    retry must succeed: one conflict costs one retry. [Refused] (fence
+    unavailable) callers fall back to the classic blocking
+    {!exclude}/{!include_}. *)
+
+val exclude_validated :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> rev:int ->
+  Net.Network.node_id ->
+  ((bool * Store.Version.t) reply, Net.Rpc.error) result
+(** Remove one store node from [StA] iff the committed St revision still
+    equals [rev]. Refuses outright (never mutating) if the removal would
+    empty [St]: the last state holder is never evicted, however sick. *)
+
+val include_validated :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> rev:int ->
+  Net.Network.node_id ->
+  ((bool * Store.Version.t) reply, Net.Rpc.error) result
+(** Re-admit a store node to [StA] iff the revision still equals [rev].
+    [Granted (true, fence)] carries the same committed-version fence as
+    {!include_}: the caller must hold a state at least that new before
+    its inclusion action may commit. *)
+
 (** {2 Replicating the service itself} (§3.1's deferred extension)
 
     The paper notes the naming service "can be replicated in order to be

@@ -17,11 +17,21 @@
     delay} measured by the Figure-6/7 experiments. *)
 
 val attach_store_node :
-  Binder.t -> node:Net.Network.node_id -> ?retry_delay:float -> unit -> unit
+  Binder.t ->
+  ?optimistic:bool ->
+  node:Net.Network.node_id ->
+  ?retry_delay:float ->
+  unit ->
+  unit
 (** Arrange that whenever [node] recovers, it reintegrates every object
     whose [st_home] lists it. Must be attached {e after}
     {!Action.Recovery.attach} so in-doubt 2PC records are resolved
-    first. *)
+    first.
+
+    [optimistic] (default false) runs each Include as a validated round
+    ({!Gvd.include_validated}): the St revision is read lock-free and
+    checked inside the round, with bounded retries then classic fallback
+    — the same discipline as the optimistic commit path. *)
 
 val attach_server_node :
   Binder.t -> node:Net.Network.node_id -> ?retry_delay:float -> unit -> unit
@@ -30,8 +40,29 @@ val attach_server_node :
     per-object delay in the [reintegrate.insert_delay] metric. *)
 
 val reintegrate_store_now :
-  Binder.t -> node:Net.Network.node_id -> ?retry_delay:float -> unit -> unit
+  Binder.t ->
+  ?optimistic:bool ->
+  node:Net.Network.node_id ->
+  ?retry_delay:float ->
+  unit ->
+  unit
 (** Run the store protocol immediately (from a fiber on [node]). *)
+
+val exclude_store_now :
+  Binder.t ->
+  ?optimistic:bool ->
+  from:Net.Network.node_id ->
+  node:Net.Network.node_id ->
+  unit ->
+  int
+(** Observer-driven Exclude (the autonomic controller's half of §4.2):
+    from a fiber on [from], exclude the sick store [node] from the [St]
+    of every object it holds, one atomic action per object, and return
+    how many exclusions committed. Objects where [node] is already out
+    of [St], or is the last remaining copy, are skipped. [optimistic]
+    (default true) validates the St revision inside each Exclude round
+    ({!Gvd.exclude_validated}), bounded retries then the classic locked
+    {!Router.exclude}. *)
 
 val reinsert_server_now :
   Binder.t -> node:Net.Network.node_id -> ?retry_delay:float -> unit -> unit

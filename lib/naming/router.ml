@@ -157,6 +157,12 @@ let get_view_commit t ~from uid =
 let validate_view t ~act ~uid ~version ~rev =
   dispatch t ~uid (fun g -> Gvd.validate_view g ~act ~uid ~version ~rev)
 
+let exclude_validated t ~act ~uid ~rev node =
+  dispatch t ~uid (fun g -> Gvd.exclude_validated g ~act ~uid ~rev node)
+
+let include_validated t ~act ~uid ~rev node =
+  dispatch t ~uid (fun g -> Gvd.include_validated g ~act ~uid ~rev node)
+
 let retire_server_home t ~act ~uid node =
   dispatch t ~uid (fun g -> Gvd.retire_server_home g ~act ~uid node)
 

@@ -117,6 +117,19 @@ val validate_view :
   (bool Gvd.reply, Net.Rpc.error) result
 (** Validate-and-note on the owning shard ({!Gvd.validate_view}). *)
 
+val exclude_validated :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> rev:int ->
+  Net.Network.node_id ->
+  ((bool * Store.Version.t) Gvd.reply, Net.Rpc.error) result
+(** Optimistic single-node Exclude on the owning shard
+    ({!Gvd.exclude_validated}). *)
+
+val include_validated :
+  t -> act:Action.Atomic.t -> uid:Store.Uid.t -> rev:int ->
+  Net.Network.node_id ->
+  ((bool * Store.Version.t) Gvd.reply, Net.Rpc.error) result
+(** Optimistic Include on the owning shard ({!Gvd.include_validated}). *)
+
 val retire_server_home :
   t -> act:Action.Atomic.t -> uid:Store.Uid.t -> Net.Network.node_id ->
   (unit Gvd.reply, Net.Rpc.error) result

@@ -18,6 +18,7 @@ type t = {
   w_binder : Binder.t;
   w_sup : Store.Uid.supply;
   w_topology : topology;
+  w_autonomic : Replica.Autonomic.t option;
 }
 
 let engine t = t.w_eng
@@ -34,15 +35,17 @@ let metrics t = Net.Network.metrics t.w_net
 let trace t = Net.Network.trace t.w_net
 let uid_supply t = t.w_sup
 let topology t = t.w_topology
+let autonomic t = t.w_autonomic
 
 let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     ?(durable_naming = false) ?(cleanup_period = 0.0) ?(extra_impls = [])
     ?bind_cache_lease ?(naming_service_time = 0.0) ?(use_flush_delay = 5.0)
     ?(delta_shipping = false) ?(force_delta = false)
     ?(optimistic_commit = true) ?(pipelined_binds = true)
-    ?(commit_batch_window = 0.0) ?(floor_gossip_period = 0.0)
+    ?(commit_batch_window = 2.0) ?(floor_gossip_period = 0.0)
     ?(hedged_rpc = false) ?(deadline_shedding = false)
-    ?(degraded_trips = false) topology =
+    ?(degraded_trips = false) ?(hedge_to_sibling = false)
+    ?(autonomic_membership = false) ?autonomic_config topology =
   let eng = Sim.Engine.create ?seed () in
   let net = Net.Network.create ?latency eng in
   let rpc = Net.Rpc.create net in
@@ -60,6 +63,7 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
      path byte-identical: hedged scatter-gathers, server-side shedding of
      deadline-expired calls, and breaker trips on sustained slowness. *)
   Replica.Server.set_hedged_rpc srv hedged_rpc;
+  Replica.Server.set_sibling_hedge srv hedge_to_sibling;
   Net.Rpc.set_shed_expired rpc deadline_shedding;
   Net.Retry.set_degraded_trips (Action.Atomic.retry art) degraded_trips;
   (* Stores sit below the implementation registry, so the op folder delta
@@ -163,6 +167,45 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
         in
         spawn_gossip ();
         Net.Network.on_recover net gossiper spawn_gossip);
+  (* The autonomic membership plane (§16): one controller daemon per
+     server node, probing the stores' latency health and driving the
+     §4.2 Exclude/Include protocols for gray failures. The plane lives
+     in [lib/replica], below the naming tier, so the naming-facing
+     drivers are injected here: the probe is a floors read, the Exclude
+     is the observer-driven validated round, and the re-Include spawns
+     the optimistic catch-up reintegration on the healed store itself
+     (it must run there — the include fence and state seed are the
+     store's own atomic action). *)
+  let autonomic =
+    if not autonomic_membership then None
+    else begin
+      let deps =
+        {
+          Replica.Autonomic.d_rpc = rpc;
+          d_stores = topology.store_nodes;
+          d_servers = topology.server_nodes;
+          d_probe =
+            (fun ~from ~store ->
+              match Action.Store_host.floors_all sh ~from ~stores:[ store ] with
+              | [ (_, Ok _) ] -> Ok ()
+              | [ (_, Error e) ] -> Error e
+              | _ -> Error Net.Rpc.No_service);
+          d_exclude =
+            (fun ~from ~store ->
+              Reintegration.exclude_store_now bdr ~from ~node:store ());
+          d_include =
+            (fun ~store ->
+              Net.Network.spawn_on net store ~name:"autonomic-include"
+                (fun () ->
+                  Reintegration.reintegrate_store_now bdr ~optimistic:true
+                    ~node:store ()));
+        }
+      in
+      let plane = Replica.Autonomic.create ?config:autonomic_config deps in
+      List.iter (fun n -> Replica.Autonomic.start plane n) topology.server_nodes;
+      Some plane
+    end
+  in
   {
     w_eng = eng;
     w_net = net;
@@ -175,6 +218,7 @@ let create ?seed ?latency ?(lock_timeout = 30.0) ?(use_exclude_write = true)
     w_binder = bdr;
     w_sup = Store.Uid.supply ();
     w_topology = topology;
+    w_autonomic = autonomic;
   }
 
 let create_object t ~name ~impl ?initial ~sv ~st () =

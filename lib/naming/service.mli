@@ -44,6 +44,9 @@ val create :
   ?hedged_rpc:bool ->
   ?deadline_shedding:bool ->
   ?degraded_trips:bool ->
+  ?hedge_to_sibling:bool ->
+  ?autonomic_membership:bool ->
+  ?autonomic_config:Replica.Autonomic.config ->
   topology ->
   t
 (** Build a world. Stock object implementations (counter, account,
@@ -77,13 +80,15 @@ val create :
     tree byte-identically (chaos keeps doing so in its [classic] and
     [durable-ns] worlds).
 
-    [commit_batch_window] (default 0.0 = off) enables the group-commit
-    plane ({!Replica.Groupcommit}, docs/PROTOCOLS.md §14): concurrent
-    commits whose store sets overlap merge for up to this much simulated
-    time (closing early on quiescence) and pay one prepare and one
-    phase-2 scatter per store for the whole batch, with acked-version
-    floors piggybacked on the batched phase-2 acks. Off is byte-identical
-    to the unbatched tree. [floor_gossip_period] (default 0.0 = off)
+    [commit_batch_window] (default 2.0, tuned on after the §14 knob was
+    proven under chaos; pass 0.0 for the classic unbatched tree)
+    enables the group-commit plane ({!Replica.Groupcommit},
+    docs/PROTOCOLS.md §14): concurrent commits whose store sets overlap
+    merge for up to this much simulated time (closing early on
+    quiescence) and pay one prepare and one phase-2 scatter per store
+    for the whole batch, with acked-version floors piggybacked on the
+    batched phase-2 acks. At 0.0 the plane is off and byte-identical to
+    the unbatched tree. [floor_gossip_period] (default 0.0 = off)
     additionally runs a low-rate anti-entropy daemon that folds every
     store's committed counters into the shared floor. Its idle waits are
     daemon sleeps ({!Sim.Engine.daemon_sleep}), so drain-mode [run]
@@ -102,6 +107,21 @@ val create :
     [degraded_trips] lets the retry breaker trip on sustained slowness
     as reported by {!Net.Health}, with latency-checked half-open
     recovery.
+
+    The autonomic membership knobs (docs/PROTOCOLS.md §16, both default
+    false with the off paths byte-identical): [hedge_to_sibling]
+    (effective only with [hedged_rpc]) routes a hedged commit-path leg's
+    backup copy to a healthy {e sibling} [St] member when the primary is
+    sustainedly slow — a sibling win counts as the leg's failure, never
+    as the primary's answer ({!Replica.Server.set_sibling_hedge}) — and
+    walks activation store reads healthiest-first.
+    [autonomic_membership] starts one {!Replica.Autonomic} controller
+    daemon per server node: stores that stay sustainedly slow past the
+    hysteresis window, as seen by a quorum of controllers, are Excluded
+    from their [St] sets through the optimistic validated round, and
+    re-Included (with catch-up through the reintegration fence) once
+    they heal, with a cooldown damping membership flaps.
+    [autonomic_config] overrides {!Replica.Autonomic.default_config}.
 
     [bind_cache_lease] (default off) enables the client-side lease cache
     of bind results with that lease duration (see {!Bind_cache}).
@@ -132,6 +152,10 @@ val uid_supply : t -> Store.Uid.supply
 
 val topology : t -> topology
 (** The topology the world was created from. *)
+
+val autonomic : t -> Replica.Autonomic.t option
+(** The autonomic membership plane, when [autonomic_membership] was
+    set. *)
 
 val create_object :
   t ->

@@ -244,7 +244,8 @@ type hedge = { hedge_floor : float }
 
 let hedge ?(floor = 4.0) () = { hedge_floor = floor }
 
-let call_hedged t ~from ~dst ?alt ?timeout ?deadline_at ~hedge ep req =
+let call_hedged t ~from ~dst ?alt ?(keep_primary = false) ?alt_won ?timeout
+    ?deadline_at ~hedge ep req =
   let eng = Network.engine t.net in
   let backup_dst = match alt with Some a -> a | None -> dst in
   let delay =
@@ -254,9 +255,14 @@ let call_hedged t ~from ~dst ?alt ?timeout ?deadline_at ~hedge ep req =
   let launched = ref 0 in
   let outstanding = ref 0 in
   let group = Sim.Engine.self_group eng in
-  let settle r =
+  let settle ~backup r =
     match r with
-    | Ok _ -> ignore (Sim.Ivar.try_fill iv r)
+    | Ok _ ->
+        if Sim.Ivar.try_fill iv r then
+          if backup && alt <> None then begin
+            Sim.Metrics.incr (Network.metrics t.net) "rpc.sibling_wins";
+            match alt_won with Some flag -> flag := true | None -> ()
+          end
     | Error _ ->
         decr outstanding;
         (* Keep the last error only once no copy can still answer. *)
@@ -264,10 +270,25 @@ let call_hedged t ~from ~dst ?alt ?timeout ?deadline_at ~hedge ep req =
           ignore (Sim.Ivar.try_fill iv r)
   in
   let cancelled () = Sim.Ivar.is_filled iv in
+  (* [keep_primary] exempts the primary copy from cooperative
+     cancellation: a phase-2 decision hedged to a sibling must STILL be
+     delivered to (and applied by) the primary store — the sibling's
+     quick answer only lets the gather stop waiting; it does not make the
+     primary's copy of the decision redundant, because the sibling
+     resolves its own intent, not the primary's. Dropping the primary's
+     copy would strand its prepared intent until a crash-recovery
+     decision query that a merely-slow (never crashed) store never
+     issues. Prepare-phase hedges keep the default cancel-both
+     behaviour: an unapplied prepare on the primary is harmless (the
+     caller counts the leg failed and §4.2-excludes the store for this
+     action). *)
+  let primary_cancelled = if keep_primary then None else Some cancelled in
   incr launched;
   incr outstanding;
   Sim.Engine.spawn eng ~group ~name:("rpc.hedge." ^ ep.ep_name) (fun () ->
-      settle (call_gen t ~from ~dst ~cancelled ?timeout ?deadline_at ep req));
+      settle ~backup:false
+        (call_gen t ~from ~dst ?cancelled:primary_cancelled ?timeout
+           ?deadline_at ep req));
   Sim.Engine.schedule eng ~delay (fun () ->
       incr launched;
       (* Before this point [settle] can only have filled the ivar with an
@@ -281,7 +302,7 @@ let call_hedged t ~from ~dst ?alt ?timeout ?deadline_at ~hedge ep req =
         Sim.Engine.spawn eng ~group
           ~name:("rpc.hedge.backup." ^ ep.ep_name)
           (fun () ->
-            settle
+            settle ~backup:true
               (call_gen t ~from ~dst:backup_dst ~cancelled ?timeout
                  ?deadline_at ep req))
       end);

@@ -111,6 +111,8 @@ val call_hedged :
   from:Network.node_id ->
   dst:Network.node_id ->
   ?alt:Network.node_id ->
+  ?keep_primary:bool ->
+  ?alt_won:bool ref ->
   ?timeout:float ->
   ?deadline_at:float ->
   hedge:hedge ->
@@ -128,7 +130,18 @@ val call_hedged :
     round already committed. Both copies may execute the handler when
     deliveries interleave before the race settles (hedges ride below the
     duplicate guard), so {b only idempotent operations may be hedged}.
-    Each backup actually launched bumps [rpc.hedges]. *)
+    Each backup actually launched bumps [rpc.hedges].
+
+    Sibling routing extensions: when [alt] is given and the backup copy
+    produces the winning [Ok], the [alt_won] cell (if any) is set — the
+    caller learns the answer came from the sibling, not [dst], and can
+    refuse to treat it as [dst]'s acknowledgement (each such win bumps
+    [rpc.sibling_wins]). [keep_primary] (default [false]) exempts the
+    {e primary} copy from cooperative cancellation — required for
+    sibling-routed phase-2 decisions, which must still reach the primary
+    even after the sibling's quicker answer settles the race; prepares
+    keep the default (cancel both), since an undelivered prepare on the
+    primary is harmless once the caller counts the leg as failed. *)
 
 val call_all :
   t ->

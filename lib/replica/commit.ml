@@ -50,6 +50,36 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
             if Server.hedged_rpc srv then Some (Net.Rpc.hedge ()) else None
           in
           let deadline_at = Action.Atomic.deadline act in
+          (* Sibling-hedge map for one membership [current_st]: when the
+             primary of a 2PC leg is sustainedly slow, route the leg's
+             hedged backup copy to the healthiest other [St] member
+             instead of re-sending to the slow node. The sibling holds
+             the same object (it is in [St]), so a duplicate prepare or
+             phase-2 there is idempotent; a sibling win surfaces as the
+             leg's own error ({!Action.Store_host.prepare_each}), flowing
+             into the ordinary §4.2 exclude / forget-ack conservatism —
+             the win buys latency (the gather stops waiting on the
+             browned node after one healthy round-trip), never a
+             substituted answer. Off unless both [hedged_rpc] and
+             [hedge_to_sibling] are set; off is byte-identical. *)
+          let alt_map current_st =
+            if hedge = None || not (Server.sibling_hedge srv) then None
+            else
+              let h = Net.Network.health (Action.Atomic.network art) in
+              Some
+                (fun dst ->
+                  let now = Sim.Engine.now eng in
+                  if Net.Health.sustained_slow h ~now dst then
+                    match
+                      Net.Health.rank h ~now
+                        (List.filter (fun s -> s <> dst) current_st)
+                    with
+                    | best :: _ when not (Net.Health.sustained_slow h ~now best)
+                      ->
+                        Some best
+                    | _ -> None
+                  else None)
+          in
           (* Golden shadow for the audit: whatever mix of deltas and full
              states the stores end up applying, their committed bytes for
              this version must equal this payload. *)
@@ -131,6 +161,7 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
              a membership change committed under our feet) withdraws the
              prepares so the caller can retry against fresh [St]. *)
           let run current_st ~seal =
+            let alt_of = alt_map current_st in
             let writes =
               List.map (fun store -> (store, choose store)) current_st
             in
@@ -147,10 +178,10 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                      votes come back shaped exactly like [prepare_each]'s,
                      with any non-yes member already peeled out to a solo
                      retry inside. *)
-                  Groupcommit.prepare gc tk ~client ~action per_store
+                  Groupcommit.prepare gc tk ?alt_of ~client ~action per_store
               | _ ->
                   Action.Store_host.prepare_each sh ~from:client ?hedge
-                    ?deadline_at ~action ~coordinator:client per_store
+                    ?deadline_at ?alt_of ~action ~coordinator:client per_store
             in
             if delta_on then
               List.iter
@@ -193,7 +224,7 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                       charge (Action.Store_host.Full full_state))
                     missed;
                   Action.Store_host.prepare_each sh ~from:client ?hedge
-                    ?deadline_at ~action ~coordinator:client
+                    ?deadline_at ?alt_of ~action ~coordinator:client
                     (List.map
                        (fun (store, _) ->
                          (store, [ (uid, Action.Store_host.Full full_state) ]))
@@ -222,8 +253,8 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                future writer of the object. *)
             let withdraw_prepares () =
               ignore
-                (Action.Store_host.abort_all sh ~from:client ?hedge ~stores:ok
-                   action)
+                (Action.Store_host.abort_all sh ~from:client ?hedge ?alt_of
+                   ~stores:ok action)
             in
             if stale <> [] then begin
               withdraw_prepares ();
@@ -289,11 +320,11 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                             ~commit:(fun () ->
                               let results =
                                 if batching then
-                                  Groupcommit.commit_batched gc ~client
-                                    ~action ~stores:ok
+                                  Groupcommit.commit_batched gc ?alt_of ~client
+                                    ~stores:ok action
                                 else
                                   Action.Store_host.commit_all sh ~from:client
-                                    ?hedge ~stores:ok action
+                                    ?hedge ?alt_of ~stores:ok action
                               in
                               if delta_on then
                                 List.iter
@@ -311,11 +342,11 @@ let attach rt act group ?current_stores ?note_version ?snapshot_stores
                             ~abort:(fun () ->
                               ignore
                                 (if batching then
-                                   Groupcommit.abort_batched gc ~client
-                                     ~action ~stores:ok
+                                   Groupcommit.abort_batched gc ?alt_of ~client
+                                     ~stores:ok action
                                  else
                                    Action.Store_host.abort_all sh ~from:client
-                                     ?hedge ~stores:ok action));
+                                     ?hedge ?alt_of ~stores:ok action));
                           `Done (Ok ())))
           in
           (* The classic locked path: re-read [St] under a read lock owned

@@ -301,6 +301,16 @@ let mc_invoke rt g ~act ~write ~serial ~op =
         mi_req = req;
       }
     in
+    (* Enlist before the cast, not on its reply: the sequencer scatters
+       the copies and only then acks, so a sequencer crash (or a reply
+       lost past the RPC timeout) hands us an error while the invokes are
+       already in flight to every member. The action may then abort, and
+       a member delivering the straggler afterwards would stage state and
+       take locks no completion ever cleans — enlistment puts them on the
+       fan-out now, and the abort's settle tombstone makes each instance
+       refuse the late delivery. Enlisting a member the cast never
+       reaches is harmless: its completion no-ops. *)
+    enlist_members act g;
     let cast =
       Net.Multicast.cast_atomic (Server.mc rt.srv) ~from:g.g_client
         ~sequencer:rt.sequencer ~members mc msg
@@ -309,13 +319,6 @@ let mc_invoke rt g ~act ~write ~serial ~op =
       match cast with
       | Error e -> Error (Unavailable ("sequencer: " ^ Net.Rpc.error_to_string e))
       | Ok _seq -> (
-          (* The cast is on the wire: any member may execute it from here
-             on, so all of them join the action's completion fan-out now.
-             Waiting for a reply leaves a window — an invocation parked on
-             a busy instance's lock answers nothing within the timeout,
-             the action aborts without ever hearing of this member, and
-             the parked fiber then stages state nobody cleans up. *)
-          enlist_members act g;
           match Sim.Ivar.read_timeout (eng rt) rt.mc_timeout p.p_ivar with
           | Error _ -> Error (Unavailable "no replica answered")
           | Ok (Server.Reply r) ->

@@ -45,6 +45,10 @@ type member = {
   m_action : string;
   m_writes :
     (Net.Network.node_id * (Store.Uid.t * Action.Store_host.write) list) list;
+  m_alt : (Net.Network.node_id -> Net.Network.node_id option) option;
+      (* the member's sibling-hedge map (see {!Replica.Commit}); only the
+         solo/singleton scatters use it — batched prepares never
+         alt-route (see {!Action.Store_host.prepare_batch}) *)
   m_votes :
     (Net.Network.node_id * (Action.Store_host.vote, Net.Rpc.error) result) list
     Sim.Ivar.t;
@@ -61,6 +65,7 @@ type p2_member = {
   p_client : Net.Network.node_id;
   p_action : string;
   p_stores : Net.Network.node_id list;
+  p_alt : (Net.Network.node_id -> Net.Network.node_id option) option;
   p_acks :
     (Net.Network.node_id * (unit, Net.Rpc.error) result) list Sim.Ivar.t;
 }
@@ -179,8 +184,8 @@ let scatter t batch =
       Sim.Metrics.incr t.gc_metrics "groupcommit.solo_batches";
       Sim.Ivar.fill m.m_votes
         (Action.Store_host.prepare_each t.gc_sh ~from:m.m_client
-           ?hedge:(gc_hedge t) ~action:m.m_action ~coordinator:m.m_client
-           m.m_writes)
+           ?hedge:(gc_hedge t) ?alt_of:m.m_alt ~action:m.m_action
+           ~coordinator:m.m_client m.m_writes)
   | leader :: _ ->
       Sim.Metrics.incr t.gc_metrics "groupcommit.batches";
       Sim.Metrics.observe t.gc_metrics "groupcommit.batch_members"
@@ -228,9 +233,9 @@ let scatter t batch =
           Sim.Ivar.fill m.m_votes votes)
         members
 
-let solo_prepare t ~client ~action writes =
+let solo_prepare t ?alt_of ~client ~action writes =
   Action.Store_host.prepare_each t.gc_sh ~from:client ?hedge:(gc_hedge t)
-    ~action ~coordinator:client writes
+    ?alt_of ~action ~coordinator:client writes
 
 let all_yes votes =
   votes <> []
@@ -248,9 +253,17 @@ let all_yes votes =
    reseed-and-retry, while the batchmates' staged prepares are untouched.
    (Duplicate prepare delivery is idempotent at the store:
    {!Store.Intent_log.prepare} replaces.) *)
-let prepare t tok ~client ~action writes =
+let prepare t tok ?alt_of ~client ~action writes =
   let stores = List.map fst writes in
-  let m = { m_client = client; m_action = action; m_writes = writes; m_votes = Sim.Ivar.create () } in
+  let m =
+    {
+      m_client = client;
+      m_action = action;
+      m_writes = writes;
+      m_alt = alt_of;
+      m_votes = Sim.Ivar.create ();
+    }
+  in
   let leading, batch =
     match
       List.find_opt
@@ -288,13 +301,13 @@ let prepare t tok ~client ~action writes =
   | Error _ ->
       Sim.Metrics.incr t.gc_metrics "groupcommit.orphaned";
       abandon t batch;
-      solo_prepare t ~client ~action writes
+      solo_prepare t ?alt_of ~client ~action writes
   | Ok votes ->
       let batched = List.length batch.b_members > 1 in
       if (not batched) || all_yes votes then votes
       else begin
         Sim.Metrics.incr t.gc_metrics "groupcommit.peels";
-        solo_prepare t ~client ~action writes
+        solo_prepare t ?alt_of ~client ~action writes
       end
 
 (* Leader duty, phase 2: one commit_batch round per store; fold the
@@ -311,7 +324,7 @@ let scatter2 t batch =
   | [ m ] ->
       Sim.Ivar.fill m.p_acks
         (Action.Store_host.commit_all t.gc_sh ~from:m.p_client
-           ?hedge:(gc_hedge t) ~stores:m.p_stores m.p_action)
+           ?hedge:(gc_hedge t) ?alt_of:m.p_alt ~stores:m.p_stores m.p_action)
   | leader :: _ ->
       Sim.Metrics.incr t.gc_metrics "groupcommit.p2_batches";
       let stores =
@@ -329,7 +342,7 @@ let scatter2 t batch =
       in
       let results =
         Action.Store_host.commit_batch t.gc_sh ~from:leader.p_client
-          ?hedge:(gc_hedge t) reqs
+          ?hedge:(gc_hedge t) ?alt_of:leader.p_alt reqs
       in
       List.iter
         (fun (store, r) ->
@@ -363,9 +376,15 @@ let scatter2 t batch =
 (* Batched phase 2 for a commit registered with {!expect_phase2}. Runs in
    the committing fiber (a 2PC participant's commit closure); the same
    join/lead/orphan discipline as phase 1. *)
-let commit_batched t ~client ~action ~stores =
+let commit_batched t ?alt_of ~client ~stores action =
   let m =
-    { p_client = client; p_action = action; p_stores = stores; p_acks = Sim.Ivar.create () }
+    {
+      p_client = client;
+      p_action = action;
+      p_stores = stores;
+      p_alt = alt_of;
+      p_acks = Sim.Ivar.create ();
+    }
   in
   let leading, batch =
     match
@@ -405,16 +424,16 @@ let commit_batched t ~client ~action ~stores =
       Sim.Metrics.incr t.gc_metrics "groupcommit.orphaned";
       abandon2 t batch;
       Action.Store_host.commit_all t.gc_sh ~from:client ?hedge:(gc_hedge t)
-        ~stores action
+        ?alt_of ~stores action
 
 (* Phase-2 abort of a commit registered with {!expect_phase2}: aborts are
    rare and carry no floor payload worth amortising, so they go out solo
    — but the registration must still settle or phase-2 quiescence-pull
    would stall at a count that never drains. *)
-let abort_batched t ~client ~action ~stores =
+let abort_batched t ?alt_of ~client ~stores action =
   settle_phase2 t;
-  Action.Store_host.abort_all t.gc_sh ~from:client ?hedge:(gc_hedge t) ~stores
-    action
+  Action.Store_host.abort_all t.gc_sh ~from:client ?hedge:(gc_hedge t) ?alt_of
+    ~stores action
 
 (* One anti-entropy round: read every store's committed counters and fold
    them into the shared floor. Cheap (one scatter, no writes) and safe

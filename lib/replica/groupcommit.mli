@@ -55,6 +55,7 @@ val leave : t -> token -> unit
 val prepare :
   t ->
   token ->
+  ?alt_of:(Net.Network.node_id -> Net.Network.node_id option) ->
   client:Net.Network.node_id ->
   action:string ->
   (Net.Network.node_id * (Store.Uid.t * Action.Store_host.write) list) list ->
@@ -64,7 +65,14 @@ val prepare :
     result. Suspends up to the window (plus an orphan grace if the batch
     leader died). A multi-member batch vote short of all-yes re-runs the
     solo prepare and returns its verdict instead (peel-out). Must run in
-    a fiber on [client]. *)
+    a fiber on [client].
+
+    [alt_of] is the member's sibling-hedge map
+    ({!Action.Store_host.prepare_each}). It applies only to the scatters
+    issued on this member's own behalf — the singleton-batch solo
+    prepare, the peel-out retry and the orphan fallback; batched
+    prepares never alt-route (see
+    {!Action.Store_host.prepare_batch}). *)
 
 (** {2 Phase 2} *)
 
@@ -75,20 +83,28 @@ val expect_phase2 : t -> unit
 
 val commit_batched :
   t ->
+  ?alt_of:(Net.Network.node_id -> Net.Network.node_id option) ->
   client:Net.Network.node_id ->
-  action:string ->
   stores:Net.Network.node_id list ->
+  string ->
   (Net.Network.node_id * (unit, Net.Rpc.error) result) list
 (** Batched phase-2 commit, shaped like {!Action.Store_host.commit_all}'s
     result. The batch leader folds the floors piggybacked on each store's
     ack into the shared per-(store,object) floor before distributing
-    acks. Must run in a fiber on [client]. *)
+    acks. Must run in a fiber on [client].
+
+    [alt_of] sibling-routes the singleton solo scatter, the orphan
+    fallback, and — as the leader's map — the batched [commit_batch]
+    round (safe: an unknown action resolves as a no-op at the store, and
+    a sibling win surfaces as the leg's error so a sibling's floors are
+    never folded as the primary's). *)
 
 val abort_batched :
   t ->
+  ?alt_of:(Net.Network.node_id -> Net.Network.node_id option) ->
   client:Net.Network.node_id ->
-  action:string ->
   stores:Net.Network.node_id list ->
+  string ->
   (Net.Network.node_id * (unit, Net.Rpc.error) result) list
 (** Phase-2 abort: settles the {!expect_phase2} registration and issues
     the ordinary solo abort scatter (aborts are not batched). *)

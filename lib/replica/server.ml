@@ -149,6 +149,12 @@ type runtime = {
       (* default off: hedge the idempotent legs of commit copy-back and
          activation/role scatter-gathers with health-delayed backups; off,
          every scatter takes the exact pre-hedging code path *)
+  mutable sibling_hedge : bool;
+      (* default off; effective only with [hedged_rpc]: route a hedged
+         commit-path leg's backup copy to a healthy sibling [St] member
+         when the primary is sustainedly slow, and health-rank the
+         activation's store-read order ({!Replica.Commit}'s alt map,
+         {!do_activate}) *)
   g_commit : Groupcommit.t;
       (* the group-commit plane commits on this runtime batch through;
          disabled (window 0.0) unless the world sets a batch window *)
@@ -182,6 +188,7 @@ let create art impls =
     delta_shipping = false;
     force_delta = false;
     hedged_rpc = false;
+    sibling_hedge = false;
     g_commit =
       Groupcommit.create
         ~engine:(Action.Atomic.engine art)
@@ -205,6 +212,9 @@ let hedged_rpc t = t.hedged_rpc
 let set_hedged_rpc t flag =
   t.hedged_rpc <- flag;
   Groupcommit.set_hedged t.g_commit flag
+
+let sibling_hedge t = t.sibling_hedge
+let set_sibling_hedge t flag = t.sibling_hedge <- flag
 let set_commit_batch_window t w = Groupcommit.set_window t.g_commit w
 let invoke_channel t = t.ch_invoke
 let reply_endpoint t = t.ep_reply
@@ -710,6 +720,20 @@ let do_activate t node { a_uid; a_impl; a_stores; a_role; a_members } =
       | None -> Activation_failed ("unknown implementation " ^ a_impl)
       | Some impl -> (
           let sh = Action.Atomic.store_host t.art in
+          (* The activation probe walks [StA] in order until one store
+             yields a state. Under [sibling_hedge], walk it healthiest
+             first ({!Net.Health.rank}) so a browned first replica does
+             not put its tail latency in front of every activation; the
+             rank is the identity while every store looks healthy, and
+             off the flag the order is untouched (byte-identical). *)
+          let probe_stores =
+            if t.sibling_hedge && a_stores <> [] then
+              let h = Net.Network.health (Action.Atomic.network t.art) in
+              Net.Health.rank h
+                ~now:(Sim.Engine.now (Action.Atomic.engine t.art))
+                a_stores
+            else a_stores
+          in
           let state =
             if a_stores = [] then Some (Store.Object_state.initial impl.Object_impl.initial)
             else
@@ -721,7 +745,7 @@ let do_activate t node { a_uid; a_impl; a_stores; a_role; a_members } =
                       match Action.Store_host.read sh ~from:node ~store a_uid with
                       | Ok (Some s) -> Some s
                       | Ok None | Error _ -> None))
-                None a_stores
+                None probe_stores
           in
           match (state, find_instance t node a_uid) with
           | _, Some inst ->

@@ -184,7 +184,7 @@ type outcome = {
 }
 
 let run_world ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
-    ?(brownout = false) ~seed ~events () =
+    ?(brownout = false) ?(autonomic = false) ~seed ~events () =
   let w =
     (* [force_delta]: the chaos objects are counters, whose deltas lose
        the size comparison every time — forcing keeps the delta path
@@ -198,14 +198,21 @@ let run_world ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
        and turns on the whole gray-failure plane — hedged scatters,
        deadline shedding, degraded breaker trips — plus the periodic
        floor-gossip daemon, whose daemon sleeps are what let the drain
-       below still terminate. *)
+       below still terminate. The autonomic world stacks the §16
+       membership plane on top of the brownout world's knobs: three
+       controller daemons (one per server) probing the stores, plus
+       sibling-hedge routing on the commit path — flapping brownouts,
+       crash churn and the controllers' Exclude/Include churn all share
+       the schedule, and the audit must still come out clean without the
+       membership plane livelocking (hysteresis + cooldown). *)
     Service.create ~seed ~durable_naming:durable ~delta_shipping:true
       ~force_delta:true ~optimistic_commit:optimistic
       ~pipelined_binds:optimistic
       ~commit_batch_window:(if groupcommit then 2.0 else 0.0)
       ~floor_gossip_period:(if brownout then 7.0 else 0.0)
       ~hedged_rpc:brownout ~deadline_shedding:brownout
-      ~degraded_trips:brownout
+      ~degraded_trips:brownout ~hedge_to_sibling:autonomic
+      ~autonomic_membership:autonomic
       {
         Service.gvd_node = "ns";
         gvd_nodes = [ "ns2" ];
@@ -442,9 +449,10 @@ let weaken = function
   | _ -> None
 
 let shrink ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
-    ?(brownout = false) ~seed events =
+    ?(brownout = false) ?(autonomic = false) ~seed events =
   let failing evs =
-    (run_world ~durable ~optimistic ~groupcommit ~brownout ~seed ~events:evs ())
+    (run_world ~durable ~optimistic ~groupcommit ~brownout ~autonomic ~seed
+       ~events:evs ())
       .oc_violations
     <> []
   in
@@ -476,14 +484,18 @@ let shrink ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
   fix events
 
 let check_seed ?(durable = false) ?(optimistic = false) ?(groupcommit = false)
-    ?(brownout = false) seed =
+    ?(brownout = false) ?(autonomic = false) seed =
   let events = gen_events ~durable ~brownout ~seed () in
   let o =
-    run_world ~durable ~optimistic ~groupcommit ~brownout ~seed ~events ()
+    run_world ~durable ~optimistic ~groupcommit ~brownout ~autonomic ~seed
+      ~events ()
   in
   if o.oc_violations = [] then (o, None)
   else
-    (o, Some (shrink ~durable ~optimistic ~groupcommit ~brownout ~seed events))
+    ( o,
+      Some
+        (shrink ~durable ~optimistic ~groupcommit ~brownout ~autonomic ~seed
+           events) )
 
 let default_seeds = [ 11L; 23L; 37L; 41L; 53L; 67L; 79L; 97L ]
 
@@ -494,10 +506,11 @@ let run_check ?(seeds = default_seeds) () =
     List.concat_map
       (fun seed ->
         List.map
-          (fun (durable, optimistic, groupcommit, brownout, world) ->
+          (fun (durable, optimistic, groupcommit, brownout, autonomic, world) ->
             let events = gen_events ~durable ~brownout ~seed () in
             let o, shrunk =
-              check_seed ~durable ~optimistic ~groupcommit ~brownout seed
+              check_seed ~durable ~optimistic ~groupcommit ~brownout ~autonomic
+                seed
             in
             (match shrunk with
             | None -> ()
@@ -516,11 +529,12 @@ let run_check ?(seeds = default_seeds) () =
               (if o.oc_violations = [] then "ok" else "FAIL");
             ])
           [
-            (false, false, false, false, "classic");
-            (true, false, false, false, "durable-ns");
-            (false, true, false, false, "optimistic");
-            (false, true, true, false, "groupcommit");
-            (true, true, false, true, "brownout");
+            (false, false, false, false, false, "classic");
+            (true, false, false, false, false, "durable-ns");
+            (false, true, false, false, false, "optimistic");
+            (false, true, true, false, false, "groupcommit");
+            (true, true, false, true, false, "brownout");
+            (true, true, false, true, true, "autonomic");
           ])
       seeds
   in
@@ -551,7 +565,14 @@ let run_check ?(seeds = default_seeds) () =
       "with server-side shedding of expired phase-1 work";
       "(retry.shed_expired must fire somewhere in the seed set),";
       "breaker trips on sustained slowness, and the periodic";
-      "floor-gossip daemon kept alive across crashes.";
+      "floor-gossip daemon kept alive across crashes. The autonomic";
+      "world stacks the §16 membership plane on the brownout knobs:";
+      "per-server controller daemons probing the stores and driving";
+      "health-based Exclude/Include through the validated rounds, plus";
+      "sibling-hedge routing of commit-path backup copies — flapping";
+      "brownouts must not livelock membership (hysteresis + cooldown),";
+      "and every controller-driven exclusion must either re-include";
+      "after its catch-up fence or leave a still-consistent smaller St.";
       "Servers/stores heal, crashed";
       "clients stay down for the cleanup protocol. After quiescence,";
       "Audit.chaos checks StA mutual consistency, byte-equality of every";

@@ -13,7 +13,7 @@
     with full-state fallbacks under the fault plane, and the audit's
     golden-shadow byte-equality check is live.
 
-    Five world variants run per seed: {e classic} (naming nodes never
+    Six world variants run per seed: {e classic} (naming nodes never
     crash — the paper's §3.1 availability assumption), {e durable-ns}
     (durable naming; the naming shards join the crash pool and recover
     their committed entries from the database), {e optimistic}
@@ -33,7 +33,13 @@
     its idle waits daemon-parked so quiescence drains still terminate.
     The check additionally fails if [retry.shed_expired] never fired
     across the brownout runs — the shedding plane must be exercised,
-    not merely enabled).
+    not merely enabled), and {e autonomic} (the brownout world plus the
+    §16 membership plane: one {!Replica.Autonomic} controller daemon per
+    server probing the stores and driving health-based Exclude/Include
+    through the validated membership rounds, and sibling-hedge routing
+    of commit-path backup copies — flapping brownouts, crash churn and
+    controller-driven membership churn under one schedule, which must
+    neither livelock membership nor dirty the audit).
 
     Every run is a pure function of its seed: a failing seed replays the
     whole world bit-for-bit, and the offending schedule is greedily
@@ -63,18 +69,22 @@ type outcome = {
 
 val run_world :
   ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> ?brownout:bool ->
+  ?autonomic:bool ->
   seed:int64 -> events:fault_event list -> unit -> outcome
 (** One full run: build the world from [seed] (durable naming iff
     [durable]; optimistic commits and pipelined binds iff [optimistic];
     batched commits with window 2.0 iff [groupcommit]; iff [brownout],
     the gray-failure resilience plane — hedged scatters, 25s action
     deadlines with server-side shedding, degraded breaker trips — plus
-    the 7.0-period floor-gossip daemon), inject [events], drive the
-    workload to quiescence, audit. Deterministic in
-    [(durable, optimistic, groupcommit, brownout, seed, events)]. *)
+    the 7.0-period floor-gossip daemon; iff [autonomic], additionally
+    the §16 membership plane and sibling-hedge routing), inject
+    [events], drive the workload to quiescence, audit. Deterministic in
+    [(durable, optimistic, groupcommit, brownout, autonomic, seed,
+    events)]. *)
 
 val check_seed :
   ?durable:bool -> ?optimistic:bool -> ?groupcommit:bool -> ?brownout:bool ->
+  ?autonomic:bool ->
   int64 -> outcome * fault_event list option
 (** Run [gen_events] for the seed in the chosen variant; on violation,
     also the minimized schedule ([None] when the run was clean). *)
@@ -84,8 +94,8 @@ val default_seeds : int64 list
 
 val run_check : ?seeds:int64 list -> unit -> Table.t * bool
 (** The experiment table plus an all-clean flag (for CLI exit codes);
-    every seed runs the classic, durable-ns, optimistic, groupcommit and
-    brownout variants. The flag is also false when [retry.shed_expired]
+    every seed runs the classic, durable-ns, optimistic, groupcommit,
+    brownout and autonomic variants. The flag is also false when [retry.shed_expired]
     stayed zero across every brownout run (dead shedding coverage).
     Failing runs are detailed in the table notes: world, seed, minimized
     schedule, violations. *)

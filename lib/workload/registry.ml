@@ -145,6 +145,12 @@ let all =
       synopsis = "hedged vs unhedged commit latency under gray failure";
       runner = (fun () -> Exp_brownout.run ());
     };
+    {
+      id = "tab-autonomic";
+      paper_artefact = "§4.2 (autonomic extension)";
+      synopsis = "health-driven Exclude/Include of a browned store";
+      runner = (fun () -> Exp_autonomic.run ());
+    };
   ]
 
 let find id = List.find_opt (fun e -> String.equal e.id id) all

@@ -6,4 +6,4 @@ let () =
    @ Test_extensions.suite
    @ Test_fortification.suite @ Test_oplog.suite @ Test_chaos.suite
    @ Test_optimistic.suite @ Test_groupcommit.suite @ Test_properties.suite
-   @ Test_brownout.suite)
+   @ Test_brownout.suite @ Test_autonomic.suite)

@@ -30,7 +30,7 @@ let test_table_cells () =
 
 let test_registry_complete () =
   let ids = Workload.Registry.ids () in
-  check_int "twenty-three experiments" 23 (List.length ids);
+  check_int "twenty-four experiments" 24 (List.length ids);
   List.iter
     (fun id ->
       check_bool (id ^ " found") true (Workload.Registry.find id <> None))
